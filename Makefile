@@ -1,0 +1,26 @@
+# Common development targets.
+
+.PHONY: install test bench examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+test-slow:
+	python -m pytest tests/ -m slow
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/pretraining_objectives.py
+	python examples/distant_ner.py
+	python examples/talent_screening.py
+	python examples/error_analysis.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

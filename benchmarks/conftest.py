@@ -1,0 +1,11 @@
+"""Benchmark-session configuration: pin BLAS threads before numpy loads."""
+
+import os
+
+for var in (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(var, "1")

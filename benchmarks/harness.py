@@ -1,0 +1,263 @@
+"""Shared infrastructure for the table/figure benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at CPU scale.
+Heavy setup (corpus generation, model training) happens once per pytest
+session through the cached context builders here; the pytest-benchmark
+fixture then times the *inference* path of each experiment.
+
+Reports are written to ``benchmarks/results/<name>.txt`` and echoed to the
+real stdout (bypassing pytest capture) so ``pytest benchmarks/`` shows the
+paper-style tables inline.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+from typing import Dict, List
+
+import numpy as np
+
+import repro  # noqa: F401  (pins BLAS threads)
+from repro.baselines import (
+    BertCrf,
+    HiBertCrf,
+    LayoutXlmLike,
+    RobertaGcn,
+    TokenTaggerConfig,
+    TokenTaggerTrainer,
+)
+from repro.core import (
+    BlockClassifier,
+    BlockTrainer,
+    Featurizer,
+    HierarchicalEncoder,
+    LabeledDocument,
+    Pretrainer,
+    PretrainObjectives,
+    ResuFormerConfig,
+    pseudo_label,
+    run_distillation,
+)
+from repro.corpus import ContentConfig, ResumeGenerator, build_block_corpus
+from repro.docmodel import BLOCK_SCHEME, BLOCK_TAGS
+from repro.eval import AreaEvaluation
+from repro.nn import AdamW, ParamGroup, clip_grad_norm
+from repro.text import WordPieceTokenizer
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Experiment scale (paper counts scaled down, ratios approximately kept).
+NUM_PRETRAIN = 24
+NUM_TRAIN = 16
+NUM_VALIDATION = 8
+NUM_TEST = 12
+SEED = 2023
+
+#: Seeds for validation-based model selection, applied uniformly to every
+#: learned method (small-data fine-tuning has real seed variance; selecting
+#: by validation — never test — is standard protocol).
+SELECTION_SEEDS = (0, 1, 2)
+
+
+def report(name: str, text: str) -> str:
+    """Echo a report to the terminal (despite capture) and persist it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]", file=sys.__stdout__, flush=True)
+    return path
+
+
+@lru_cache(maxsize=1)
+def block_world():
+    """Corpus + tokenizer + configs shared by the block-task benchmarks."""
+    corpus = build_block_corpus(
+        num_pretrain=NUM_PRETRAIN,
+        num_train=NUM_TRAIN,
+        num_validation=NUM_VALIDATION,
+        num_test=NUM_TEST,
+        seed=SEED,
+        content_config=ContentConfig.tiny(),
+    )
+    tokenizer = WordPieceTokenizer.train(
+        (s.text for d in corpus.pretrain for s in d.sentences),
+        vocab_size=1200,
+        min_frequency=1,
+    )
+    model_config = ResuFormerConfig(vocab_size=len(tokenizer.vocab), dropout=0.0)
+    token_config = dict(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=64,
+        layers=2,
+        heads=4,
+        window_words=384,  # the paper's 512-token limit, scaled
+        dropout=0.0,
+    )
+    labeled = [LabeledDocument.from_gold(d) for d in corpus.train]
+    validation = [LabeledDocument.from_gold(d) for d in corpus.validation]
+    evaluation = AreaEvaluation(corpus.test)
+    return corpus, tokenizer, model_config, token_config, labeled, validation, evaluation
+
+
+def train_our_model(
+    objectives: PretrainObjectives = None,
+    use_kd: bool = False,
+    seed: int = 0,
+    pretrain_epochs: int = 4,
+    finetune_epochs: int = 14,
+):
+    """Train ResuFormer (pretraining + fine-tuning, optional Algorithm-1 KD).
+
+    KD defaults off at this reproduction scale: the LayoutXLM-like teacher
+    tops out well below the student (macro-F1 ~0.66 vs ~0.84), so its hard
+    pseudo-labels inject more noise than knowledge — the opposite of the
+    paper's setting, where the teacher is a 270M-parameter model pretrained
+    on 30M documents.  Table III measures the KD variant explicitly and
+    EXPERIMENTS.md discusses the divergence.
+    """
+    corpus, tokenizer, model_config, token_config, labeled, validation, _ = block_world()
+    featurizer = Featurizer(tokenizer, model_config)
+    encoder = HierarchicalEncoder(model_config, rng=np.random.default_rng(seed))
+
+    objectives = objectives or PretrainObjectives()
+    if objectives.any():
+        pretrainer = Pretrainer(
+            encoder, featurizer, objectives=objectives, seed=seed
+        )
+        pretrainer.fit(corpus.pretrain, epochs=pretrain_epochs, batch_size=4)
+
+    classifier = BlockClassifier(
+        encoder, featurizer, rng=np.random.default_rng(seed + 1)
+    )
+    trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=5e-3, seed=seed)
+    if use_kd:
+        teacher = layoutxlm_model()
+        unlabeled = corpus.pretrain[: NUM_TRAIN]
+        pseudo = pseudo_label(teacher, unlabeled)
+        run_distillation(
+            trainer, labeled, pseudo, validation=validation,
+            pseudo_epochs=1, finetune_epochs=finetune_epochs,
+        )
+    else:
+        trainer.fit(
+            labeled, validation=validation, epochs=finetune_epochs, patience=5
+        )
+    return classifier
+
+
+def _validation_macro(model) -> float:
+    """Validation-split area macro-F1 (selection metric; test stays held out)."""
+    corpus, *_ = block_world()
+    evaluation = AreaEvaluation(corpus.validation)
+    scores = evaluation.evaluate(model)
+    values = [scores[t].f1 for t in BLOCK_TAGS if t in scores]
+    return float(np.mean(values)) if values else 0.0
+
+
+def best_of_seeds(builder, seeds=SELECTION_SEEDS):
+    """Train ``builder(seed)`` per seed, keep the best by validation macro."""
+    best_model, best_value = None, -np.inf
+    for seed in seeds:
+        model = builder(seed)
+        value = _validation_macro(model)
+        if value > best_value:
+            best_model, best_value = model, value
+    return best_model
+
+
+@lru_cache(maxsize=1)
+def our_model():
+    return best_of_seeds(lambda seed: train_our_model(seed=seed))
+
+
+def _train_token_model(cls, seed: int, epochs: int, lr: float, mlm: bool):
+    corpus, tokenizer, _, token_config, *_ = block_world()
+    model = cls(
+        TokenTaggerConfig(**token_config), tokenizer,
+        rng=np.random.default_rng(10 + seed),
+    )
+    if mlm:
+        model.pretrain_mlm(
+            corpus.pretrain[:8], epochs=1, learning_rate=5e-4, seed=seed
+        )
+    TokenTaggerTrainer(model, learning_rate=lr, seed=seed).fit(
+        corpus.train, epochs=epochs
+    )
+    return model
+
+
+@lru_cache(maxsize=1)
+def bert_crf_model():
+    return best_of_seeds(
+        lambda seed: _train_token_model(BertCrf, seed, epochs=10, lr=2e-3, mlm=False)
+    )
+
+
+@lru_cache(maxsize=1)
+def layoutxlm_model():
+    return best_of_seeds(
+        lambda seed: _train_token_model(
+            LayoutXlmLike, seed, epochs=14, lr=3e-3, mlm=True
+        )
+    )
+
+
+@lru_cache(maxsize=1)
+def roberta_gcn_model():
+    # "RoBERTa" brings language-model pre-training in the paper.
+    return best_of_seeds(
+        lambda seed: _train_token_model(RobertaGcn, seed, epochs=10, lr=2e-3, mlm=True)
+    )
+
+
+def _train_hibert(seed: int):
+    corpus, tokenizer, model_config, _, labeled, validation, _ = block_world()
+    model = HiBertCrf(
+        Featurizer(tokenizer, model_config), rng=np.random.default_rng(13 + seed)
+    )
+    optimizer = AdamW([ParamGroup(model.parameters(), 2e-3)], weight_decay=0.01)
+    rng = np.random.default_rng(seed)
+    features = [
+        (model.featurizer.featurize(item.document), item.labels)
+        for item in labeled
+    ]
+    for _ in range(12):
+        for index in rng.permutation(len(features)):
+            doc_features, labels = features[index]
+            optimizer.zero_grad()
+            loss = model.loss(doc_features, labels)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+    return model
+
+
+@lru_cache(maxsize=1)
+def hibert_model():
+    return best_of_seeds(_train_hibert)
+
+
+BLOCK_METHOD_BUILDERS = {
+    "BERT+CRF": bert_crf_model,
+    "HiBERT+CRF": hibert_model,
+    "RoBERTa+GCN": roberta_gcn_model,
+    "LayoutXLM": layoutxlm_model,
+    "Our Method": our_model,
+}
+
+
+def evaluate_block_methods(methods: Dict[str, object]):
+    """Per-tag area P/R/F1 for each method on the shared test split."""
+    *_, evaluation = block_world()
+    return {name: evaluation.evaluate(model) for name, model in methods.items()}
+
+
+def timing_documents(count: int = 3) -> List:
+    """Paper-profile (multi-page) documents for the Time/Resume row."""
+    generator = ResumeGenerator(
+        seed=SEED + 99, content_config=ContentConfig.paper()
+    )
+    return generator.batch(count)

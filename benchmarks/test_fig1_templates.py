@@ -1,0 +1,71 @@
+"""Figure 1 — three different styles of resume templates.
+
+The paper shows three fictional resumes in distinct layouts to motivate
+style diversity.  We render the first page of one resume per template
+(classic single-column, two-column sidebar, compact) with gold block
+annotations, and verify the layouts are measurably different.
+"""
+
+import numpy as np
+
+from repro.corpus import (
+    ClassicTemplate,
+    CompactTemplate,
+    ContentConfig,
+    ResumeGenerator,
+    TwoColumnTemplate,
+    ascii_page,
+    render_page,
+)
+
+from .harness import report
+
+
+def render_all():
+    renders = {}
+    documents = {}
+    for template in (ClassicTemplate(), TwoColumnTemplate(), CompactTemplate()):
+        generator = ResumeGenerator(
+            seed=41, content_config=ContentConfig.tiny(), templates=[template]
+        )
+        document = generator.batch(1, prefix=template.name)[0]
+        documents[template.name] = document
+        renders[template.name] = ascii_page(document, 1)
+    return documents, renders
+
+
+def test_fig1_templates(benchmark):
+    documents, renders = benchmark.pedantic(render_all, rounds=1, iterations=1)
+
+    parts = ["Figure 1 — three resume template styles (page 1, gold blocks)"]
+    for name, art in renders.items():
+        parts.append(f"\n=== template: {name} ===")
+        parts.append(art)
+    report("fig1_templates", "\n".join(parts))
+
+    classic = documents["classic"]
+    two_col = documents["two-column"]
+    compact = documents["compact"]
+
+    # Two-column layout: PInfo text sits left of the experience column.
+    pinfo_x = [
+        s.bbox.x0 for s in two_col.sentences if s.majority_block()[0] == "PInfo"
+    ]
+    work_x = [
+        s.bbox.x0 for s in two_col.sentences if s.majority_block()[0] == "WorkExp"
+    ]
+    assert pinfo_x and work_x
+    assert max(pinfo_x) < min(work_x)
+
+    # Compact template uses smaller fonts than classic.
+    assert (
+        np.mean([s.mean_font_size for s in compact.sentences])
+        < np.mean([s.mean_font_size for s in classic.sentences])
+    )
+
+    # All three carry ink on page 1 and have different ink distributions.
+    grids = {name: render_page(d, 1) for name, d in documents.items()}
+    for grid in grids.values():
+        assert grid.sum() > 0
+    assert not np.allclose(grids["classic"], grids["two-column"])
+    assert not np.allclose(grids["classic"], grids["compact"])

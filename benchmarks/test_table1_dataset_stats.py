@@ -1,0 +1,68 @@
+"""Table I — resume document dataset statistics.
+
+Paper (per split): 80,000 / 1,100 / 500 / 500 documents; avg tokens
+~1,704 / 1,722 / 1,704 / 1,685; avg sentences ~90; avg pages ~2.1.
+
+We regenerate the statistics at 1:70 scale with the *paper* content profile
+(the corpus generator is calibrated so sentence and page counts land on the
+paper's shape; token counts are lower because the synthetic corpus is
+English words, not Chinese WordPiece — see EXPERIMENTS.md).
+"""
+
+from repro.corpus import ContentConfig, build_block_corpus, corpus_stats
+from repro.eval import format_stats_table
+
+from .harness import report
+
+#: Paper split sizes ÷ 70 (ratios preserved).
+SPLIT_SIZES = {"pretrain": 48, "train": 16, "validation": 7, "test": 7}
+
+PAPER_ROWS = {
+    "pretrain": {"# of samples": 80000, "avg # of tokens": 1704.20,
+                 "avg # of sentences": 90.28, "avg # of pages": 2.1},
+    "train": {"# of samples": 1100, "avg # of tokens": 1721.98,
+              "avg # of sentences": 90.71, "avg # of pages": 2.02},
+    "validation": {"# of samples": 500, "avg # of tokens": 1704.37,
+                   "avg # of sentences": 89.57, "avg # of pages": 2.04},
+    "test": {"# of samples": 500, "avg # of tokens": 1685.43,
+             "avg # of sentences": 91.26, "avg # of pages": 2.23},
+}
+
+
+def build_corpus():
+    return build_block_corpus(
+        num_pretrain=SPLIT_SIZES["pretrain"],
+        num_train=SPLIT_SIZES["train"],
+        num_validation=SPLIT_SIZES["validation"],
+        num_test=SPLIT_SIZES["test"],
+        seed=1,
+        content_config=ContentConfig.paper(),
+    )
+
+
+def test_table1_dataset_stats(benchmark):
+    corpus = benchmark.pedantic(build_corpus, rounds=1, iterations=1)
+
+    measured = {}
+    for name, documents in corpus.splits().items():
+        stats = corpus_stats(documents)
+        measured[name] = {
+            "# of samples": stats.num_documents,
+            "avg # of tokens": stats.avg_tokens,
+            "avg # of sentences": stats.avg_sentences,
+            "avg # of pages": stats.avg_pages,
+        }
+
+    text = format_stats_table(
+        measured, title="Table I (measured, 1:70 scale, paper content profile)"
+    )
+    text += "\n\n" + format_stats_table(PAPER_ROWS, title="Table I (paper)")
+    report("table1_dataset_stats", text)
+
+    # Shape assertions: sentence/page statistics match the paper's range.
+    for name, stats in measured.items():
+        assert 60 <= stats["avg # of sentences"] <= 130, name
+        assert 1.5 <= stats["avg # of pages"] <= 3.5, name
+        assert stats["avg # of tokens"] > 400, name
+    # Split ratios preserved (pretrain >> train > val ≈ test).
+    assert measured["pretrain"]["# of samples"] == 3 * measured["train"]["# of samples"]

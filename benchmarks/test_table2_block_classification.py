@@ -1,0 +1,152 @@
+"""Table II — resume block classification: per-tag F1 (R/P) + Time/Resume.
+
+Paper results (F1): our method wins on 7 of 8 tags (LayoutXLM edges PInfo),
+pre-trained multimodal models (RoBERTa+GCN, LayoutXLM, ours) dominate the
+text-only non-pretrained ones (BERT+CRF, HiBERT+CRF), and the two
+sentence-level methods (HiBERT+CRF 0.19s, ours 0.27s) run ~15x faster per
+resume than the token-level ones (3.26-3.88s).
+
+This bench trains all five methods on the shared scaled-down corpus,
+reports the same table, and asserts the paper's qualitative orderings.
+"""
+
+import numpy as np
+
+from repro.docmodel import BLOCK_TAGS
+from repro.eval import format_prf_table, time_per_resume
+
+from .harness import (
+    BLOCK_METHOD_BUILDERS,
+    block_world,
+    evaluate_block_methods,
+    report,
+    timing_documents,
+)
+
+PAPER_F1 = {
+    "BERT+CRF": {"PInfo": 77.88, "EduExp": 63.95, "WorkExp": 60.77,
+                 "ProjExp": 66.51, "Summary": 43.42, "Awards": 15.31,
+                 "SkillDes": 40.94, "Title": 43.10},
+    "HiBERT+CRF": {"PInfo": 73.28, "EduExp": 60.50, "WorkExp": 56.25,
+                   "ProjExp": 59.88, "Summary": 36.60, "Awards": 10.48,
+                   "SkillDes": 35.96, "Title": 37.25},
+    "RoBERTa+GCN": {"PInfo": 89.95, "EduExp": 88.68, "WorkExp": 84.72,
+                    "ProjExp": 85.68, "Summary": 83.95, "Awards": 70.12,
+                    "SkillDes": 87.01, "Title": 84.88},
+    "LayoutXLM": {"PInfo": 92.99, "EduExp": 90.85, "WorkExp": 86.20,
+                  "ProjExp": 86.25, "Summary": 85.10, "Awards": 71.23,
+                  "SkillDes": 88.64, "Title": 84.77},
+    "Our Method": {"PInfo": 91.75, "EduExp": 91.00, "WorkExp": 93.59,
+                   "ProjExp": 93.23, "Summary": 91.69, "Awards": 75.28,
+                   "SkillDes": 92.68, "Title": 87.80},
+}
+PAPER_TIME = {"BERT+CRF": "3.26s", "HiBERT+CRF": "0.19s",
+              "RoBERTa+GCN": "3.46s", "LayoutXLM": "3.88s",
+              "Our Method": "0.27s"}
+
+
+def macro_f1(scores) -> float:
+    values = [scores[tag].f1 for tag in BLOCK_TAGS if tag in scores]
+    return float(np.mean(values)) if values else 0.0
+
+
+def attention_work_ratio(documents) -> float:
+    """Attention position-pairs: sliding token windows vs the hierarchy.
+
+    Token-level models re-encode overlapping windows of W pieces
+    (W^2 pairs each); the hierarchy attends within each sentence plus once
+    across the m sentences.  This is the scale-independent version of the
+    paper's Time/Resume argument.
+    """
+    from repro.baselines import window_document
+
+    _, tokenizer, _, token_config, *_ = block_world()
+    from repro.baselines import TokenTaggerConfig
+
+    config = TokenTaggerConfig(**token_config)
+    token_pairs = 0
+    hierarchy_pairs = 0
+    for document in documents:
+        windows = window_document(
+            document, tokenizer, config, stride=config.window_words // 2
+        )
+        token_pairs += sum(len(w.word_ids) ** 2 for w in windows)
+        lengths = [len(s.tokens) + 1 for s in document.sentences]
+        hierarchy_pairs += sum(n**2 for n in lengths) + len(lengths) ** 2
+    return token_pairs / max(hierarchy_pairs, 1)
+
+
+def test_table2_block_classification(benchmark):
+    # Train all five methods (cached across benches in this session).
+    methods = benchmark.pedantic(
+        lambda: {name: build() for name, build in BLOCK_METHOD_BUILDERS.items()},
+        rounds=1,
+        iterations=1,
+    )
+    results = evaluate_block_methods(methods)
+
+    # Time/Resume on paper-profile multi-page documents.
+    documents = timing_documents(3)
+    times = {
+        name: time_per_resume(model.predict, documents, repeats=1)
+        for name, model in methods.items()
+    }
+    time_row = {name: f"{seconds:.2f}s" for name, seconds in times.items()}
+
+    text = format_prf_table(
+        results,
+        BLOCK_TAGS,
+        title="Table II (measured) — block classification F1 (R / P), in %",
+        extra_rows={"Time/Resume": time_row},
+    )
+    paper_rows = "\n".join(
+        f"  {method:12s} " + "  ".join(
+            f"{tag}={value:.1f}" for tag, value in PAPER_F1[method].items()
+        ) + f"  time={PAPER_TIME[method]}"
+        for method in PAPER_F1
+    )
+    text += "\n\nTable II (paper F1):\n" + paper_rows
+    report("table2_block_classification", text)
+
+    macro = {name: macro_f1(scores) for name, scores in results.items()}
+    summary = ", ".join(f"{k}: {v:.3f}" for k, v in macro.items())
+    report("table2_macro_summary", f"macro-F1 -> {summary}")
+
+    # Error analysis: our method's token-level confusion on the test split.
+    from repro.eval import confusion_matrix, format_confusion, most_confused_pairs
+
+    corpus, *_ = block_world()
+    gold = [d.token_block_tags() for d in corpus.test]
+    predicted = [methods["Our Method"].predict_token_tags(d) for d in corpus.test]
+    matrix = confusion_matrix(gold, predicted, BLOCK_TAGS)
+    confused = most_confused_pairs(matrix, BLOCK_TAGS, top=5)
+    report(
+        "table2_confusion",
+        format_confusion(matrix, BLOCK_TAGS)
+        + "\n\nmost confused (gold -> predicted): "
+        + ", ".join(f"{g}->{p}: {n}" for g, p, n in confused),
+    )
+
+    # --- Shape assertions (paper's qualitative findings) ---------------
+    # 1. Our multimodal pretrained model beats both text-only baselines.
+    assert macro["Our Method"] > macro["BERT+CRF"]
+    assert macro["Our Method"] > macro["HiBERT+CRF"]
+    # 2. Our method is at least competitive with the strongest baseline.
+    best_baseline = max(v for k, v in macro.items() if k != "Our Method")
+    assert macro["Our Method"] >= best_baseline - 0.05
+    # 3. Sentence-level methods are faster per resume than token-level
+    #    ones.  The paper's ~15x gap reflects 12-layer/768-dim window
+    #    re-encoding (compute-bound); our small models are partly
+    #    dispatch-bound, so we assert a >= 1.5x wall-clock gap and report
+    #    the architectural work ratio (attention position-pairs), which is
+    #    an order of magnitude, alongside.
+    sentence_level = min(times["Our Method"], times["HiBERT+CRF"])
+    token_level = min(times["BERT+CRF"], times["LayoutXLM"], times["RoBERTa+GCN"])
+    work = attention_work_ratio(documents)
+    report(
+        "table2_timing_detail",
+        f"wall-clock token/sentence ratio: {token_level / sentence_level:.2f}x; "
+        f"attention position-pair ratio (token-level windows vs hierarchy): "
+        f"{work:.1f}x",
+    )
+    assert token_level >= 1.5 * sentence_level, times

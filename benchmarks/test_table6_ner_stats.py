@@ -1,0 +1,56 @@
+"""Table VI — intra-block information extraction dataset statistics.
+
+Paper: 20,000 train / 400 validation / 600 test samples; avg tokens
+362/359/381; avg entities 3.5/4.1/4.3.  Train samples are distantly
+annotated blocks with >= 1 matched entity; validation/test are
+expert-labeled (gold here).
+"""
+
+from repro.corpus import ContentConfig, build_ner_corpus, ner_stats
+from repro.eval import format_stats_table
+from repro.ner import DistantAnnotator, annotate_examples, build_dictionaries
+
+from .harness import report
+
+PAPER_ROWS = {
+    "train": {"# of samples": 20000, "avg # of tokens": 362, "avg # of entities": 3.5},
+    "validation": {"# of samples": 400, "avg # of tokens": 359, "avg # of entities": 4.1},
+    "test": {"# of samples": 600, "avg # of tokens": 381, "avg # of entities": 4.3},
+}
+
+
+def build_splits():
+    corpus = build_ner_corpus(
+        num_train_docs=60,
+        num_validation_docs=6,
+        num_test_docs=9,
+        seed=6,
+        content_config=ContentConfig.paper(),
+    )
+    annotator = DistantAnnotator(build_dictionaries(coverage=0.6, seed=1, noise=0.4))
+    train = annotate_examples(corpus.train, annotator)
+    return {"train": train, "validation": corpus.validation, "test": corpus.test}
+
+
+def test_table6_ner_stats(benchmark):
+    splits = benchmark.pedantic(build_splits, rounds=1, iterations=1)
+
+    measured = {}
+    for name, examples in splits.items():
+        stats = ner_stats(examples)
+        measured[name] = {
+            "# of samples": stats.num_samples,
+            "avg # of tokens": stats.avg_tokens,
+            "avg # of entities": stats.avg_entities,
+        }
+    text = format_stats_table(measured, title="Table VI (measured)")
+    text += "\n\n" + format_stats_table(PAPER_ROWS, title="Table VI (paper)")
+    report("table6_ner_stats", text)
+
+    # Shape: every distant train sample has >= 1 entity; blocks carry a
+    # handful of entities each, like the paper's 3.5-4.3.
+    assert all(e.num_entities >= 1 for e in splits["train"])
+    for name, stats in measured.items():
+        assert 1.0 <= stats["avg # of entities"] <= 8.0, name
+        assert stats["avg # of tokens"] >= 10, name
+    assert measured["train"]["# of samples"] > measured["test"]["# of samples"]

@@ -1,0 +1,81 @@
+"""Distantly supervised intra-block NER with self-distillation (task 2).
+
+Demonstrates the paper's second pipeline end to end:
+
+1. build entity dictionaries (deliberately incomplete and noisy),
+2. auto-annotate block text (string matching + regex + heuristics),
+3. augment the training data (mention replacement, field reordering),
+4. train BERT+BiLSTM+MLP with self-distillation based self-training
+   (Algorithm 2: soft labels + high-confidence token selection),
+5. compare against pure dictionary matching on a gold test set.
+"""
+
+import numpy as np
+
+import repro  # noqa: F401
+from repro.corpus import build_ner_corpus
+from repro.eval import entity_prf, entity_prf_by_tag
+from repro.ner import (
+    DistantAnnotator,
+    NerConfig,
+    NerTagger,
+    SelfTrainConfig,
+    SelfTrainer,
+    annotate_examples,
+    augment_examples,
+    build_dictionaries,
+)
+from repro.text import WordPieceTokenizer
+
+
+def main():
+    # 1-2. Dictionaries cover ~60% of values and carry distractor noise.
+    corpus = build_ner_corpus(
+        num_train_docs=60, num_validation_docs=6, num_test_docs=10, seed=11
+    )
+    dictionaries = build_dictionaries(coverage=0.6, seed=1, noise=0.4)
+    annotator = DistantAnnotator(dictionaries)
+    train = annotate_examples(corpus.train, annotator)
+    print(f"distantly annotated {len(train)} training blocks")
+
+    # 3. Augmentation.
+    train = augment_examples(train, dictionaries, seed=0)
+    print(f"after augmentation: {len(train)} blocks")
+
+    # 4. Self-distillation based self-training (Algorithm 2).
+    tokenizer = WordPieceTokenizer.train(
+        (e.text for e in train), vocab_size=1200, min_frequency=1
+    )
+    config = NerConfig(
+        vocab_size=len(tokenizer.vocab), hidden_dim=80, lstm_hidden=48
+    )
+    model = NerTagger(config, tokenizer, rng=np.random.default_rng(0))
+    trainer = SelfTrainer(
+        model,
+        SelfTrainConfig(
+            teacher_epochs=12, teacher_patience=4, iterations=16,
+            learning_rate=2e-3, student_learning_rate=5e-4,
+            batch_size=24, eval_every=4,
+        ),
+        seed=0,
+    )
+    student = trainer.train(train, corpus.validation)
+
+    # 5. Evaluate against gold labels.
+    gold = [e.labels for e in corpus.test]
+    ours = entity_prf(gold, student.predict(corpus.test))
+    matcher = entity_prf(
+        gold, [annotator.annotate(e.words).labels for e in corpus.test]
+    )
+    print(f"\nD&R Match : P={matcher.precision:.2f} "
+          f"R={matcher.recall:.2f} F1={matcher.f1:.2f}")
+    print(f"Ours      : P={ours.precision:.2f} "
+          f"R={ours.recall:.2f} F1={ours.f1:.2f}")
+
+    print("\nper-tag F1 (ours):")
+    for tag, score in entity_prf_by_tag(gold, student.predict(corpus.test)).items():
+        print(f"  {tag:>9}: {score.f1:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Error analysis for block classification.
+
+Trains a small classifier, then inspects where it goes wrong: the
+token-level confusion matrix, the most confused block pairs, and a
+side-by-side page rendering of predictions vs. gold — the workflow behind
+the paper's Figure 3 case study.
+"""
+
+import numpy as np
+
+import repro  # noqa: F401
+from repro.core import (
+    BlockClassifier,
+    BlockTrainer,
+    Featurizer,
+    HierarchicalEncoder,
+    LabeledDocument,
+    ResuFormerConfig,
+)
+from repro.corpus import ContentConfig, ResumeGenerator, ascii_page
+from repro.docmodel import BLOCK_TAGS
+from repro.eval import confusion_matrix, format_confusion, most_confused_pairs
+from repro.text import WordPieceTokenizer
+
+
+def main():
+    documents = ResumeGenerator(seed=17, content_config=ContentConfig.tiny()).batch(16)
+    train, validation, test = documents[:10], documents[10:12], documents[12:]
+
+    tokenizer = WordPieceTokenizer.train(
+        (s.text for d in documents for s in d.sentences), vocab_size=900
+    )
+    config = ResuFormerConfig(vocab_size=len(tokenizer.vocab))
+    featurizer = Featurizer(tokenizer, config)
+    classifier = BlockClassifier(
+        HierarchicalEncoder(config, rng=np.random.default_rng(0)), featurizer
+    )
+    BlockTrainer(classifier, seed=0).fit(
+        [LabeledDocument.from_gold(d) for d in train],
+        validation=[LabeledDocument.from_gold(d) for d in validation],
+        epochs=8,
+        patience=4,
+    )
+
+    gold = [d.token_block_tags() for d in test]
+    predicted = [classifier.predict_token_tags(d) for d in test]
+    matrix = confusion_matrix(gold, predicted, BLOCK_TAGS)
+    print(format_confusion(matrix, BLOCK_TAGS))
+    print("\nmost confused (gold -> predicted):")
+    for gold_tag, pred_tag, count in most_confused_pairs(matrix, BLOCK_TAGS):
+        print(f"  {gold_tag:>9} -> {pred_tag:<9} x{count}")
+
+    worst = max(
+        range(len(test)),
+        key=lambda i: sum(g != p for g, p in zip(gold[i], predicted[i])),
+    )
+    document = test[worst]
+    print(f"\nhardest test resume: {document.doc_id}")
+    print("\n--- predicted ---")
+    print(ascii_page(document, 1, labels=classifier.predict_block_tags(document)))
+    print("\n--- gold ---")
+    print(ascii_page(document, 1))
+
+
+if __name__ == "__main__":
+    main()

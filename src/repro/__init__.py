@@ -1,0 +1,23 @@
+"""ResuFormer — semantic structure understanding for resumes.
+
+A full reproduction of *"ResuFormer: Semantic Structure Understanding for
+Resumes via Multi-Modal Pre-training"* (Yao et al., ICDE 2023), built on a
+self-contained numpy neural substrate (:mod:`repro.nn`) and a synthetic
+resume corpus (:mod:`repro.corpus`) standing in for the paper's proprietary
+dataset.
+
+Public entry points:
+
+* :mod:`repro.core` — hierarchical multi-modal pre-training and the resume
+  block classifier (paper task 1).
+* :mod:`repro.ner` — distantly supervised intra-block information extraction
+  with self-distillation based self-training (paper task 2).
+* :mod:`repro.baselines` — every comparator evaluated in Tables II and IV.
+* :mod:`repro.eval` — the paper's area-based and IOB metrics.
+"""
+
+from ._threads import limit_blas_threads
+
+limit_blas_threads(1)
+
+__version__ = "1.0.0"

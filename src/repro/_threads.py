@@ -1,0 +1,33 @@
+"""Pin BLAS to a single thread.
+
+The library's numpy workloads are many small matmuls; OpenBLAS's default
+thread pool (sized for large GEMMs) causes severe spin-wait contention on
+them — on a single-core machine the first training step can run 30-40x
+slower than steady state.  Importing this module (which ``repro`` does
+before its own numpy import) caps the common BLAS thread-count environment
+variables so any BLAS loaded afterwards starts single-threaded.
+
+If numpy was already imported with a multi-threaded BLAS, the cap cannot be
+applied retroactively; set ``OMP_NUM_THREADS=1`` in the environment instead
+(the test and benchmark suites do this in ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def limit_blas_threads(count: int = 1) -> None:
+    """Cap BLAS threads via environment (no-op for already-loaded BLAS)."""
+    for var in _ENV_VARS:
+        os.environ.setdefault(var, str(count))
+
+
+limit_blas_threads(1)

@@ -1,0 +1,48 @@
+"""``repro.baselines`` — every comparator from Tables II and IV.
+
+Block classification (Table II): BERT+CRF, HiBERT+CRF, RoBERTa+GCN, and a
+LayoutXLM-like multimodal token tagger (also the KD teacher).  Intra-block
+NER (Table IV): D&R Match, BERT+BiLSTM+CRF, BERT+BiLSTM+FuzzyCRF, AutoNER.
+"""
+
+from .classic_ner import Word2VecBiLstmCrf
+from .hibert_crf import HiBertCrf
+from .ner_baselines import (
+    AutoNer,
+    BertBiLstmCrf,
+    BertBiLstmFuzzyCrf,
+    DrMatch,
+    NerBaselineTrainer,
+)
+from .roberta_gcn import RobertaGcn, build_spatial_graph, normalized_adjacency
+from .token_level import (
+    BertCrf,
+    LayoutXlmLike,
+    TokenBlockTagger,
+    TokenTaggerConfig,
+    TokenTaggerTrainer,
+    TokenWindow,
+    token_block_labels,
+    window_document,
+)
+
+__all__ = [
+    "BertCrf",
+    "LayoutXlmLike",
+    "TokenBlockTagger",
+    "TokenTaggerConfig",
+    "TokenTaggerTrainer",
+    "TokenWindow",
+    "token_block_labels",
+    "window_document",
+    "HiBertCrf",
+    "RobertaGcn",
+    "build_spatial_graph",
+    "normalized_adjacency",
+    "DrMatch",
+    "BertBiLstmCrf",
+    "BertBiLstmFuzzyCrf",
+    "AutoNer",
+    "NerBaselineTrainer",
+    "Word2VecBiLstmCrf",
+]

@@ -1,0 +1,138 @@
+"""Classic resume entity extractor: Word2Vec + BiLSTM + CRF.
+
+The pre-Transformer lineage the paper's related work describes (Sheng et
+al., 2018; Chen et al., 2016): word-level embeddings initialised from
+skip-gram word2vec, a BiLSTM context layer and a CRF decoder.  Unlike the
+WordPiece models it has no sub-word fallback — out-of-vocabulary words
+share one UNK vector, which is precisely the weakness that motivated
+sub-word pre-trained encoders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..corpus.datasets import NerExample
+from ..docmodel.labels import ENTITY_SCHEME, IobScheme
+from ..nn import (
+    AdamW,
+    BiLstm,
+    Embedding,
+    LinearChainCrf,
+    Linear,
+    Module,
+    ParamGroup,
+    Tensor,
+    clip_grad_norm,
+    no_grad,
+)
+from ..nn import init as nn_init
+from ..text.vocab import Vocab
+from ..text.word2vec import Word2VecModel
+
+__all__ = ["Word2VecBiLstmCrf"]
+
+
+class Word2VecBiLstmCrf(Module):
+    """Word-level BiLSTM+CRF tagger over (optionally pretrained) embeddings."""
+
+    def __init__(
+        self,
+        vocab: Vocab,
+        embedding_dim: int = 64,
+        lstm_hidden: int = 48,
+        max_words: int = 96,
+        scheme: IobScheme = ENTITY_SCHEME,
+        pretrained: Optional[Word2VecModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        self.vocab = vocab
+        self.scheme = scheme
+        self.max_words = max_words
+        self.embedding = Embedding(len(vocab), embedding_dim, rng=rng, padding_idx=0)
+        if pretrained is not None:
+            if pretrained.vectors.shape != self.embedding.weight.data.shape:
+                raise ValueError("pretrained vectors do not match the vocabulary")
+            self.embedding.weight.data = pretrained.vectors.copy()
+        self.bilstm = BiLstm(embedding_dim, lstm_hidden, rng=rng)
+        self.emitter = Linear(2 * lstm_hidden, scheme.num_labels, rng=rng)
+        self.crf = LinearChainCrf(scheme.num_labels, rng=rng)
+
+    # ------------------------------------------------------------------
+    def encode_batch(self, examples: Sequence[NerExample]):
+        """Pad a batch into word-id/label/mask arrays."""
+        width = min(
+            max(len(e.words) for e in examples), self.max_words
+        )
+        batch = len(examples)
+        ids = np.zeros((batch, width), dtype=np.int64)
+        labels = np.zeros((batch, width), dtype=np.int64)
+        mask = np.zeros((batch, width))
+        for row, example in enumerate(examples):
+            for pos, (word, label) in enumerate(
+                zip(example.words[:width], example.labels[:width])
+            ):
+                ids[row, pos] = self.vocab.token_to_id(word.lower())
+                labels[row, pos] = (
+                    self.scheme.label_id(label)
+                    if label in self.scheme.labels
+                    else self.scheme.outside_id
+                )
+                mask[row, pos] = 1.0
+        return ids, labels, mask
+
+    def emissions(self, ids: np.ndarray) -> Tensor:
+        return self.emitter(self.bilstm(self.embedding(ids)))
+
+    def loss(self, examples: Sequence[NerExample]) -> Tensor:
+        ids, labels, mask = self.encode_batch(examples)
+        mask[:, 0] = 1.0
+        return self.crf.neg_log_likelihood(self.emissions(ids), labels, mask)
+
+    def fit(
+        self,
+        train: Sequence[NerExample],
+        epochs: int = 8,
+        batch_size: int = 24,
+        learning_rate: float = 2e-3,
+        seed: int = 0,
+    ) -> List[float]:
+        """Supervised training on (distant) labels."""
+        rng = np.random.default_rng(seed)
+        optimizer = AdamW(
+            [ParamGroup(self.parameters(), learning_rate)], weight_decay=0.01
+        )
+        losses: List[float] = []
+        for _ in range(epochs):
+            self.train()
+            order = rng.permutation(len(train))
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, len(order), batch_size):
+                chunk = [train[i] for i in order[start : start + batch_size]]
+                optimizer.zero_grad()
+                loss = self.loss(chunk)
+                loss.backward()
+                clip_grad_norm(self.parameters(), 5.0)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        return losses
+
+    def predict(self, examples: Sequence[NerExample]) -> List[List[str]]:
+        ids, _, mask = self.encode_batch(examples)
+        mask[:, 0] = 1.0
+        self.eval()
+        with no_grad():
+            emissions = self.emissions(ids)
+        paths = self.crf.decode(emissions, mask)
+        out: List[List[str]] = []
+        for example, path in zip(examples, paths):
+            labels = self.scheme.decode(path)[: len(example.words)]
+            labels += ["O"] * (len(example.words) - len(labels))
+            out.append(labels)
+        return out

@@ -1,0 +1,110 @@
+"""HiBERT+CRF baseline: hierarchical, text-only, non-pretrained.
+
+Chapuis et al. (2020)-style hierarchical encoder: a sentence-level
+Transformer pools each sentence to a vector, a document-level Transformer
+contextualises the sequence, and a CRF tags sentences.  Identical task
+framing to our method but with *no layout, no visual channel and no
+pre-training* — isolating the contribution of multi-modality and the
+self-supervised objectives (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.embeddings import TextEmbedding
+from ..core.featurize import DocumentFeatures, Featurizer
+from ..docmodel.document import ResumeDocument
+from ..docmodel.labels import BLOCK_SCHEME, IobScheme
+from ..nn import (
+    Embedding,
+    LinearChainCrf,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+    no_grad,
+)
+from ..nn import init as nn_init
+from ..nn.functional import l2_normalize
+
+__all__ = ["HiBertCrf"]
+
+
+class HiBertCrf(Module):
+    """Two-level text-only Transformer with a sentence-level CRF head."""
+
+    def __init__(
+        self,
+        featurizer: Featurizer,
+        scheme: IobScheme = BLOCK_SCHEME,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        config = featurizer.config
+        self.featurizer = featurizer
+        self.scheme = scheme
+        self.config = config
+        self.token_embedding = TextEmbedding(
+            config.vocab_size,
+            config.hidden_dim,
+            max_positions=config.max_sentence_tokens + 1,
+            rng=rng,
+        )
+        self.sentence_encoder = TransformerEncoder(
+            config.sentence_layers, config.hidden_dim, config.sentence_heads,
+            ffn_dim=config.hidden_dim * config.ffn_multiplier,
+            dropout=config.dropout, rng=rng,
+        )
+        self.pooler = Linear(config.hidden_dim, config.hidden_dim, rng=rng)
+        self.sentence_position = Embedding(
+            config.max_document_sentences, config.hidden_dim, rng=rng
+        )
+        self.document_encoder = TransformerEncoder(
+            config.document_layers, config.hidden_dim, config.document_heads,
+            ffn_dim=config.hidden_dim * config.ffn_multiplier,
+            dropout=config.dropout, rng=rng,
+        )
+        self.classifier = Linear(config.hidden_dim, scheme.num_labels, rng=rng)
+        self.crf = LinearChainCrf(scheme.num_labels, rng=rng)
+
+    # ------------------------------------------------------------------
+    def emissions(self, features: DocumentFeatures) -> Tensor:
+        embedded = self.token_embedding(features.token_ids, features.token_segments)
+        states = self.sentence_encoder(embedded, attention_mask=features.token_mask)
+        pooled = l2_normalize(self.pooler(states[:, 0, :]).tanh(), axis=-1)
+        m = features.num_sentences
+        doc_input = pooled + self.sentence_position(features.sentence_positions)
+        contextual = self.document_encoder(
+            doc_input.reshape(1, m, self.config.hidden_dim),
+            attention_mask=np.ones((1, m)),
+        )
+        return self.classifier(contextual)
+
+    def loss(self, features: DocumentFeatures, labels) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64)[: features.num_sentences]
+        return self.crf.neg_log_likelihood(self.emissions(features), labels[None, :])
+
+    # ------------------------------------------------------------------
+    def predict(self, document: ResumeDocument) -> List[str]:
+        features = self.featurizer.featurize(document)
+        self.eval()
+        with no_grad():
+            emissions = self.emissions(features)
+        labels = self.scheme.decode(self.crf.decode(emissions)[0])
+        labels += ["O"] * (document.num_sentences - len(labels))
+        return labels
+
+    def predict_block_tags(self, document: ResumeDocument) -> List[str]:
+        return [l if l == "O" else l[2:] for l in self.predict(document)]
+
+    def predict_token_tags(self, document: ResumeDocument) -> List[str]:
+        tags: List[str] = []
+        for sentence, tag in zip(
+            document.sentences, self.predict_block_tags(document)
+        ):
+            tags.extend([tag] * len(sentence.tokens))
+        return tags

@@ -1,0 +1,109 @@
+"""RoBERTa+GCN baseline (Wei et al., 2020): text encoder + layout graph.
+
+A token-level Transformer encodes the text; a graph convolutional network
+over a spatial k-nearest-neighbour graph of token boxes injects 2-D
+positional structure; a CRF decodes token tags.  The spatial graph is
+constructed with :mod:`networkx` from each window's token centres.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..docmodel.labels import BLOCK_SCHEME
+from ..nn import Module, Parameter, Tensor
+from ..nn import init as nn_init
+from .token_level import TokenBlockTagger, TokenTaggerConfig, TokenWindow
+
+__all__ = ["RobertaGcn", "build_spatial_graph", "normalized_adjacency"]
+
+
+def build_spatial_graph(layout: np.ndarray, k: int = 4) -> nx.Graph:
+    """k-NN graph over token layout tuples (bucketised centres).
+
+    Node ``i`` connects to its ``k`` nearest tokens by Euclidean distance
+    between box centres ``((x_min+x_max)/2, (y_min+y_max)/2)``, with page
+    distance dominating so cross-page edges only appear for tiny windows.
+    """
+    n = layout.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    if n <= 1:
+        return graph
+    centers = np.stack(
+        [
+            (layout[:, 0] + layout[:, 2]) / 2.0,
+            (layout[:, 1] + layout[:, 3]) / 2.0,
+            layout[:, 6] * 1000.0,  # page separation dominates
+        ],
+        axis=1,
+    )
+    diff = centers[:, None, :] - centers[None, :, :]
+    distance = np.sqrt((diff**2).sum(-1))
+    np.fill_diagonal(distance, np.inf)
+    neighbours = np.argsort(distance, axis=1)[:, : min(k, n - 1)]
+    for i in range(n):
+        for j in neighbours[i]:
+            graph.add_edge(i, int(j))
+    return graph
+
+
+def normalized_adjacency(graph: nx.Graph) -> np.ndarray:
+    """Symmetrically normalised adjacency with self-loops (Kipf & Welling)."""
+    n = graph.number_of_nodes()
+    adjacency = nx.to_numpy_array(graph, nodelist=range(n)) + np.eye(n)
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class _GcnLayer(Module):
+    """One graph convolution: ``H' = relu(Â H W)``."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(nn_init.xavier_uniform((dim, dim), rng))
+
+    def forward(self, states: Tensor, adjacency: np.ndarray) -> Tensor:
+        mixed = Tensor(adjacency) @ (states @ self.weight)
+        return mixed.relu()
+
+
+class RobertaGcn(TokenBlockTagger):
+    """Token-level text Transformer + spatial GCN + CRF."""
+
+    def __init__(
+        self,
+        config: TokenTaggerConfig,
+        tokenizer,
+        scheme=BLOCK_SCHEME,
+        rng: Optional[np.random.Generator] = None,
+        gcn_layers: int = 2,
+        knn: int = 4,
+    ):
+        config.use_layout = False   # layout enters through the graph instead
+        config.use_visual = False
+        super().__init__(config, tokenizer, scheme, rng)
+        rng = rng or nn_init.default_rng()
+        from ..nn import ModuleList
+
+        self.gcn = ModuleList(
+            _GcnLayer(config.hidden_dim, rng) for _ in range(gcn_layers)
+        )
+        self.knn = knn
+
+    def emissions(self, window: TokenWindow) -> Tensor:
+        ids = window.word_ids[None, :]
+        embedded = self.text_embedding(ids, np.zeros_like(ids))
+        states = self.encoder(embedded, attention_mask=window.word_mask[None, :])
+        n = window.word_ids.shape[0]
+        flat = states.reshape(n, self.config.hidden_dim)
+        adjacency = normalized_adjacency(
+            build_spatial_graph(window.layout, k=self.knn)
+        )
+        for layer in self.gcn:
+            flat = layer(flat, adjacency) + flat  # residual keeps text signal
+        return self.classifier(flat.reshape(1, n, self.config.hidden_dim))

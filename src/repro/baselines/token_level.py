@@ -1,0 +1,443 @@
+"""Token-level block classification baselines (BERT+CRF, LayoutXLM-like).
+
+These models classify every *word token* of a document (vs. our method's
+sentence-level tagging).  Long documents are processed in fixed-size word
+windows, mirroring the 512-token limit the paper highlights: token-level
+models cannot see the whole resume at once, which costs them both accuracy
+on cross-window structure and an order of magnitude in speed (Table II's
+Time/Resume row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.embeddings import LayoutEmbedding, TextEmbedding
+from ..corpus.render import VISUAL_DIM, sentence_visual_features
+from ..docmodel.document import ResumeDocument
+from ..docmodel.labels import BLOCK_SCHEME, IobScheme
+from ..nn import (
+    AdamW,
+    LinearChainCrf,
+    Linear,
+    Module,
+    ParamGroup,
+    Tensor,
+    TransformerEncoder,
+    clip_grad_norm,
+    no_grad,
+)
+from ..nn import init as nn_init
+from ..nn.functional import cross_entropy
+from ..text.wordpiece import WordPieceTokenizer
+
+__all__ = [
+    "TokenTaggerConfig",
+    "TokenWindow",
+    "window_document",
+    "TokenBlockTagger",
+    "BertCrf",
+    "LayoutXlmLike",
+    "TokenTaggerTrainer",
+]
+
+
+@dataclass
+class TokenTaggerConfig:
+    """Hyper-parameters shared by the token-level baselines."""
+
+    vocab_size: int
+    hidden_dim: int = 64
+    layers: int = 2
+    heads: int = 4
+    window_words: int = 128     # the "512 WordPiece tokens" budget, scaled
+    layout_buckets: int = 64
+    dropout: float = 0.1
+    ffn_multiplier: int = 2
+    use_layout: bool = False
+    use_visual: bool = False
+    visual_dim: int = VISUAL_DIM
+
+    def validate(self) -> "TokenTaggerConfig":
+        if self.hidden_dim % self.heads:
+            raise ValueError("hidden_dim must divide heads")
+        return self
+
+
+@dataclass
+class TokenWindow:
+    """One window of a flattened document (WordPiece granularity).
+
+    Every sub-word piece carries its source word's layout, visual features
+    and label; ``word_index`` maps each piece back to its word so
+    piece-level predictions can be reduced to word tags.
+    """
+
+    word_ids: np.ndarray      # (t,) WordPiece ids
+    word_mask: np.ndarray     # (t,)
+    layout: np.ndarray        # (t, 7) bucketised
+    visual: np.ndarray        # (t, visual_dim)
+    sentence_index: np.ndarray  # (t,) which sentence each piece came from
+    word_index: np.ndarray = None  # (t,) which document word each piece is
+    labels: Optional[np.ndarray] = None  # (t,) token-level IOB ids
+
+
+def token_block_labels(
+    document: ResumeDocument, scheme: IobScheme = BLOCK_SCHEME
+) -> List[int]:
+    """Token-level gold IOB ids expanded from sentence-level gold."""
+    sentence_ids = document.block_iob_labels(scheme)
+    labels: List[int] = []
+    for sentence, sid in zip(document.sentences, sentence_ids):
+        label = scheme.id_to_label(sid)
+        if label == "O":
+            labels.extend([scheme.outside_id] * len(sentence.tokens))
+            continue
+        tag = label[2:]
+        first = scheme.begin_id(tag) if label.startswith("B") else scheme.inside_id(tag)
+        labels.append(first)
+        labels.extend([scheme.inside_id(tag)] * (len(sentence.tokens) - 1))
+    return labels
+
+
+def window_document(
+    document: ResumeDocument,
+    tokenizer: WordPieceTokenizer,
+    config: TokenTaggerConfig,
+    scheme: IobScheme = BLOCK_SCHEME,
+    with_labels: bool = False,
+    stride: Optional[int] = None,
+) -> List[TokenWindow]:
+    """Flatten a document into full-WordPiece windows.
+
+    Every word expands to all its sub-word pieces — the reason token-level
+    models pay an order of magnitude more compute per resume than the
+    sentence-level hierarchy (Table II's Time/Resume row).  Word labels
+    replicate over their pieces (continuations become ``I-``).
+
+    ``stride`` < ``window_words`` yields overlapping windows (the standard
+    sliding-window inference for 512-token models); the default is
+    non-overlapping chunks (used for training).
+    """
+    vocab = tokenizer.vocab
+    pieces: List[int] = []
+    layouts: List[np.ndarray] = []
+    visuals: List[np.ndarray] = []
+    sentence_index: List[int] = []
+    word_index: List[int] = []
+    piece_labels: List[int] = []
+    from ..core.featurize import Featurizer
+    from ..core.config import ResuFormerConfig
+
+    bucketizer = Featurizer(
+        tokenizer,
+        ResuFormerConfig(
+            vocab_size=config.vocab_size, layout_buckets=config.layout_buckets
+        ),
+    )
+    word_labels = token_block_labels(document, scheme) if with_labels else None
+    w_idx = 0
+    for s_idx, sentence in enumerate(document.sentences):
+        page = document.page(sentence.page)
+        visual = (
+            np.asarray(sentence.visual, dtype=np.float64)
+            if sentence.visual is not None
+            else sentence_visual_features(sentence, page.width, page.height)
+        )
+        for token in sentence.tokens:
+            layout = bucketizer._layout_tuple(
+                token.bbox.normalized(page.width, page.height), token.page
+            )
+            sub = tokenizer.tokenize_word(token.word.lower())
+            for k, piece in enumerate(sub):
+                pieces.append(vocab.token_to_id(piece))
+                layouts.append(layout)
+                visuals.append(visual)
+                sentence_index.append(s_idx)
+                word_index.append(w_idx)
+                if word_labels is not None:
+                    label_id = word_labels[w_idx]
+                    if k > 0 and label_id != scheme.outside_id:
+                        tag = scheme.tag_of(label_id)
+                        label_id = scheme.inside_id(tag)
+                    piece_labels.append(label_id)
+            w_idx += 1
+
+    windows: List[TokenWindow] = []
+    size = config.window_words
+    step = stride or size
+    if step >= size:
+        # Non-overlapping chunking (training): exact partition.
+        starts = list(range(0, len(pieces), size))
+    else:
+        # Sliding-window inference: overlap plus a tail window so the last
+        # pieces still receive full context.
+        starts = list(range(0, max(len(pieces) - size, 0) + 1, step))
+        if not starts or starts[-1] + size < len(pieces):
+            starts.append(max(len(pieces) - size, 0))
+        seen = set()
+        starts = [s for s in starts if not (s in seen or seen.add(s))]
+    for start in starts:
+        stop = min(start + size, len(pieces))
+        count = stop - start
+        window = TokenWindow(
+            word_ids=np.asarray(pieces[start:stop], dtype=np.int64),
+            word_mask=np.ones(count),
+            layout=np.stack(layouts[start:stop]),
+            visual=np.stack(visuals[start:stop]),
+            sentence_index=np.asarray(sentence_index[start:stop], dtype=np.int64),
+            word_index=np.asarray(word_index[start:stop], dtype=np.int64),
+            labels=(
+                np.asarray(piece_labels[start:stop], dtype=np.int64)
+                if word_labels is not None
+                else None
+            ),
+        )
+        windows.append(window)
+    return windows
+
+
+class TokenBlockTagger(Module):
+    """Windowed token-level tagger: embeddings → Transformer → CRF."""
+
+    def __init__(
+        self,
+        config: TokenTaggerConfig,
+        tokenizer: WordPieceTokenizer,
+        scheme: IobScheme = BLOCK_SCHEME,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        config.validate()
+        rng = rng or nn_init.default_rng()
+        self.config = config
+        self.tokenizer = tokenizer
+        self.scheme = scheme
+        self.text_embedding = TextEmbedding(
+            config.vocab_size, config.hidden_dim,
+            max_positions=config.window_words, rng=rng,
+        )
+        if config.use_layout:
+            self.layout_embedding = LayoutEmbedding(
+                config.hidden_dim, config.layout_buckets, rng=rng
+            )
+        else:
+            self.layout_embedding = None
+        if config.use_visual:
+            self.visual_project = Linear(
+                config.visual_dim, config.hidden_dim, rng=rng
+            )
+        else:
+            self.visual_project = None
+        self.encoder = TransformerEncoder(
+            config.layers, config.hidden_dim, config.heads,
+            ffn_dim=config.hidden_dim * config.ffn_multiplier,
+            dropout=config.dropout, rng=rng,
+        )
+        self.classifier = Linear(config.hidden_dim, scheme.num_labels, rng=rng)
+        self.crf = LinearChainCrf(scheme.num_labels, rng=rng)
+
+    # ------------------------------------------------------------------
+    def emissions(self, window: TokenWindow) -> Tensor:
+        embedded = self._embed_window(window)
+        states = self.encoder(embedded, attention_mask=window.word_mask[None, :])
+        return self.classifier(states)
+
+    def loss(self, window: TokenWindow) -> Tensor:
+        if window.labels is None:
+            raise ValueError("window carries no labels")
+        return self.crf.neg_log_likelihood(
+            self.emissions(window), window.labels[None, :]
+        )
+
+    # ------------------------------------------------------------------
+    def predict_token_tags(self, document: ResumeDocument) -> List[str]:
+        """Bare block tag per word (area-metric interface).
+
+        Piece-level Viterbi paths reduce to word tags by majority vote over
+        each word's pieces.  Inference uses half-window overlapping strides —
+        the standard sliding-window protocol for fixed-context models — so
+        words near chunk boundaries get bidirectional context from at least
+        one window.
+        """
+        self.eval()
+        num_words = document.num_tokens
+        votes: List[Dict[str, int]] = [{} for _ in range(num_words)]
+        stride = max(self.config.window_words // 2, 1)
+        for window in window_document(
+            document, self.tokenizer, self.config, stride=stride
+        ):
+            with no_grad():
+                emissions = self.emissions(window)
+            path = self.crf.decode(emissions)[0]
+            for label_id, w_idx in zip(path, window.word_index):
+                tag = self.scheme.tag_of(label_id)
+                counter = votes[w_idx]
+                counter[tag] = counter.get(tag, 0) + 1
+        return [
+            max(counter, key=counter.get) if counter else "O" for counter in votes
+        ]
+
+    # ------------------------------------------------------------------
+    def _embed_window(self, window: TokenWindow) -> Tensor:
+        """Shared embedding path (text [+ layout] [+ visual])."""
+        ids = window.word_ids[None, :]
+        embedded = self.text_embedding(ids, np.zeros_like(ids))
+        if self.layout_embedding is not None:
+            embedded = embedded + self.layout_embedding(window.layout[None])
+        if self.visual_project is not None:
+            embedded = embedded + self.visual_project(Tensor(window.visual[None]))
+        return embedded
+
+    def pretrain_mlm(
+        self,
+        documents: Sequence[ResumeDocument],
+        epochs: int = 1,
+        mask_prob: float = 0.15,
+        learning_rate: float = 5e-4,
+        seed: int = 0,
+    ) -> List[float]:
+        """Masked-LM pre-training over unlabeled documents.
+
+        Available on every token tagger so the "pre-trained" baselines
+        (RoBERTa+GCN, LayoutXLM) get the initialisation role their originals
+        bring; the MLM head is created on first use.
+        """
+        from ..core.pretrain import masked_copy
+
+        if not hasattr(self, "mlm_head"):
+            self.mlm_head = Linear(
+                self.config.hidden_dim, self.config.vocab_size,
+                rng=nn_init.default_rng(seed + 17),
+            )
+        rng = np.random.default_rng(seed)
+        vocab = self.tokenizer.vocab
+        params = self.parameters()
+        optimizer = AdamW([ParamGroup(params, learning_rate)])
+        losses: List[float] = []
+        self.train()
+        for _ in range(epochs):
+            for document in documents:
+                for window in window_document(document, self.tokenizer, self.config):
+                    ids = window.word_ids[None, :]
+                    corrupted, selected = masked_copy(
+                        ids, window.word_mask[None, :], mask_prob,
+                        vocab.mask_id, self.config.vocab_size, rng,
+                    )
+                    if not selected.any():
+                        continue
+                    patched = TokenWindow(
+                        corrupted[0], window.word_mask, window.layout,
+                        window.visual, window.sentence_index,
+                    )
+                    embedded = self._embed_window(patched)
+                    states = self.encoder(
+                        embedded, attention_mask=patched.word_mask[None, :]
+                    )
+                    logits = self.mlm_head(states)
+                    loss = cross_entropy(logits, ids, mask=selected)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(params, 5.0)
+                    optimizer.step()
+                    losses.append(float(loss.data))
+        return losses
+
+    def predict(self, document: ResumeDocument) -> List[str]:
+        """Sentence-level IOB labels by per-sentence majority vote
+        (footnote 3: token predictions are converted to sentence labels)."""
+        token_tags = self.predict_token_tags(document)
+        votes: Dict[int, Dict[str, int]] = {}
+        position = 0
+        for s_idx, sentence in enumerate(document.sentences):
+            counter: Dict[str, int] = {}
+            for _ in sentence.tokens:
+                tag = token_tags[position] if position < len(token_tags) else "O"
+                counter[tag] = counter.get(tag, 0) + 1
+                position += 1
+            votes[s_idx] = counter
+        labels: List[str] = []
+        previous = "O"
+        for s_idx in range(len(document.sentences)):
+            counter = votes[s_idx]
+            tag = max(counter, key=counter.get) if counter else "O"
+            if tag == "O":
+                labels.append("O")
+            elif previous in (f"B-{tag}", f"I-{tag}"):
+                labels.append(f"I-{tag}")
+            else:
+                labels.append(f"B-{tag}")
+            previous = labels[-1]
+        return labels
+
+
+class BertCrf(TokenBlockTagger):
+    """Text-only token-level baseline (Table II's BERT+CRF)."""
+
+    def __init__(self, config, tokenizer, scheme=BLOCK_SCHEME, rng=None):
+        config.use_layout = False
+        config.use_visual = False
+        super().__init__(config, tokenizer, scheme, rng)
+
+
+class LayoutXlmLike(TokenBlockTagger):
+    """Multimodal token-level baseline (Table II's LayoutXLM).
+
+    Adds 2-D layout and visual channels; with :meth:`pretrain_mlm` it plays
+    the same "pre-trained multimodal" role as LayoutXLM (and serves as the
+    knowledge-distillation teacher of Algorithm 1).
+    """
+
+    def __init__(self, config, tokenizer, scheme=BLOCK_SCHEME, rng=None):
+        config.use_layout = True
+        config.use_visual = True
+        super().__init__(config, tokenizer, scheme, rng)
+
+
+class TokenTaggerTrainer:
+    """Supervised fine-tuning loop shared by the token-level baselines."""
+
+    def __init__(
+        self,
+        model: TokenBlockTagger,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 0.01,
+        max_grad_norm: float = 5.0,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.rng = np.random.default_rng(seed)
+        self.optimizer = AdamW(
+            [ParamGroup(model.parameters(), learning_rate)],
+            weight_decay=weight_decay,
+        )
+        self.max_grad_norm = max_grad_norm
+
+    def fit(
+        self, documents: Sequence[ResumeDocument], epochs: int = 3
+    ) -> List[float]:
+        windows: List[TokenWindow] = []
+        for document in documents:
+            windows.extend(
+                window_document(
+                    document, self.model.tokenizer, self.model.config,
+                    self.model.scheme, with_labels=True,
+                )
+            )
+        losses: List[float] = []
+        for _ in range(epochs):
+            order = self.rng.permutation(len(windows))
+            self.model.train()
+            epoch_loss = 0.0
+            for index in order:
+                self.optimizer.zero_grad()
+                loss = self.model.loss(windows[index])
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.max_grad_norm)
+                self.optimizer.step()
+                epoch_loss += float(loss.data)
+            losses.append(epoch_loss / max(len(windows), 1))
+        return losses

@@ -1,0 +1,44 @@
+"""``repro.core`` — the ResuFormer hierarchical multi-modal model.
+
+Implements the paper's first task: resume block classification via a
+pre-trained hierarchical Transformer (sentence encoder + document encoder),
+three self-supervised objectives, a BiLSTM+MLP+CRF fine-tuning head, and
+knowledge distillation from a token-level teacher.
+"""
+
+from .block_classifier import BlockClassifier, BlockTrainer, LabeledDocument
+from .config import ResuFormerConfig
+from .distill import pseudo_label, run_distillation
+from .document_encoder import DocumentEncoder
+from .embeddings import LayoutEmbedding, TextEmbedding
+from .featurize import LAYOUT_FEATURES, DocumentFeatures, Featurizer
+from .hierarchical import EncodedDocument, HierarchicalEncoder
+from .pretrain import (
+    Pretrainer,
+    PretrainHeads,
+    PretrainObjectives,
+    masked_copy,
+)
+from .sentence_encoder import SentenceEncoder
+
+__all__ = [
+    "ResuFormerConfig",
+    "Featurizer",
+    "DocumentFeatures",
+    "LAYOUT_FEATURES",
+    "TextEmbedding",
+    "LayoutEmbedding",
+    "SentenceEncoder",
+    "DocumentEncoder",
+    "HierarchicalEncoder",
+    "EncodedDocument",
+    "PretrainObjectives",
+    "PretrainHeads",
+    "Pretrainer",
+    "masked_copy",
+    "BlockClassifier",
+    "BlockTrainer",
+    "LabeledDocument",
+    "pseudo_label",
+    "run_distillation",
+]

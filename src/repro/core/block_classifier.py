@@ -1,0 +1,192 @@
+"""Resume block classification: fine-tuning head and trainer (Section IV-A3).
+
+A BiLSTM (Eq. 8) over the document-contextual sentence states feeds an MLP
+that emits per-sentence tag scores; a linear-chain CRF provides the training
+loss (forward algorithm) and test-time decoding (Viterbi).  Training uses
+the paper's two-speed optimiser: a slow learning rate for the pre-trained
+hierarchical encoder and a fast one for the randomly initialised head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..docmodel.document import ResumeDocument
+from ..docmodel.labels import BLOCK_SCHEME, IobScheme
+from ..nn import AdamW, BiLstm, LinearChainCrf, Mlp, Module, ParamGroup, Tensor
+from ..nn import clip_grad_norm, no_grad
+from ..nn import init as nn_init
+from .featurize import DocumentFeatures, Featurizer
+from .hierarchical import HierarchicalEncoder
+
+__all__ = ["BlockClassifier", "BlockTrainer", "LabeledDocument"]
+
+
+@dataclass
+class LabeledDocument:
+    """A document paired with sentence-level IOB label ids."""
+
+    document: ResumeDocument
+    labels: List[int]
+
+    @classmethod
+    def from_gold(
+        cls, document: ResumeDocument, scheme: IobScheme = BLOCK_SCHEME
+    ) -> "LabeledDocument":
+        return cls(document, document.block_iob_labels(scheme))
+
+
+class BlockClassifier(Module):
+    """Hierarchical encoder + BiLSTM + MLP + CRF block tagger."""
+
+    def __init__(
+        self,
+        encoder: HierarchicalEncoder,
+        featurizer: Featurizer,
+        scheme: IobScheme = BLOCK_SCHEME,
+        lstm_hidden: int = 32,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        self.encoder = encoder
+        self.featurizer = featurizer
+        self.scheme = scheme
+        dim = encoder.config.document_dim
+        self.bilstm = BiLstm(dim, lstm_hidden, rng=rng)
+        self.mlp = Mlp(
+            [2 * lstm_hidden, lstm_hidden, scheme.num_labels], rng=rng
+        )
+        self.crf = LinearChainCrf(scheme.num_labels, rng=rng)
+
+    # ------------------------------------------------------------------
+    def emissions(self, features: DocumentFeatures) -> Tensor:
+        """Per-sentence tag scores ``(1, m, num_labels)``."""
+        encoded = self.encoder(features)
+        m = features.num_sentences
+        hidden = self.bilstm(
+            encoded.contextual.reshape(1, m, self.encoder.config.document_dim)
+        )
+        return self.mlp(hidden)
+
+    def loss(self, features: DocumentFeatures, labels: Sequence[int]) -> Tensor:
+        """CRF negative log-likelihood for one document."""
+        labels = np.asarray(labels, dtype=np.int64)[: features.num_sentences]
+        emissions = self.emissions(features)
+        return self.crf.neg_log_likelihood(emissions, labels[None, :])
+
+    # ------------------------------------------------------------------
+    def predict(self, document: ResumeDocument) -> List[str]:
+        """Sentence-level IOB labels for one document (Viterbi decode)."""
+        features = self.featurizer.featurize(document)
+        self.eval()
+        with no_grad():
+            emissions = self.emissions(features)
+        path = self.crf.decode(emissions)[0]
+        labels = self.scheme.decode(path)
+        # Sentences beyond the encoder's cap inherit 'O'.
+        labels += ["O"] * (document.num_sentences - len(labels))
+        return labels
+
+    def predict_block_tags(self, document: ResumeDocument) -> List[str]:
+        """Bare block tag per sentence ('O' outside any block)."""
+        return [
+            label if label == "O" else label[2:]
+            for label in self.predict(document)
+        ]
+
+    def predict_token_tags(self, document: ResumeDocument) -> List[str]:
+        """Expand sentence predictions to token level (area metrics)."""
+        sentence_tags = self.predict_block_tags(document)
+        token_tags: List[str] = []
+        for sentence, tag in zip(document.sentences, sentence_tags):
+            token_tags.extend([tag] * len(sentence.tokens))
+        return token_tags
+
+
+class BlockTrainer:
+    """Two-speed fine-tuning with early stopping on validation accuracy."""
+
+    def __init__(
+        self,
+        model: BlockClassifier,
+        encoder_lr: float = 1e-3,
+        head_lr: float = 5e-3,
+        weight_decay: float = 0.01,
+        max_grad_norm: float = 5.0,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.rng = np.random.default_rng(seed)
+        encoder_params = model.encoder.parameters()
+        head_params = (
+            model.bilstm.parameters()
+            + model.mlp.parameters()
+            + model.crf.parameters()
+        )
+        self.optimizer = AdamW(
+            [ParamGroup(encoder_params, encoder_lr), ParamGroup(head_params, head_lr)],
+            weight_decay=weight_decay,
+        )
+        self.max_grad_norm = max_grad_norm
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: Sequence[LabeledDocument],
+        validation: Sequence[LabeledDocument] = (),
+        epochs: int = 5,
+        patience: int = 2,
+    ) -> Dict[str, List[float]]:
+        """Train; restores the best-validation parameters before returning."""
+        features = [
+            (self.model.featurizer.featurize(item.document), item.labels)
+            for item in train
+        ]
+        history: Dict[str, List[float]] = {"loss": [], "val_accuracy": []}
+        best_score = -np.inf
+        best_state = None
+        bad_epochs = 0
+        for _ in range(epochs):
+            order = self.rng.permutation(len(features))
+            epoch_loss = 0.0
+            self.model.train()
+            for index in order:
+                doc_features, labels = features[index]
+                self.optimizer.zero_grad()
+                loss = self.model.loss(doc_features, labels)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.max_grad_norm)
+                self.optimizer.step()
+                epoch_loss += float(loss.data)
+            history["loss"].append(epoch_loss / max(len(features), 1))
+
+            if validation:
+                score = self.sentence_accuracy(validation)
+                history["val_accuracy"].append(score)
+                if score > best_score:
+                    best_score, bad_epochs = score, 0
+                    best_state = self.model.state_dict()
+                else:
+                    bad_epochs += 1
+                    if bad_epochs >= patience:
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    def sentence_accuracy(self, items: Sequence[LabeledDocument]) -> float:
+        """Fraction of sentences whose predicted label id is correct."""
+        correct = 0
+        total = 0
+        for item in items:
+            predicted = self.model.predict(item.document)
+            gold = self.model.scheme.decode(
+                item.labels[: len(predicted)]
+            )
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        return correct / max(total, 1)

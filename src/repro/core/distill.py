@@ -1,0 +1,78 @@
+"""Knowledge distillation for block classification (Algorithm 1).
+
+A token-level multimodal teacher (LayoutXLM in the paper;
+:class:`repro.baselines.LayoutXlmLike` here) trained on the small labeled
+set auto-annotates the unlabeled pool with hard pseudo sentence labels.
+Our model then trains on the pseudo-labeled pool before a final fine-tune
+on the human-labeled data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+from ..docmodel.document import ResumeDocument
+from ..docmodel.labels import BLOCK_SCHEME, IobScheme
+from .block_classifier import BlockTrainer, LabeledDocument
+
+__all__ = ["SentenceLabeler", "pseudo_label", "run_distillation"]
+
+
+class SentenceLabeler(Protocol):
+    """Anything that can produce sentence-level IOB labels for a document."""
+
+    def predict(self, document: ResumeDocument) -> List[str]:
+        """Return one IOB label string per sentence."""
+        ...
+
+
+def pseudo_label(
+    teacher: SentenceLabeler,
+    documents: Sequence[ResumeDocument],
+    scheme: IobScheme = BLOCK_SCHEME,
+) -> List[LabeledDocument]:
+    """Step 3 of Algorithm 1: hard pseudo-labels for the unlabeled pool.
+
+    Token-level teachers predict per token; their ``predict`` implementations
+    convert to sentence labels by majority vote (footnote 3 of the paper).
+    """
+    labeled: List[LabeledDocument] = []
+    for document in documents:
+        labels = teacher.predict(document)
+        ids = [
+            scheme.label_id(label) if label in scheme.labels else scheme.outside_id
+            for label in labels
+        ]
+        labeled.append(LabeledDocument(document, ids))
+    return labeled
+
+
+def run_distillation(
+    trainer: BlockTrainer,
+    labeled: Sequence[LabeledDocument],
+    pseudo: Sequence[LabeledDocument],
+    validation: Sequence[LabeledDocument] = (),
+    pseudo_epochs: int = 2,
+    finetune_epochs: int = 4,
+    patience: int = 4,
+) -> Dict[str, List[float]]:
+    """Steps 4–5 of Algorithm 1: pseudo-label training, then fine-tuning.
+
+    Returns the merged training history of both stages.
+    """
+    history: Dict[str, List[float]] = {"loss": [], "val_accuracy": []}
+    if pseudo:
+        stage1 = trainer.fit(
+            list(pseudo) + list(labeled),
+            validation=validation,
+            epochs=pseudo_epochs,
+            patience=max(pseudo_epochs, 1),
+        )
+        for key in history:
+            history[key].extend(stage1.get(key, []))
+    stage2 = trainer.fit(
+        labeled, validation=validation, epochs=finetune_epochs, patience=patience
+    )
+    for key in history:
+        history[key].extend(stage2.get(key, []))
+    return history

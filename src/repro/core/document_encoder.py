@@ -1,0 +1,118 @@
+"""Document-level Transformer encoder (Section IV-A1).
+
+Consumes the sentence vectors from :class:`~repro.core.sentence_encoder.
+SentenceEncoder`, fuses each with its visual descriptor (``h* = [h ; v]``),
+adds sentence-level 2-D layout, 1-D position and segment embeddings, and
+contextualises the sequence with a Transformer stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Embedding, LayerNorm, Linear, Module, Parameter, Tensor
+from ..nn import TransformerEncoder, concat
+from ..nn import init as nn_init
+from .config import ResuFormerConfig
+from .embeddings import LayoutEmbedding
+
+__all__ = ["DocumentEncoder"]
+
+
+class DocumentEncoder(Module):
+    """Sentence vectors (+ visual, layout) → contextual block states."""
+
+    def __init__(
+        self, config: ResuFormerConfig, rng: Optional[np.random.Generator] = None
+    ):
+        super().__init__()
+        config.validate()
+        rng = rng or nn_init.default_rng()
+        self.config = config
+        dim = config.document_dim
+        self.visual_project = Linear(config.visual_dim, config.visual_proj_dim, rng=rng)
+        self.layout_embedding = LayoutEmbedding(dim, config.layout_buckets, rng=rng)
+        self.position = Embedding(config.max_document_sentences, dim, rng=rng)
+        self.segment = Embedding(config.num_segments, dim, rng=rng)
+        self.norm = LayerNorm(dim)
+        self.encoder = TransformerEncoder(
+            config.document_layers,
+            dim,
+            config.document_heads,
+            ffn_dim=dim * config.ffn_multiplier,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        #: The learned replacement vector ĥ for masked sentence slots
+        #: (Objective #2, Section IV-A2).
+        self.sentence_mask_vector = Parameter(
+            nn_init.normal((dim,), rng, std=0.02)
+        )
+
+    # ------------------------------------------------------------------
+    def fuse(self, sentence_vectors: Tensor, visual: np.ndarray) -> Tensor:
+        """Two-modal sentence embeddings ``h* = [h ; proj(v)]``."""
+        projected = self.visual_project(Tensor(np.asarray(visual, dtype=np.float64)))
+        return concat([sentence_vectors, projected], axis=-1)
+
+    def contextualize(
+        self,
+        fused: Tensor,
+        sentence_layout: np.ndarray,
+        positions: np.ndarray,
+        segments: np.ndarray,
+    ) -> Tensor:
+        """Add layout/position/segment embeddings and run the Transformer."""
+        m = fused.shape[0]
+        if m > self.config.max_document_sentences:
+            raise ValueError(
+                f"{m} sentences exceed limit {self.config.max_document_sentences}"
+            )
+        embedded = (
+            fused
+            + self.layout_embedding(sentence_layout)
+            + self.position(np.asarray(positions, dtype=np.int64))
+            + self.segment(np.asarray(segments, dtype=np.int64))
+        )
+        embedded = self.norm(embedded)
+        # The document encoder sees one document: batch dimension of 1.
+        batched = embedded.reshape(1, m, self.config.document_dim)
+        states = self.encoder(batched, attention_mask=np.ones((1, m)))
+        return states.reshape(m, self.config.document_dim)
+
+    def forward(
+        self,
+        sentence_vectors: Tensor,
+        visual: np.ndarray,
+        sentence_layout: np.ndarray,
+        positions: np.ndarray,
+        segments: np.ndarray,
+        mask_slots: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Full pass; optionally mask sentence slots for pre-training.
+
+        Args:
+            mask_slots: optional boolean ``(m,)`` array; True slots have
+                their fused embedding replaced with the learned mask vector
+                (dynamic sentence masking of Objective #2).
+
+        Returns:
+            ``(contextual_states, fused_targets)`` — both ``(m, D)``; the
+            fused (unmasked) embeddings serve as contrastive ground truth.
+        """
+        fused = self.fuse(sentence_vectors, visual)
+        inputs = fused
+        if mask_slots is not None:
+            mask_slots = np.asarray(mask_slots, dtype=bool)
+            m = fused.shape[0]
+            broadcast = np.repeat(mask_slots[:, None], self.config.document_dim, axis=1)
+            from ..nn import where
+
+            mask_matrix = self.sentence_mask_vector.reshape(
+                1, self.config.document_dim
+            ) + Tensor(np.zeros((m, self.config.document_dim)))
+            inputs = where(broadcast, mask_matrix, fused)
+        states = self.contextualize(inputs, sentence_layout, positions, segments)
+        return states, fused

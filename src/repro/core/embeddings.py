@@ -1,0 +1,101 @@
+"""Input embeddings for the hierarchical encoder (Eq. 1–2).
+
+* :class:`TextEmbedding` — word + 1-D position + segment (Eq. 1).
+* :class:`LayoutEmbedding` — the 2-D spatial embedding of Eq. 2: separate
+  x-axis, y-axis and page embedding tables whose outputs are concatenated
+  (``[emb_g(p); emb_x(x_min, x_max, w); emb_y(y_min, y_max, h)]``) and
+  projected to the model width.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Embedding, LayerNorm, Linear, Module, Tensor, concat
+from ..nn import init as nn_init
+
+__all__ = ["TextEmbedding", "LayoutEmbedding"]
+
+_MAX_PAGES = 16
+
+
+class TextEmbedding(Module):
+    """Sum of word, 1-D positional and segment embeddings (Eq. 1)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        max_positions: int,
+        num_segments: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        self.word = Embedding(vocab_size, dim, rng=rng, padding_idx=0)
+        self.position = Embedding(max_positions, dim, rng=rng)
+        self.segment = Embedding(num_segments, dim, rng=rng)
+        self.norm = LayerNorm(dim)
+        self.max_positions = max_positions
+
+    def forward(self, token_ids: np.ndarray, segments: np.ndarray) -> Tensor:
+        """``token_ids``/``segments``: integer arrays ``(..., seq)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        seq = token_ids.shape[-1]
+        if seq > self.max_positions:
+            raise ValueError(
+                f"sequence length {seq} exceeds max positions {self.max_positions}"
+            )
+        positions = np.broadcast_to(np.arange(seq), token_ids.shape)
+        summed = (
+            self.word(token_ids)
+            + self.position(positions)
+            + self.segment(np.asarray(segments, dtype=np.int64))
+        )
+        return self.norm(summed)
+
+
+class LayoutEmbedding(Module):
+    """The 2-D layout embedding of Eq. 2 over bucketised coordinates.
+
+    Inputs are integer layout tuples ``(x_min, y_min, x_max, y_max, width,
+    height, page)`` (see :data:`repro.core.featurize.LAYOUT_FEATURES`).
+    The x-features share one embedding table, the y-features another; the
+    three x (respectively y) embeddings are summed, then ``[page; x; y]``
+    is concatenated and projected to the model dimension.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        buckets: int,
+        rng: Optional[np.random.Generator] = None,
+        axis_dim: Optional[int] = None,
+        page_dim: int = 8,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        axis_dim = axis_dim or max(dim // 4, 8)
+        self.x_table = Embedding(buckets, axis_dim, rng=rng)
+        self.y_table = Embedding(buckets, axis_dim, rng=rng)
+        self.page_table = Embedding(_MAX_PAGES, page_dim, rng=rng)
+        self.project = Linear(page_dim + 2 * axis_dim, dim, rng=rng)
+
+    def forward(self, layout: np.ndarray) -> Tensor:
+        """``layout``: integer array ``(..., 7)``."""
+        layout = np.asarray(layout, dtype=np.int64)
+        x_part = (
+            self.x_table(layout[..., 0])
+            + self.x_table(layout[..., 2])
+            + self.x_table(layout[..., 4])
+        )
+        y_part = (
+            self.y_table(layout[..., 1])
+            + self.y_table(layout[..., 3])
+            + self.y_table(layout[..., 5])
+        )
+        page_part = self.page_table(layout[..., 6])
+        combined = concat([page_part, x_part, y_part], axis=-1)
+        return self.project(combined)

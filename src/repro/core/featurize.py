@@ -1,0 +1,155 @@
+"""Convert :class:`~repro.docmodel.ResumeDocument` into model input arrays.
+
+Implements the input pipeline of Section IV-A1: WordPiece-tokenise each
+sentence, prepend ``[CLS]``, normalise every token's bounding box to the
+``[0, 1000]`` grid, and assemble the seven-tuple layout features
+``(x_min, y_min, x_max, y_max, width, height, page)`` at both the token and
+the sentence level, plus 1-D positions, segment symbols and the sentence
+visual descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..corpus.render import VISUAL_DIM, sentence_visual_features
+from ..docmodel.document import ResumeDocument, Sentence
+from ..docmodel.geometry import BBox
+from ..text.wordpiece import WordPieceTokenizer
+from .config import ResuFormerConfig
+
+__all__ = ["DocumentFeatures", "Featurizer", "LAYOUT_FEATURES"]
+
+#: Order of the per-token/per-sentence layout features.
+LAYOUT_FEATURES = ("x_min", "y_min", "x_max", "y_max", "width", "height", "page")
+
+_MAX_PAGES = 16
+
+
+@dataclass
+class DocumentFeatures:
+    """Dense arrays for one document (``m`` sentences, ``t`` token slots)."""
+
+    token_ids: np.ndarray       # (m, t) int
+    token_mask: np.ndarray      # (m, t) 0/1
+    token_layout: np.ndarray    # (m, t, 7) int, bucketised
+    token_segments: np.ndarray  # (m, t) int
+    sentence_layout: np.ndarray  # (m, 7) int
+    sentence_visual: np.ndarray  # (m, VISUAL_DIM) float
+    sentence_positions: np.ndarray  # (m,) int
+    sentence_segments: np.ndarray   # (m,) int
+
+    @property
+    def num_sentences(self) -> int:
+        return self.token_ids.shape[0]
+
+    @property
+    def max_tokens(self) -> int:
+        return self.token_ids.shape[1]
+
+
+class Featurizer:
+    """Stateless featuriser binding a tokenizer to a model config."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, config: ResuFormerConfig):
+        self.tokenizer = tokenizer
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def featurize(self, document: ResumeDocument) -> DocumentFeatures:
+        """Build the full feature bundle for one document."""
+        sentences = document.sentences[: self.config.max_document_sentences]
+        if not sentences:
+            raise ValueError(f"document {document.doc_id} has no sentences")
+        cap = self.config.max_sentence_tokens
+        m = len(sentences)
+
+        # Tokenise first so padding width adapts to the document (padding
+        # dominates compute at small scales; the cap still bounds it).
+        tokenized = []
+        for sentence in sentences:
+            page = document.page(sentence.page)
+            ids, boxes = self._tokenize_sentence(sentence, page.width, page.height)
+            tokenized.append((ids[:cap], boxes[:cap]))
+        t = max(len(ids) for ids, _ in tokenized)
+
+        token_ids = np.zeros((m, t), dtype=np.int64)
+        token_mask = np.zeros((m, t), dtype=np.float64)
+        token_layout = np.zeros((m, t, 7), dtype=np.int64)
+        sent_layout = np.zeros((m, 7), dtype=np.int64)
+        sent_visual = np.zeros((m, VISUAL_DIM), dtype=np.float64)
+
+        for row, (sentence, (ids, boxes)) in enumerate(zip(sentences, tokenized)):
+            page = document.page(sentence.page)
+            token_ids[row, : len(ids)] = ids
+            token_mask[row, : len(ids)] = 1.0
+            token_layout[row, : len(boxes)] = boxes
+            sent_layout[row] = self._layout_tuple(
+                sentence.bbox.normalized(page.width, page.height), sentence.page
+            )
+            if sentence.visual is not None:
+                sent_visual[row] = np.asarray(sentence.visual, dtype=np.float64)
+            else:
+                sent_visual[row] = sentence_visual_features(
+                    sentence, page.width, page.height
+                )
+
+        positions = np.arange(m, dtype=np.int64)
+        return DocumentFeatures(
+            token_ids=token_ids,
+            token_mask=token_mask,
+            token_layout=token_layout,
+            token_segments=np.zeros((m, t), dtype=np.int64),
+            sentence_layout=sent_layout,
+            sentence_visual=sent_visual,
+            sentence_positions=positions,
+            sentence_segments=(positions % self.config.num_segments).astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    def _tokenize_sentence(self, sentence: Sentence, page_width, page_height):
+        """WordPiece ids + bucketised layout tuples, with a leading [CLS].
+
+        Sub-word pieces inherit their source word's bounding box, the
+        standard LayoutLM convention.  ``[CLS]`` carries the merged sentence
+        box so its representation can attend with sentence-level geometry.
+        """
+        vocab = self.tokenizer.vocab
+        ids: List[int] = [vocab.cls_id]
+        boxes: List[np.ndarray] = [
+            self._layout_tuple(
+                sentence.bbox.normalized(page_width, page_height), sentence.page
+            )
+        ]
+        for token in sentence.tokens:
+            normalized = token.bbox.normalized(page_width, page_height)
+            layout = self._layout_tuple(normalized, token.page)
+            for piece in self.tokenizer.tokenize_word(token.word.lower()):
+                ids.append(vocab.token_to_id(piece))
+                boxes.append(layout)
+        return ids, boxes
+
+    def _layout_tuple(self, box: BBox, page: int) -> np.ndarray:
+        """Bucketise a normalised box into embedding indices."""
+        buckets = self.config.layout_buckets
+        scale = 1000 // buckets + (1 if 1000 % buckets else 0)
+
+        def bucket(value: float) -> int:
+            return min(int(value) // scale, buckets - 1)
+
+        x0, y0, x1, y1 = box.to_tuple()
+        return np.array(
+            [
+                bucket(x0),
+                bucket(y0),
+                bucket(x1),
+                bucket(y1),
+                bucket(x1 - x0),
+                bucket(y1 - y0),
+                min(page, _MAX_PAGES - 1),
+            ],
+            dtype=np.int64,
+        )

@@ -1,0 +1,93 @@
+"""The hierarchical multi-modal encoder (Figure 2).
+
+Chains the sentence-level and document-level encoders over a featurised
+document, exposing everything downstream consumers need: contextual token
+states (for the masked layout-language model), fused sentence embeddings
+(contrastive targets), and contextual sentence states (for block
+classification and the other pre-training objectives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, Tensor
+from ..nn import init as nn_init
+from .config import ResuFormerConfig
+from .document_encoder import DocumentEncoder
+from .featurize import DocumentFeatures
+from .sentence_encoder import SentenceEncoder
+
+__all__ = ["HierarchicalEncoder", "EncodedDocument"]
+
+
+@dataclass
+class EncodedDocument:
+    """All intermediate representations for one document."""
+
+    token_states: Tensor       # (m, t, d)   contextual WordPiece states
+    sentence_vectors: Tensor   # (m, d)      pooled sentence representations
+    fused: Tensor              # (m, D)      two-modal sentence embeddings h*
+    contextual: Tensor         # (m, D)      document-contextual states h'
+
+
+class HierarchicalEncoder(Module):
+    """Sentence encoder + document encoder, end to end."""
+
+    def __init__(
+        self, config: ResuFormerConfig, rng: Optional[np.random.Generator] = None
+    ):
+        super().__init__()
+        config.validate()
+        rng = rng or nn_init.default_rng()
+        self.config = config
+        self.sentence_encoder = SentenceEncoder(config, rng=rng)
+        self.document_encoder = DocumentEncoder(config, rng=rng)
+
+    def forward(
+        self,
+        features: DocumentFeatures,
+        sentence_mask_slots: Optional[np.ndarray] = None,
+    ) -> EncodedDocument:
+        token_states, sentence_vectors = self.sentence_encoder(
+            features.token_ids,
+            features.token_mask,
+            features.token_layout,
+            features.token_segments,
+        )
+        contextual, fused = self.document_encoder(
+            sentence_vectors,
+            features.sentence_visual,
+            features.sentence_layout,
+            features.sentence_positions,
+            features.sentence_segments,
+            mask_slots=sentence_mask_slots,
+        )
+        return EncodedDocument(
+            token_states=token_states,
+            sentence_vectors=sentence_vectors,
+            fused=fused,
+            contextual=contextual,
+        )
+
+    def summary(self) -> str:
+        """Architecture overview string (the Figure-2 bench prints this)."""
+        c = self.config
+        lines = [
+            "HierarchicalEncoder",
+            f"  sentence encoder : {c.sentence_layers} layers x "
+            f"{c.sentence_heads} heads, dim {c.hidden_dim}, "
+            f"<= {c.max_sentence_tokens} tokens/sentence",
+            "    inputs         : word + 1D-position + segment (Eq. 1)",
+            "                     + 2D layout [page; x; y] (Eq. 2)",
+            f"  document encoder : {c.document_layers} layers x "
+            f"{c.document_heads} heads, dim {c.document_dim}, "
+            f"<= {c.max_document_sentences} sentences/document",
+            f"    inputs         : [h ; visual({c.visual_dim}->"
+            f"{c.visual_proj_dim})] + sentence layout + 1D pos + segment",
+            f"  parameters       : {self.num_parameters():,}",
+        ]
+        return "\n".join(lines)

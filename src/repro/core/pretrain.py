@@ -1,0 +1,286 @@
+"""Self-supervised pre-training objectives (Section IV-A2).
+
+Implements the three objectives and their combination (Eq. 7):
+
+* **Masked layout-language model (MLLM)** — mask WordPiece tokens, keep
+  their 2-D layout embeddings, predict the originals (``L_wp``).
+* **Self-supervised contrastive learning (SCL)** — dynamically mask
+  sentence slots in the document encoder and contrast the contextual
+  prediction at each masked slot against the true fused sentence embedding
+  across the batch (Eq. 3–4, ``L_cl``).
+* **Dynamic next-sentence prediction (DNSP)** — sample sentence positions
+  and score adjacency through a bilinear interaction matrix (Eq. 5–6,
+  ``L_ns``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..docmodel.document import ResumeDocument
+from ..nn import AdamW, Linear, Module, Parameter, ParamGroup, Tensor, concat
+from ..nn import clip_grad_norm
+from ..nn import init as nn_init
+from ..nn.functional import cross_entropy, log_softmax
+from .config import ResuFormerConfig
+from .featurize import DocumentFeatures, Featurizer
+from .hierarchical import HierarchicalEncoder
+
+__all__ = ["PretrainObjectives", "PretrainHeads", "Pretrainer", "masked_copy"]
+
+
+@dataclass
+class PretrainObjectives:
+    """Toggles for the ablations of Table III."""
+
+    wmp: bool = True   # masked layout-language model  (w/o WMP ablation)
+    scl: bool = True   # contrastive sentence masking  (w/o SCL ablation)
+    dnsp: bool = True  # dynamic next-sentence         (w/o DNSP ablation)
+
+    def any(self) -> bool:
+        return self.wmp or self.scl or self.dnsp
+
+
+class PretrainHeads(Module):
+    """Trainable heads owned by pre-training only."""
+
+    def __init__(
+        self, config: ResuFormerConfig, rng: Optional[np.random.Generator] = None
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        self.mlm = Linear(config.hidden_dim, config.vocab_size, rng=rng)
+        #: ``W_d`` of Eq. 5.
+        self.dnsp_interaction = Parameter(
+            nn_init.normal((config.document_dim, config.document_dim), rng, std=0.02)
+        )
+
+
+def masked_copy(
+    token_ids: np.ndarray,
+    token_mask: np.ndarray,
+    mask_prob: float,
+    mask_id: int,
+    vocab_size: int,
+    rng: np.random.Generator,
+) -> tuple:
+    """BERT-style corruption: returns ``(corrupted_ids, prediction_mask)``.
+
+    Of the selected positions, 80% become ``[MASK]``, 10% a random id and
+    10% stay unchanged.  The ``[CLS]`` column (position 0) is never masked.
+    """
+    corrupted = token_ids.copy()
+    selectable = (token_mask > 0).copy()
+    selectable[:, 0] = False
+    selected = selectable & (rng.random(token_ids.shape) < mask_prob)
+    action = rng.random(token_ids.shape)
+    use_mask = selected & (action < 0.8)
+    use_random = selected & (action >= 0.8) & (action < 0.9)
+    corrupted[use_mask] = mask_id
+    corrupted[use_random] = rng.integers(5, vocab_size, size=int(use_random.sum()))
+    return corrupted, selected
+
+
+class Pretrainer:
+    """Drives Eq. 7 over an unlabeled document corpus."""
+
+    def __init__(
+        self,
+        encoder: HierarchicalEncoder,
+        featurizer: Featurizer,
+        objectives: Optional[PretrainObjectives] = None,
+        seed: int = 0,
+        learning_rate: float = 5e-4,
+        weight_decay: float = 0.01,
+        max_grad_norm: float = 5.0,
+        dynamic_sentence_masking: bool = True,
+    ):
+        self.encoder = encoder
+        self.featurizer = featurizer
+        self.config = encoder.config
+        self.objectives = objectives or PretrainObjectives()
+        self.rng = np.random.default_rng(seed)
+        #: The paper argues *dynamic* masking (fresh slots each step) beats
+        #: static masking; False freezes each document's masked slots for
+        #: the ablation bench.
+        self.dynamic_sentence_masking = dynamic_sentence_masking
+        self._static_slots: dict = {}
+        self.heads = PretrainHeads(self.config, rng=np.random.default_rng(seed + 1))
+        params = encoder.parameters() + self.heads.parameters()
+        self.optimizer = AdamW(
+            [ParamGroup(params, learning_rate)], weight_decay=weight_decay
+        )
+        self.max_grad_norm = max_grad_norm
+
+    # ------------------------------------------------------------------
+    # Individual objectives
+    # ------------------------------------------------------------------
+    def mllm_loss(self, features: DocumentFeatures) -> Optional[Tensor]:
+        """Objective #1: masked layout-language model (``L_wp``)."""
+        vocab = self.featurizer.tokenizer.vocab
+        corrupted, selected = masked_copy(
+            features.token_ids,
+            features.token_mask,
+            self.config.token_mask_prob,
+            vocab.mask_id,
+            len(vocab),
+            self.rng,
+        )
+        if not selected.any():
+            return None
+        token_states, _ = self.encoder.sentence_encoder(
+            corrupted,
+            features.token_mask,
+            features.token_layout,  # layout survives masking, the point of MLLM
+            features.token_segments,
+        )
+        logits = self.heads.mlm(token_states)
+        return cross_entropy(logits, features.token_ids, mask=selected)
+
+    def _mask_slots(self, m: int, ratio: float) -> Optional[np.ndarray]:
+        count = max(int(round(ratio * m)), 1)
+        if m < 2:
+            return None
+        count = min(count, m - 1)
+        slots = np.zeros(m, dtype=bool)
+        slots[self.rng.choice(m, size=count, replace=False)] = True
+        return slots
+
+    def scl_pairs(self, features: DocumentFeatures):
+        """Run one document with dynamic sentence masking.
+
+        Returns ``(predicted_rows, target_rows)`` at the masked slots, or
+        ``None`` when the document is too short to mask.
+        """
+        if self.dynamic_sentence_masking:
+            slots = self._mask_slots(
+                features.num_sentences, self.config.sentence_mask_ratio
+            )
+        else:
+            key = id(features)
+            if key not in self._static_slots:
+                self._static_slots[key] = self._mask_slots(
+                    features.num_sentences, self.config.sentence_mask_ratio
+                )
+            slots = self._static_slots[key]
+        if slots is None:
+            return None
+        encoded = self.encoder(features, sentence_mask_slots=slots)
+        idx = np.where(slots)[0]
+        return encoded.contextual[idx], encoded.fused[idx], encoded
+
+    @staticmethod
+    def info_nce(predicted: Tensor, targets: Tensor, temperature: float) -> Tensor:
+        """Eq. 3–4: similarity matrix + softmax CE on the diagonal."""
+        sim = predicted @ targets.transpose(1, 0)
+        logp = log_softmax(sim / temperature, axis=-1)
+        n = sim.shape[0]
+        diagonal = logp[np.arange(n), np.arange(n)]
+        return -diagonal.mean()
+
+    def dnsp_loss(self, contextual: Tensor) -> Optional[Tensor]:
+        """Objective #3: dynamic next-sentence prediction (Eq. 5–6)."""
+        m = contextual.shape[0]
+        if m < 3:
+            return None
+        count = max(int(round(self.config.next_sentence_ratio * m)), 1)
+        count = min(count, m - 1)
+        anchors = self.rng.choice(m - 1, size=count, replace=False)
+        h_prime = contextual[anchors]
+        h_next = contextual[anchors + 1]
+        scores = h_prime @ self.heads.dnsp_interaction @ h_next.transpose(1, 0)
+        logp = log_softmax(scores, axis=-1)
+        diagonal = logp[np.arange(count), np.arange(count)]
+        return -diagonal.mean()
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def pretrain_step(
+        self, batch: Sequence[DocumentFeatures]
+    ) -> Dict[str, float]:
+        """One optimiser step over a batch of documents; returns losses."""
+        if not self.objectives.any():
+            raise ValueError("all pre-training objectives disabled")
+        losses: Dict[str, float] = {}
+        total: Optional[Tensor] = None
+
+        def add(term: Optional[Tensor], weight: float, name: str):
+            nonlocal total
+            if term is None:
+                return
+            weighted = term * weight
+            losses[name] = float(term.data)
+            total = weighted if total is None else total + weighted
+
+        # SCL pools masked slots across the whole batch (Eq. 4's N = b*k).
+        predicted_rows: List[Tensor] = []
+        target_rows: List[Tensor] = []
+        contextual_states: List[Tensor] = []
+        if self.objectives.scl or self.objectives.dnsp:
+            for features in batch:
+                result = self.scl_pairs(features)
+                if result is None:
+                    continue
+                predicted, targets, encoded = result
+                predicted_rows.append(predicted)
+                target_rows.append(targets)
+                contextual_states.append(encoded.contextual)
+
+        if self.objectives.wmp:
+            wp_terms = [self.mllm_loss(f) for f in batch]
+            wp_terms = [t for t in wp_terms if t is not None]
+            if wp_terms:
+                mean_wp = wp_terms[0]
+                for term in wp_terms[1:]:
+                    mean_wp = mean_wp + term
+                add(mean_wp / float(len(wp_terms)), self.config.lambda_wp, "wp")
+
+        if self.objectives.scl and predicted_rows:
+            predicted = concat(predicted_rows, axis=0)
+            targets = concat(target_rows, axis=0)
+            add(
+                self.info_nce(predicted, targets, self.config.temperature),
+                self.config.lambda_cl,
+                "cl",
+            )
+
+        if self.objectives.dnsp and contextual_states:
+            ns_terms = [self.dnsp_loss(c) for c in contextual_states]
+            ns_terms = [t for t in ns_terms if t is not None]
+            if ns_terms:
+                mean_ns = ns_terms[0]
+                for term in ns_terms[1:]:
+                    mean_ns = mean_ns + term
+                add(mean_ns / float(len(ns_terms)), self.config.lambda_ns, "ns")
+
+        if total is None:
+            return losses
+        self.optimizer.zero_grad()
+        total.backward()
+        clip_grad_norm(
+            self.encoder.parameters() + self.heads.parameters(), self.max_grad_norm
+        )
+        self.optimizer.step()
+        losses["total"] = float(total.data)
+        return losses
+
+    def fit(
+        self,
+        documents: Iterable[ResumeDocument],
+        epochs: int = 1,
+        batch_size: int = 4,
+    ) -> List[Dict[str, float]]:
+        """Pre-train over a document corpus; returns per-step loss records."""
+        features = [self.featurizer.featurize(d) for d in documents]
+        history: List[Dict[str, float]] = []
+        for _ in range(epochs):
+            order = self.rng.permutation(len(features))
+            for start in range(0, len(order), batch_size):
+                batch = [features[i] for i in order[start : start + batch_size]]
+                self.encoder.train()
+                history.append(self.pretrain_step(batch))
+        return history

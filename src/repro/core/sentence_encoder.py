@@ -1,0 +1,79 @@
+"""Sentence-level Transformer encoder (Section IV-A1).
+
+Encodes each sentence's WordPiece tokens with text + 2-D layout embeddings
+(Eq. 1–2 summed), runs the Transformer stack, takes the ``[CLS]`` slot, and
+applies the paper's extra dense layer with L2 normalisation to produce the
+sentence representation ``h_j``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerEncoder
+from ..nn import init as nn_init
+from ..nn.functional import l2_normalize
+from .config import ResuFormerConfig
+from .embeddings import LayoutEmbedding, TextEmbedding
+
+__all__ = ["SentenceEncoder"]
+
+
+class SentenceEncoder(Module):
+    """Token sequences → contextual token states and sentence vectors."""
+
+    def __init__(
+        self, config: ResuFormerConfig, rng: Optional[np.random.Generator] = None
+    ):
+        super().__init__()
+        config.validate()
+        rng = rng or nn_init.default_rng()
+        self.config = config
+        self.text_embedding = TextEmbedding(
+            config.vocab_size,
+            config.hidden_dim,
+            max_positions=config.max_sentence_tokens + 1,  # +1 for [CLS]
+            num_segments=config.num_segments,
+            rng=rng,
+        )
+        self.layout_embedding = LayoutEmbedding(
+            config.hidden_dim, config.layout_buckets, rng=rng
+        )
+        self.encoder = TransformerEncoder(
+            config.sentence_layers,
+            config.hidden_dim,
+            config.sentence_heads,
+            ffn_dim=config.hidden_dim * config.ffn_multiplier,
+            dropout=config.dropout,
+            rng=rng,
+        )
+        self.pooler = Linear(config.hidden_dim, config.hidden_dim, rng=rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        token_mask: np.ndarray,
+        token_layout: np.ndarray,
+        token_segments: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        """Encode a batch of sentences.
+
+        Args:
+            token_ids: ``(m, t)`` WordPiece ids with ``[CLS]`` first.
+            token_mask: ``(m, t)`` validity mask.
+            token_layout: ``(m, t, 7)`` bucketised layout tuples.
+            token_segments: ``(m, t)`` segment symbols.
+
+        Returns:
+            ``(token_states, sentence_vectors)``: the contextual token
+            representations ``(m, t, d)`` and the pooled, L2-normalised
+            sentence vectors ``(m, d)``.
+        """
+        embedded = self.text_embedding(token_ids, token_segments)
+        embedded = embedded + self.layout_embedding(token_layout)
+        states = self.encoder(embedded, attention_mask=token_mask)
+        cls = states[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        return states, l2_normalize(pooled, axis=-1)

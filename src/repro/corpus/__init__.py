@@ -1,0 +1,63 @@
+"""``repro.corpus`` — synthetic annotated resume corpus.
+
+Substitutes the paper's proprietary 80k-resume dataset with a parametric
+generator producing multi-page, multi-template resumes with per-token
+bounding boxes, style attributes, and gold block/entity annotations.
+"""
+
+from .content import ContentConfig, Fragment, LogicalLine, plan_resume
+from .datasets import (
+    BlockCorpus,
+    CorpusStats,
+    NerCorpus,
+    NerExample,
+    NerStats,
+    build_block_corpus,
+    build_ner_corpus,
+    corpus_stats,
+    extract_block_examples,
+    ner_stats,
+)
+from .generator import ResumeGenerator
+from .render import (
+    VISUAL_DIM,
+    ascii_page,
+    attach_visual_features,
+    render_page,
+    sentence_visual_features,
+)
+from .templates import (
+    ALL_TEMPLATES,
+    ClassicTemplate,
+    CompactTemplate,
+    LayoutTemplate,
+    TwoColumnTemplate,
+)
+
+__all__ = [
+    "ContentConfig",
+    "Fragment",
+    "LogicalLine",
+    "plan_resume",
+    "ResumeGenerator",
+    "BlockCorpus",
+    "CorpusStats",
+    "NerCorpus",
+    "NerExample",
+    "NerStats",
+    "build_block_corpus",
+    "build_ner_corpus",
+    "corpus_stats",
+    "extract_block_examples",
+    "ner_stats",
+    "VISUAL_DIM",
+    "render_page",
+    "sentence_visual_features",
+    "attach_visual_features",
+    "ascii_page",
+    "LayoutTemplate",
+    "ClassicTemplate",
+    "TwoColumnTemplate",
+    "CompactTemplate",
+    "ALL_TEMPLATES",
+]

@@ -1,0 +1,219 @@
+"""Dataset builders and statistics (Tables I and VI).
+
+Builds the splits the paper uses: a large unlabeled pre-training corpus plus
+small labeled fine-tuning splits for block classification, and block-level
+examples for intra-block information extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..docmodel.document import ResumeDocument
+from ..docmodel.labels import BLOCK_ENTITIES
+from .content import ContentConfig
+from .generator import ResumeGenerator
+
+__all__ = [
+    "CorpusStats",
+    "corpus_stats",
+    "BlockCorpus",
+    "build_block_corpus",
+    "NerExample",
+    "extract_block_examples",
+    "NerCorpus",
+    "build_ner_corpus",
+    "ner_stats",
+]
+
+
+@dataclass
+class CorpusStats:
+    """The per-split statistics reported in Table I."""
+
+    num_documents: int
+    avg_tokens: float
+    avg_sentences: float
+    avg_pages: float
+
+
+def corpus_stats(documents: Sequence[ResumeDocument]) -> CorpusStats:
+    """Compute Table-I style statistics for a list of documents."""
+    if not documents:
+        return CorpusStats(0, 0.0, 0.0, 0.0)
+    n = len(documents)
+    return CorpusStats(
+        num_documents=n,
+        avg_tokens=sum(d.num_tokens for d in documents) / n,
+        avg_sentences=sum(d.num_sentences for d in documents) / n,
+        avg_pages=sum(d.num_pages for d in documents) / n,
+    )
+
+
+@dataclass
+class BlockCorpus:
+    """The four splits of the block classification experiment."""
+
+    pretrain: List[ResumeDocument]
+    train: List[ResumeDocument]
+    validation: List[ResumeDocument]
+    test: List[ResumeDocument]
+
+    def splits(self) -> Dict[str, List[ResumeDocument]]:
+        return {
+            "pretrain": self.pretrain,
+            "train": self.train,
+            "validation": self.validation,
+            "test": self.test,
+        }
+
+
+def build_block_corpus(
+    num_pretrain: int = 200,
+    num_train: int = 22,
+    num_validation: int = 10,
+    num_test: int = 10,
+    seed: int = 0,
+    content_config: Optional[ContentConfig] = None,
+) -> BlockCorpus:
+    """Build the Table-I splits (defaults are a 1:250 scale of the paper).
+
+    The paper uses 80,000 / 1,100 / 500 / 500 documents; the default counts
+    keep the same ratios at CPU scale.  Each split draws from a disjoint
+    seed stream so no document leaks across splits.
+    """
+    config = content_config or ContentConfig.tiny()
+
+    def make(count: int, offset: int, prefix: str) -> List[ResumeDocument]:
+        generator = ResumeGenerator(seed=seed + offset, content_config=config)
+        return generator.batch(count, prefix=prefix)
+
+    return BlockCorpus(
+        pretrain=make(num_pretrain, 1, "pretrain"),
+        train=make(num_train, 2, "train"),
+        validation=make(num_validation, 3, "val"),
+        test=make(num_test, 4, "test"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Intra-block NER dataset (Table VI)
+# ----------------------------------------------------------------------
+@dataclass
+class NerExample:
+    """One intra-block training/evaluation instance.
+
+    ``words`` are the block's tokens in reading order; ``labels`` are
+    IOB strings (available because the corpus is synthetic — the paper's
+    real train set has only distant labels, which :mod:`repro.ner.annotate`
+    recreates from ``words`` alone).
+    """
+
+    words: List[str]
+    labels: List[str]
+    block_tag: str
+    doc_id: str = ""
+
+    def __post_init__(self):
+        if len(self.words) != len(self.labels):
+            raise ValueError("words and labels must align")
+
+    @property
+    def num_entities(self) -> int:
+        return sum(1 for label in self.labels if label.startswith("B-"))
+
+    @property
+    def text(self) -> str:
+        return " ".join(self.words)
+
+
+def extract_block_examples(
+    documents: Sequence[ResumeDocument],
+    block_tags: Optional[Sequence[str]] = None,
+) -> List[NerExample]:
+    """Slice documents into per-block NER examples using gold block ids.
+
+    Mirrors the paper's pipeline: the block classifier segments a document
+    and each segmented block becomes one NER instance (Section V-B1).
+    """
+    wanted = set(block_tags) if block_tags else set(BLOCK_ENTITIES)
+    examples: List[NerExample] = []
+    for document in documents:
+        groups: Dict[int, List] = {}
+        order: List[int] = []
+        for sentence in document.sentences:
+            tag, block_id = sentence.majority_block()
+            if tag not in wanted or block_id is None:
+                continue
+            if block_id not in groups:
+                groups[block_id] = []
+                order.append(block_id)
+            groups[block_id].append((tag, sentence))
+        for block_id in order:
+            entries = groups[block_id]
+            tag = entries[0][0]
+            words: List[str] = []
+            labels: List[str] = []
+            for _, sentence in entries:
+                for token in sentence.tokens:
+                    words.append(token.word)
+                    labels.append(token.entity_label)
+            examples.append(
+                NerExample(words, labels, block_tag=tag, doc_id=document.doc_id)
+            )
+    return examples
+
+
+@dataclass
+class NerCorpus:
+    """Train (distantly supervised) and labeled validation/test splits."""
+
+    train: List[NerExample]
+    validation: List[NerExample]
+    test: List[NerExample]
+
+
+def build_ner_corpus(
+    num_train_docs: int = 60,
+    num_validation_docs: int = 8,
+    num_test_docs: int = 12,
+    seed: int = 100,
+    content_config: Optional[ContentConfig] = None,
+) -> NerCorpus:
+    """Build the Table-VI splits by slicing disjoint document sets."""
+    config = content_config or ContentConfig.tiny()
+
+    def blocks(count: int, offset: int, prefix: str) -> List[NerExample]:
+        generator = ResumeGenerator(seed=seed + offset, content_config=config)
+        return extract_block_examples(generator.batch(count, prefix=prefix))
+
+    return NerCorpus(
+        train=blocks(num_train_docs, 1, "ner-train"),
+        validation=blocks(num_validation_docs, 2, "ner-val"),
+        test=blocks(num_test_docs, 3, "ner-test"),
+    )
+
+
+@dataclass
+class NerStats:
+    """The per-split statistics reported in Table VI."""
+
+    num_samples: int
+    avg_tokens: float
+    avg_entities: float
+
+
+def ner_stats(examples: Sequence[NerExample]) -> NerStats:
+    """Compute Table-VI style statistics for NER examples."""
+    if not examples:
+        return NerStats(0, 0.0, 0.0)
+    n = len(examples)
+    return NerStats(
+        num_samples=n,
+        avg_tokens=sum(len(e.words) for e in examples) / n,
+        avg_entities=sum(e.num_entities for e in examples) / n,
+    )
+
+
+__all__ += ["NerStats"]

@@ -1,0 +1,106 @@
+"""Entity value generators for the synthetic resume corpus.
+
+Each generator returns the entity's surface string; the resume generator
+attaches the matching gold entity tag from :data:`repro.docmodel.ENTITY_TAGS`.
+Formats deliberately vary (date separators, phone formats, label prefixes)
+to exercise the regex/heuristic matchers of the distant annotator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import names
+
+__all__ = [
+    "person_name",
+    "gender",
+    "age",
+    "phone_number",
+    "email",
+    "date_range",
+    "single_date",
+    "college",
+    "major",
+    "degree",
+    "company",
+    "position",
+    "project_name",
+]
+
+
+def person_name(rng: np.random.Generator) -> str:
+    return f"{rng.choice(names.FIRST_NAMES)} {rng.choice(names.LAST_NAMES)}"
+
+
+def gender(rng: np.random.Generator) -> str:
+    return str(rng.choice(names.GENDERS))
+
+
+def age(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(21, 56)))
+
+
+def phone_number(rng: np.random.Generator) -> str:
+    digits = rng.integers(0, 10, size=10)
+    style = rng.integers(0, 3)
+    if style == 0:
+        return "".join(map(str, digits))
+    if style == 1:
+        d = "".join(map(str, digits))
+        return f"{d[:3]}-{d[3:6]}-{d[6:]}"
+    d = "".join(map(str, digits))
+    return f"({d[:3]}) {d[3:6]} {d[6:]}"
+
+
+def email(rng: np.random.Generator) -> str:
+    user = f"{rng.choice(names.FIRST_NAMES)}.{rng.choice(names.LAST_NAMES)}"
+    domain = rng.choice(["example.com", "mail.net", "corpmail.org", "inbox.dev"])
+    return f"{user}@{domain}"
+
+
+def _year_month(rng: np.random.Generator) -> Tuple[int, int]:
+    return int(rng.integers(2005, 2023)), int(rng.integers(1, 13))
+
+
+def single_date(rng: np.random.Generator) -> str:
+    year, month = _year_month(rng)
+    sep = rng.choice([".", "/", "-"])
+    return f"{year}{sep}{month:02d}"
+
+
+def date_range(rng: np.random.Generator) -> str:
+    year, month = _year_month(rng)
+    duration = int(rng.integers(6, 48))
+    end_total = year * 12 + (month - 1) + duration
+    end_year, end_month = divmod(end_total, 12)
+    sep = rng.choice([".", "/"])
+    if end_year >= 2023 and rng.random() < 0.4:
+        return f"{year}{sep}{month:02d} - present"
+    return f"{year}{sep}{month:02d} - {end_year}{sep}{end_month + 1:02d}"
+
+
+def college(rng: np.random.Generator) -> str:
+    return f"{rng.choice(names.COLLEGE_STEMS)} {rng.choice(names.COLLEGE_SUFFIXES)}"
+
+
+def major(rng: np.random.Generator) -> str:
+    return str(rng.choice(names.MAJORS))
+
+
+def degree(rng: np.random.Generator) -> str:
+    return str(rng.choice(names.DEGREES))
+
+
+def company(rng: np.random.Generator) -> str:
+    return f"{rng.choice(names.COMPANY_STEMS)} {rng.choice(names.COMPANY_SUFFIXES)}"
+
+
+def position(rng: np.random.Generator) -> str:
+    return str(rng.choice(names.POSITIONS))
+
+
+def project_name(rng: np.random.Generator) -> str:
+    return f"{rng.choice(names.PROJECT_STEMS)} {rng.choice(names.PROJECT_SUFFIXES)}"

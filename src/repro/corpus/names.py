@@ -1,0 +1,190 @@
+"""Fictional value banks for the synthetic resume corpus.
+
+All values are fictional; the banks play the role of the paper's entity
+dictionaries scraped from name databases, web encyclopedias and recruitment
+sites (Section IV-B1).  The same banks later seed the distant-supervision
+dictionaries — deliberately *partially*: the annotator only sees a subset,
+reproducing the incomplete-dictionary noise the paper's self-training
+framework is designed to absorb.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kim", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle", "ken", "dorothy", "kevin",
+    "carol", "brian", "amanda", "george", "melissa", "edward", "deborah",
+    "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon", "jeff",
+    "laura", "ryan", "cynthia", "jacob", "kathleen", "gary", "amy", "nick",
+    "angela", "eric", "shirley", "jonathan", "anna", "stephen", "brenda",
+    "larry", "pamela", "justin", "emma", "scott", "nicole", "brandon",
+    "helen", "benjamin", "samantha", "samuel", "katherine", "gregory",
+    "christine", "frank", "debra", "alex", "rachel", "raymond", "carolyn",
+    "jack", "janet", "dennis", "catherine", "jerry", "maria", "tyler",
+    "heather", "aaron", "diane", "jose", "ruth", "adam", "julie", "henry",
+    "olivia", "nathan", "joyce", "douglas", "virginia", "zachary", "lauren",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+    "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez",
+)
+
+COLLEGE_STEMS = (
+    "northfield", "eastbrook", "westlake", "southgate", "riverton",
+    "lakewood", "hillcrest", "stonebridge", "fairview", "maplewood",
+    "oakdale", "pinehurst", "cedarville", "ashford", "brookhaven",
+    "clearwater", "silverton", "granite", "summit", "harborview",
+    "redwood", "meadowbrook", "crestwood", "glenview", "kingsford",
+    "albright", "danforth", "ellsworth", "whitfield", "pembroke",
+    "thornton", "winslow", "calloway", "hartwell", "lockwood",
+)
+
+COLLEGE_SUFFIXES = (
+    "university", "institute of technology", "state university", "college",
+    "polytechnic university", "university of science",
+)
+
+MAJORS = (
+    "computer science", "software engineering", "electrical engineering",
+    "mechanical engineering", "information systems", "data science",
+    "applied mathematics", "statistics", "physics", "chemistry",
+    "business administration", "finance", "accounting", "economics",
+    "marketing", "human resources", "industrial design", "civil engineering",
+    "biomedical engineering", "materials science", "automation",
+    "communication engineering", "computer engineering", "cybersecurity",
+    "artificial intelligence", "bioinformatics", "psychology",
+    "graphic design", "international trade", "supply chain management",
+)
+
+DEGREES = ("bachelor", "master", "phd", "associate", "mba")
+
+COMPANY_STEMS = (
+    "acme", "globex", "initech", "umbra", "vortex", "zenith", "quantum",
+    "stellar", "apex", "nimbus", "horizon", "pinnacle", "catalyst",
+    "momentum", "synergy", "vertex", "fusion", "nexus", "orbit", "pulse",
+    "cascade", "beacon", "summitsoft", "brightpath", "clearfield",
+    "ironclad", "silverline", "bluepeak", "greenleaf", "redstone",
+    "swifttech", "datacore", "cloudbase", "netsphere", "infoworks",
+    "bytecraft", "logicware", "softbridge", "deepgrid", "hyperloopix",
+)
+
+COMPANY_SUFFIXES = (
+    "co. ltd", "inc", "technologies", "systems", "solutions", "group",
+    "software", "labs", "corporation", "networks",
+)
+
+POSITIONS = (
+    "software engineer", "senior software engineer", "data analyst",
+    "product manager", "project manager", "backend developer",
+    "frontend developer", "full stack developer", "machine learning engineer",
+    "data scientist", "qa engineer", "devops engineer", "system architect",
+    "business analyst", "ui designer", "technical lead", "research scientist",
+    "database administrator", "sales manager", "marketing specialist",
+    "hr specialist", "financial analyst", "operations manager",
+    "account executive", "engineering manager", "security engineer",
+    "mobile developer", "cloud engineer", "test engineer", "scrum master",
+)
+
+PROJECT_STEMS = (
+    "payment gateway", "recommendation engine", "inventory management",
+    "customer portal", "fraud detection", "search platform",
+    "logistics optimizer", "chat assistant", "billing system",
+    "analytics dashboard", "document parser", "image pipeline",
+    "workflow automation", "ad ranking", "content moderation",
+    "user onboarding", "data warehouse", "realtime monitor",
+    "feature store", "identity service", "order tracking",
+    "pricing engine", "supply forecast", "risk scoring",
+)
+
+PROJECT_SUFFIXES = ("system", "platform", "project", "service", "initiative")
+
+SKILLS = (
+    "python", "java", "c++", "javascript", "sql", "linux", "docker",
+    "kubernetes", "aws", "react", "spark", "hadoop", "tensorflow",
+    "pytorch", "git", "redis", "mongodb", "postgresql", "kafka", "go",
+    "scala", "tableau", "excel", "photoshop", "figma", "jira", "agile",
+    "communication", "leadership", "teamwork", "problem solving",
+)
+
+AWARDS = (
+    "outstanding employee award", "national scholarship",
+    "first prize in programming contest", "excellent graduate award",
+    "best team award", "innovation award", "dean's list honors",
+    "hackathon champion", "merit scholarship", "top performer award",
+    "employee of the year", "academic excellence award",
+)
+
+SUMMARY_PHRASES = (
+    "results driven professional with strong analytical skills",
+    "experienced engineer passionate about scalable systems",
+    "detail oriented analyst with a track record of delivery",
+    "self motivated developer who enjoys solving hard problems",
+    "collaborative team player with excellent communication",
+    "proven leader in cross functional project execution",
+    "creative problem solver focused on customer impact",
+    "dedicated specialist with deep domain knowledge",
+)
+
+WORK_VERBS = (
+    "developed", "designed", "implemented", "maintained", "optimized",
+    "led", "coordinated", "launched", "migrated", "automated", "refactored",
+    "analyzed", "delivered", "built", "improved", "streamlined",
+)
+
+WORK_OBJECTS = (
+    "the core billing module", "a distributed data pipeline",
+    "internal reporting tools", "the customer facing web application",
+    "microservices for order processing", "a realtime analytics service",
+    "the continuous integration workflow", "database schemas and queries",
+    "restful api endpoints", "the mobile client features",
+    "monitoring and alerting dashboards", "machine learning models",
+    "etl jobs for the data warehouse", "the authentication service",
+)
+
+WORK_RESULTS = (
+    "reducing latency by a large margin", "improving team velocity",
+    "cutting infrastructure costs significantly", "raising test coverage",
+    "supporting millions of daily requests", "enabling faster releases",
+    "increasing conversion rates", "eliminating manual toil",
+)
+
+#: Section header surface forms per block tag; templates sample among them,
+#: reproducing the paper's "diverse writing styles" observation.
+SECTION_HEADERS = {
+    "PInfo": ("personal information", "contact", "about me", "profile"),
+    "EduExp": ("education", "education experience", "academic background",
+               "education history"),
+    "WorkExp": ("work experience", "employment history", "professional experience",
+                "career history"),
+    "ProjExp": ("project experience", "projects", "key projects",
+                "selected projects"),
+    "Summary": ("summary", "professional summary", "objective", "overview"),
+    "Awards": ("awards", "honors and awards", "achievements", "honors"),
+    "SkillDes": ("skills", "technical skills", "core competencies",
+                 "skill description"),
+}
+
+GENDERS = ("male", "female")
+
+CITIES = (
+    "springfield", "rivertown", "lakeside", "hillview", "brookfield",
+    "fairmont", "greenville", "ashland", "milford", "dayton",
+)

@@ -1,0 +1,233 @@
+"""Layout templates: place planned content on pages (Figure 1 styles).
+
+Three concrete templates reproduce the paper's observation that resumes
+come in visually diverse styles:
+
+* :class:`ClassicTemplate` — single column, generous margins (Fig. 1 left);
+* :class:`TwoColumnTemplate` — narrow sidebar for contact/skills/awards and
+  a wide main column (Fig. 1 middle);
+* :class:`CompactTemplate` — dense banner layout with small fonts
+  (Fig. 1 right).
+
+A template converts :class:`~repro.corpus.content.LogicalLine` plans into
+positioned :class:`~repro.docmodel.Token` streams with font/style attributes
+and paginates them; the shared word-measuring model approximates
+proportional font metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..docmodel.document import Page, Token
+from ..docmodel.geometry import BBox
+from .content import LogicalLine
+
+__all__ = [
+    "LayoutTemplate",
+    "ClassicTemplate",
+    "TwoColumnTemplate",
+    "CompactTemplate",
+    "ALL_TEMPLATES",
+]
+
+PAGE_WIDTH = 612.0
+PAGE_HEIGHT = 792.0
+
+#: Mean glyph width as a fraction of the font size (Helvetica-ish).
+CHAR_WIDTH_FACTOR = 0.55
+SPACE_WIDTH_FACTOR = 0.45
+LINE_SPACING = 1.45
+
+
+def word_width(word: str, font_size: float) -> float:
+    """Approximate rendered width of a word."""
+    return max(len(word), 1) * CHAR_WIDTH_FACTOR * font_size
+
+
+@dataclass
+class _Fonts:
+    name: float = 20.0
+    header: float = 14.0
+    body: float = 10.0
+
+
+@dataclass
+class _Column:
+    """A vertical strip content flows into, with its own cursor."""
+
+    x0: float
+    x1: float
+    y: float
+    page: int = 1
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+
+class LayoutTemplate:
+    """Base class: single-column flow; subclasses override routing/fonts."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        fonts: Optional[_Fonts] = None,
+        top_margin: float = 50.0,
+        bottom_margin: float = 50.0,
+        left_margin: float = 60.0,
+        right_margin: float = 60.0,
+    ):
+        self.fonts = fonts or _Fonts()
+        self.top_margin = top_margin
+        self.bottom_margin = bottom_margin
+        self.left_margin = left_margin
+        self.right_margin = right_margin
+
+    # ------------------------------------------------------------------
+    def layout(
+        self, lines: List[LogicalLine], rng: np.random.Generator
+    ) -> Tuple[List[Token], List[Page]]:
+        """Place all logical lines; returns tokens and the page list."""
+        columns = self._columns()
+        tokens: List[Token] = []
+        max_page = 1
+        routes = self._routes(lines)
+        for line, route in zip(lines, routes):
+            column = columns[route]
+            placed = self._place_line(line, column, rng)
+            tokens.extend(placed)
+            max_page = max(max_page, column.page)
+        pages = [Page(i, PAGE_WIDTH, PAGE_HEIGHT) for i in range(1, max_page + 1)]
+        return tokens, pages
+
+    # -- hooks ----------------------------------------------------------
+    def _columns(self) -> List[_Column]:
+        return [
+            _Column(self.left_margin, PAGE_WIDTH - self.right_margin, self.top_margin)
+        ]
+
+    def _routes(self, lines: List[LogicalLine]) -> List[int]:
+        return [0] * len(lines)
+
+    # -- shared machinery -----------------------------------------------
+    def _font_for(self, line: LogicalLine) -> Tuple[float, bool, int]:
+        """(font_size, bold, color) per line role."""
+        if line.role == "name":
+            return self.fonts.name, True, 0
+        if line.role == "header":
+            return self.fonts.header, True, 1
+        return self.fonts.body, False, 0
+
+    def _place_line(
+        self, line: LogicalLine, column: _Column, rng: np.random.Generator
+    ) -> List[Token]:
+        font, bold, color = self._font_for(line)
+        line_height = font * LINE_SPACING
+        space = SPACE_WIDTH_FACTOR * font
+        tokens: List[Token] = []
+        x = column.x0
+        jitter = float(rng.uniform(-0.5, 0.5))
+
+        def newline():
+            nonlocal x
+            column.y += line_height
+            x = column.x0
+            if column.y + line_height > PAGE_HEIGHT - self.bottom_margin:
+                column.page += 1
+                column.y = self.top_margin
+
+        # Ensure the line starts on a page with room.
+        if column.y + line_height > PAGE_HEIGHT - self.bottom_margin:
+            column.page += 1
+            column.y = self.top_margin
+
+        for fragment in line.fragments:
+            words = fragment.text.split()
+            for i, word in enumerate(words):
+                width = word_width(word, font)
+                if x + width > column.x1 and x > column.x0:
+                    newline()
+                entity = "O"
+                if fragment.entity != "O":
+                    entity = ("B-" if i == 0 else "I-") + fragment.entity
+                tokens.append(
+                    Token(
+                        word=word,
+                        bbox=BBox(x, column.y + jitter, x + width, column.y + jitter + font),
+                        page=column.page,
+                        font_size=font,
+                        bold=bold,
+                        color=color,
+                        block_tag=line.block_tag,
+                        block_id=line.block_id,
+                        entity_label=entity,
+                    )
+                )
+                x += width + space
+        column.y += line_height
+        if line.role == "header":
+            column.y += 0.4 * line_height  # headers get extra leading
+        if column.y + line_height > PAGE_HEIGHT - self.bottom_margin:
+            column.page += 1
+            column.y = self.top_margin
+        return tokens
+
+
+class ClassicTemplate(LayoutTemplate):
+    """Traditional single-column resume with clear section spacing."""
+
+    name = "classic"
+
+
+class TwoColumnTemplate(LayoutTemplate):
+    """Sidebar layout: PInfo/SkillDes/Awards left, experience right."""
+
+    name = "two-column"
+    SIDEBAR_TAGS = frozenset({"PInfo", "SkillDes", "Awards"})
+    SIDEBAR_FRACTION = 0.32
+    GUTTER = 24.0
+
+    def _columns(self) -> List[_Column]:
+        split = self.left_margin + self.SIDEBAR_FRACTION * (
+            PAGE_WIDTH - self.left_margin - self.right_margin
+        )
+        return [
+            _Column(self.left_margin, split, self.top_margin),
+            _Column(split + self.GUTTER, PAGE_WIDTH - self.right_margin, self.top_margin),
+        ]
+
+    def _routes(self, lines: List[LogicalLine]) -> List[int]:
+        routes: List[int] = []
+        for i, line in enumerate(lines):
+            tag = line.block_tag
+            if line.role == "header" and i + 1 < len(lines):
+                tag = lines[i + 1].block_tag  # headers follow their section
+            routes.append(0 if tag in self.SIDEBAR_TAGS else 1)
+        return routes
+
+
+class CompactTemplate(LayoutTemplate):
+    """Dense layout: small fonts, tight margins, banner-style name."""
+
+    name = "compact"
+
+    def __init__(self):
+        super().__init__(
+            fonts=_Fonts(name=16.0, header=11.5, body=9.0),
+            top_margin=36.0,
+            bottom_margin=36.0,
+            left_margin=40.0,
+            right_margin=40.0,
+        )
+
+
+ALL_TEMPLATES: Tuple[LayoutTemplate, ...] = (
+    ClassicTemplate(),
+    TwoColumnTemplate(),
+    CompactTemplate(),
+)

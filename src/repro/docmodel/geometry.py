@@ -1,0 +1,107 @@
+"""Bounding-box geometry for document layout.
+
+Coordinates follow the PDF convention used by the paper: ``(x0, y0)`` is the
+top-left corner, ``(x1, y1)`` the bottom-right, in page units (points).
+Following LayoutLMv2 (and Section IV-A1 of the paper), boxes are normalised
+and discretised to integers in ``[0, 1000]`` before embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+__all__ = ["BBox", "LAYOUT_SCALE", "normalize_coordinate", "merge_boxes"]
+
+LAYOUT_SCALE = 1000
+
+
+@dataclass(frozen=True)
+class BBox:
+    """An axis-aligned bounding box ``(x0, y0, x1, y1)``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self):
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate bbox: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def union(self, other: "BBox") -> "BBox":
+        return BBox(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def intersection_area(self, other: "BBox") -> float:
+        w = min(self.x1, other.x1) - max(self.x0, other.x0)
+        h = min(self.y1, other.y1) - max(self.y0, other.y0)
+        if w <= 0 or h <= 0:
+            return 0.0
+        return w * h
+
+    def overlaps(self, other: "BBox") -> bool:
+        return self.intersection_area(other) > 0
+
+    def normalized(self, page_width: float, page_height: float) -> "BBox":
+        """Scale into the ``[0, LAYOUT_SCALE]`` integer grid."""
+        return BBox(
+            normalize_coordinate(self.x0, page_width),
+            normalize_coordinate(self.y0, page_height),
+            normalize_coordinate(self.x1, page_width),
+            normalize_coordinate(self.y1, page_height),
+        )
+
+    def to_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x0, self.y0, self.x1, self.y1)
+
+    def layout_tuple(self) -> Tuple[int, int, int, int, int, int]:
+        """The paper's seven-tuple minus the page index:
+        ``(x_min, y_min, x_max, y_max, width, height)`` as integers."""
+        return (
+            int(self.x0),
+            int(self.y0),
+            int(self.x1),
+            int(self.y1),
+            int(self.width),
+            int(self.height),
+        )
+
+
+def normalize_coordinate(value: float, extent: float) -> int:
+    """Discretise one coordinate into ``[0, LAYOUT_SCALE]``."""
+    if extent <= 0:
+        raise ValueError(f"page extent must be positive: {extent}")
+    scaled = int(round(LAYOUT_SCALE * value / extent))
+    return max(0, min(LAYOUT_SCALE, scaled))
+
+
+def merge_boxes(boxes: Iterable[BBox]) -> BBox:
+    """Union of a non-empty collection of boxes."""
+    boxes = list(boxes)
+    if not boxes:
+        raise ValueError("cannot merge zero boxes")
+    merged = boxes[0]
+    for box in boxes[1:]:
+        merged = merged.union(box)
+    return merged

@@ -1,0 +1,158 @@
+"""Label schemes: block tags, entity tags, and IOB utilities.
+
+Block tags follow Section III-A of the paper (eight semantic categories);
+entity tags follow Table IV (intra-block fine-grained entities).  Both tasks
+are sequence labeling with the IOB scheme: ``B-X`` opens tag ``X``, ``I-X``
+continues it, and ``O`` marks content outside any tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "BLOCK_TAGS",
+    "ENTITY_TAGS",
+    "BLOCK_ENTITIES",
+    "IobScheme",
+    "spans_to_iob",
+    "iob_to_spans",
+]
+
+#: The eight semantic block categories of Section III-A.
+BLOCK_TAGS = (
+    "PInfo",
+    "EduExp",
+    "WorkExp",
+    "ProjExp",
+    "Summary",
+    "Awards",
+    "SkillDes",
+    "Title",
+)
+
+#: The fine-grained entity types of Table IV.
+ENTITY_TAGS = (
+    "Name",
+    "Gender",
+    "PhoneNum",
+    "Email",
+    "Age",
+    "College",
+    "Major",
+    "Degree",
+    "Date",
+    "Company",
+    "Position",
+    "ProjName",
+)
+
+#: Which entity types Table IV evaluates inside which block.
+BLOCK_ENTITIES: Dict[str, Tuple[str, ...]] = {
+    "PInfo": ("Name", "Gender", "PhoneNum", "Email", "Age"),
+    "EduExp": ("College", "Major", "Degree", "Date"),
+    "WorkExp": ("Company", "Position", "Date"),
+    "ProjExp": ("ProjName", "Date"),
+}
+
+
+class IobScheme:
+    """Bidirectional mapping between IOB label strings and integer ids."""
+
+    def __init__(self, tags: Sequence[str]):
+        self.tags = tuple(tags)
+        self.labels: List[str] = ["O"]
+        for tag in self.tags:
+            self.labels.append(f"B-{tag}")
+            self.labels.append(f"I-{tag}")
+        self._label_to_id = {label: i for i, label in enumerate(self.labels)}
+
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
+
+    @property
+    def outside_id(self) -> int:
+        return 0
+
+    def label_id(self, label: str) -> int:
+        if label not in self._label_to_id:
+            raise KeyError(f"unknown IOB label: {label}")
+        return self._label_to_id[label]
+
+    def begin_id(self, tag: str) -> int:
+        return self.label_id(f"B-{tag}")
+
+    def inside_id(self, tag: str) -> int:
+        return self.label_id(f"I-{tag}")
+
+    def id_to_label(self, idx: int) -> str:
+        return self.labels[idx]
+
+    def tag_of(self, idx: int) -> str:
+        """The bare tag name for a label id ('O' for outside)."""
+        label = self.labels[idx]
+        return label if label == "O" else label[2:]
+
+    def encode(self, labels: Sequence[str]) -> List[int]:
+        return [self.label_id(label) for label in labels]
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        return [self.id_to_label(i) for i in ids]
+
+
+#: The default schemes for the two tasks.
+BLOCK_SCHEME = IobScheme(BLOCK_TAGS)
+ENTITY_SCHEME = IobScheme(ENTITY_TAGS)
+__all__ += ["BLOCK_SCHEME", "ENTITY_SCHEME"]
+
+
+def spans_to_iob(
+    length: int, spans: Sequence[Tuple[int, int, str]], scheme: IobScheme
+) -> List[int]:
+    """Convert half-open ``(start, stop, tag)`` spans to IOB label ids.
+
+    Overlapping spans raise; untagged positions get ``O``.
+    """
+    labels = [scheme.outside_id] * length
+    occupied = [False] * length
+    for start, stop, tag in spans:
+        if not 0 <= start < stop <= length:
+            raise ValueError(f"span out of range: ({start}, {stop}) for {length}")
+        if any(occupied[start:stop]):
+            raise ValueError(f"overlapping span: ({start}, {stop}, {tag})")
+        labels[start] = scheme.begin_id(tag)
+        for i in range(start + 1, stop):
+            labels[i] = scheme.inside_id(tag)
+        for i in range(start, stop):
+            occupied[i] = True
+    return labels
+
+
+def iob_to_spans(
+    label_ids: Sequence[int], scheme: IobScheme
+) -> List[Tuple[int, int, str]]:
+    """Extract ``(start, stop, tag)`` spans from IOB label ids.
+
+    Tolerant of ill-formed sequences: an ``I-X`` without a preceding ``B-X``
+    or ``I-X`` starts a new span (the common "IOB repair" convention used
+    when scoring model output).
+    """
+    spans: List[Tuple[int, int, str]] = []
+    start = None
+    current = None
+    for i, idx in enumerate(label_ids):
+        label = scheme.id_to_label(idx)
+        if label == "O":
+            if current is not None:
+                spans.append((start, i, current))
+                start, current = None, None
+            continue
+        prefix, tag = label[0], label[2:]
+        if prefix == "B" or tag != current:
+            if current is not None:
+                spans.append((start, i, current))
+            start, current = i, tag
+    if current is not None:
+        spans.append((start, len(label_ids), current))
+    return spans

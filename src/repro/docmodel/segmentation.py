@@ -1,0 +1,100 @@
+"""Token-to-sentence segmentation (the PyMuPDF concatenation step).
+
+Section III-A: adjacent tokens are concatenated into a "sentence" when they
+are *closely spaced and in a row* on the same page.  This module implements
+that rule over raw token streams: tokens are bucketed per page, grouped into
+rows by vertical-centre proximity, sorted left-to-right, and split whenever
+the horizontal gap between neighbours exceeds a threshold proportional to
+the font size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .document import Sentence, Token
+
+__all__ = ["segment_tokens", "SegmentationConfig"]
+
+
+class SegmentationConfig:
+    """Tunable thresholds for row grouping and gap splitting."""
+
+    def __init__(
+        self,
+        row_tolerance_factor: float = 0.6,
+        gap_factor: float = 2.5,
+        max_sentence_tokens: int = 55,
+    ):
+        if row_tolerance_factor <= 0 or gap_factor <= 0:
+            raise ValueError("segmentation factors must be positive")
+        #: Two tokens share a row when their vertical centres differ by less
+        #: than this fraction of the taller token's height.
+        self.row_tolerance_factor = row_tolerance_factor
+        #: A new sentence starts when the horizontal gap exceeds this
+        #: multiple of the mean character width of the left token.
+        self.gap_factor = gap_factor
+        #: The paper truncates sentences to 55 tokens (Section V-A2).
+        self.max_sentence_tokens = max_sentence_tokens
+
+
+def segment_tokens(
+    tokens: Iterable[Token], config: SegmentationConfig | None = None
+) -> List[Sentence]:
+    """Group raw tokens into reading-ordered sentences."""
+    config = config or SegmentationConfig()
+    tokens = list(tokens)
+    if not tokens:
+        return []
+
+    sentences: List[Sentence] = []
+    pages = sorted({token.page for token in tokens})
+    for page in pages:
+        page_tokens = [t for t in tokens if t.page == page]
+        for row in _group_rows(page_tokens, config):
+            sentences.extend(_split_row(row, config))
+    return sentences
+
+
+def _group_rows(tokens: List[Token], config: SegmentationConfig) -> List[List[Token]]:
+    """Cluster one page's tokens into rows by vertical-centre proximity.
+
+    Each row is anchored on its *seed* (first) token rather than the last
+    appended one — anchoring on the tail lets one tall token (a large-font
+    name) transitively chain two distinct body rows together.
+    """
+    ordered = sorted(tokens, key=lambda t: (t.center_y, t.bbox.x0))
+    rows: List[List[Token]] = []
+    for token in ordered:
+        placed = False
+        if rows:
+            row = rows[-1]
+            anchor = row[0]
+            tolerance = config.row_tolerance_factor * max(
+                token.bbox.height, anchor.bbox.height
+            )
+            if abs(token.center_y - anchor.center_y) <= tolerance:
+                row.append(token)
+                placed = True
+        if not placed:
+            rows.append([token])
+    for row in rows:
+        row.sort(key=lambda t: t.bbox.x0)
+    return rows
+
+
+def _split_row(row: List[Token], config: SegmentationConfig) -> List[Sentence]:
+    """Split a row at large horizontal gaps and length overflow."""
+    sentences: List[Sentence] = []
+    current: List[Token] = [row[0]]
+    for prev, token in zip(row, row[1:]):
+        gap = token.bbox.x0 - prev.bbox.x1
+        char_width = prev.bbox.width / max(len(prev.word), 1)
+        threshold = config.gap_factor * max(char_width, 1.0)
+        if gap > threshold or len(current) >= config.max_sentence_tokens:
+            sentences.append(Sentence(current, page=current[0].page))
+            current = [token]
+        else:
+            current.append(token)
+    sentences.append(Sentence(current, page=current[0].page))
+    return sentences

@@ -1,0 +1,105 @@
+"""Area-based layout-analysis metrics (Eq. 13–15, used by Table II).
+
+Following DocBank's document-layout evaluation, block classification is
+scored by *token area*: for each semantic tag, precision is the area of
+correctly-tagged tokens over the area of all tokens the model assigned that
+tag, recall the same over the gold area.  Because every token carries its
+bounding box, this weights big tokens (titles) more than small ones —
+exactly the paper's choice of metric for 2-D documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..docmodel.document import ResumeDocument
+from .seq_metrics import PrfScore
+
+__all__ = ["area_prf_by_tag", "area_prf_micro", "AreaEvaluation"]
+
+
+def _tag_areas(
+    documents: Sequence[ResumeDocument],
+    gold: Sequence[Sequence[Optional[str]]],
+    predicted: Sequence[Sequence[Optional[str]]],
+) -> Dict[str, List[float]]:
+    """Accumulate (intersection, predicted, gold) areas per tag."""
+    if not (len(documents) == len(gold) == len(predicted)):
+        raise ValueError("documents, gold and predictions differ in size")
+    areas: Dict[str, List[float]] = {}
+    for document, gold_tags, pred_tags in zip(documents, gold, predicted):
+        tokens = document.tokens()
+        if not (len(tokens) == len(gold_tags) == len(pred_tags)):
+            raise ValueError(
+                f"token/label misalignment in {document.doc_id}: "
+                f"{len(tokens)} tokens, {len(gold_tags)} gold, {len(pred_tags)} predicted"
+            )
+        for token, gold_tag, pred_tag in zip(tokens, gold_tags, pred_tags):
+            area = token.bbox.area
+            for tag in {gold_tag, pred_tag}:
+                if tag in (None, "O"):
+                    continue
+                entry = areas.setdefault(tag, [0.0, 0.0, 0.0])
+                if gold_tag == tag and pred_tag == tag:
+                    entry[0] += area
+                if pred_tag == tag:
+                    entry[1] += area
+                if gold_tag == tag:
+                    entry[2] += area
+    return areas
+
+
+def _score(intersection: float, predicted: float, gold: float) -> PrfScore:
+    precision = intersection / predicted if predicted else 0.0
+    recall = intersection / gold if gold else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return PrfScore(precision, recall, f1)
+
+
+def area_prf_by_tag(
+    documents: Sequence[ResumeDocument],
+    gold: Sequence[Sequence[Optional[str]]],
+    predicted: Sequence[Sequence[Optional[str]]],
+) -> Dict[str, PrfScore]:
+    """Per-tag area P/R/F1 — the rows of Table II.
+
+    ``gold`` and ``predicted`` are per-document token-level tag sequences
+    (bare tags, ``None``/'O' meaning untagged).
+    """
+    areas = _tag_areas(documents, gold, predicted)
+    return {
+        tag: _score(*entry) for tag, entry in sorted(areas.items())
+    }
+
+
+def area_prf_micro(
+    documents: Sequence[ResumeDocument],
+    gold: Sequence[Sequence[Optional[str]]],
+    predicted: Sequence[Sequence[Optional[str]]],
+) -> PrfScore:
+    """Micro-average over all tags (summed areas)."""
+    areas = _tag_areas(documents, gold, predicted)
+    sums = [0.0, 0.0, 0.0]
+    for entry in areas.values():
+        for i in range(3):
+            sums[i] += entry[i]
+    return _score(*sums)
+
+
+class AreaEvaluation:
+    """Convenience wrapper: evaluate a block classifier on documents."""
+
+    def __init__(self, documents: Sequence[ResumeDocument]):
+        self.documents = list(documents)
+        self.gold = [d.token_block_tags() for d in self.documents]
+
+    def evaluate(self, predictor) -> Dict[str, PrfScore]:
+        """``predictor`` maps a document to token-level bare tags."""
+        predicted = [predictor.predict_token_tags(d) for d in self.documents]
+        return area_prf_by_tag(self.documents, self.gold, predicted)
+
+    def evaluate_micro(self, predictor) -> PrfScore:
+        predicted = [predictor.predict_token_tags(d) for d in self.documents]
+        return area_prf_micro(self.documents, self.gold, predicted)

@@ -1,0 +1,59 @@
+"""Confusion-matrix analysis for block classification errors."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .reporting import format_table
+
+__all__ = ["confusion_matrix", "format_confusion", "most_confused_pairs"]
+
+
+def confusion_matrix(
+    gold: Sequence[Sequence[Optional[str]]],
+    predicted: Sequence[Sequence[Optional[str]]],
+    tags: Sequence[str],
+) -> np.ndarray:
+    """Token-count confusion matrix; rows = gold, columns = predicted.
+
+    The last row/column aggregates 'O'/untagged.
+    """
+    index = {tag: i for i, tag in enumerate(tags)}
+    outside = len(tags)
+    matrix = np.zeros((len(tags) + 1, len(tags) + 1), dtype=np.int64)
+    for gold_tags, pred_tags in zip(gold, predicted):
+        if len(gold_tags) != len(pred_tags):
+            raise ValueError("gold/predicted length mismatch")
+        for g, p in zip(gold_tags, pred_tags):
+            gi = index.get(g, outside) if g else outside
+            pi = index.get(p, outside) if p else outside
+            matrix[gi, pi] += 1
+    return matrix
+
+
+def format_confusion(matrix: np.ndarray, tags: Sequence[str]) -> str:
+    """Render the confusion matrix as an ASCII table."""
+    labels = list(tags) + ["O"]
+    if matrix.shape != (len(labels), len(labels)):
+        raise ValueError("matrix does not match tag list")
+    rows = [
+        [labels[i]] + [str(int(v)) for v in matrix[i]]
+        for i in range(len(labels))
+    ]
+    return format_table(["gold \\ pred"] + labels, rows)
+
+
+def most_confused_pairs(
+    matrix: np.ndarray, tags: Sequence[str], top: int = 5
+) -> List[Tuple[str, str, int]]:
+    """The largest off-diagonal cells as ``(gold, predicted, count)``."""
+    labels = list(tags) + ["O"]
+    pairs: List[Tuple[str, str, int]] = []
+    for i, gold_tag in enumerate(labels):
+        for j, pred_tag in enumerate(labels):
+            if i != j and matrix[i, j] > 0:
+                pairs.append((gold_tag, pred_tag, int(matrix[i, j])))
+    pairs.sort(key=lambda item: -item[2])
+    return pairs[:top]

@@ -1,0 +1,88 @@
+"""ASCII table rendering for benchmark reports (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from .seq_metrics import PrfScore
+
+__all__ = ["format_table", "format_prf_table", "format_stats_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a plain fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def format_prf_table(
+    results: Mapping[str, Mapping[str, PrfScore]],
+    tags: Sequence[str],
+    title: Optional[str] = None,
+    extra_rows: Optional[Mapping[str, Mapping[str, str]]] = None,
+) -> str:
+    """Paper-style table: rows = tags, columns = methods.
+
+    Each cell shows ``F1 (R / P)`` in percent, matching Tables II-V.
+    ``extra_rows`` appends rows such as Time/Resume keyed the same way.
+    """
+    methods = list(results)
+    headers = ["Tag"] + methods
+    rows: List[List[str]] = []
+    for tag in tags:
+        row = [tag]
+        best = None
+        cells = []
+        for method in methods:
+            score = results[method].get(tag)
+            if score is None:
+                cells.append("-")
+                continue
+            cells.append(
+                f"{score.f1 * 100:.2f} ({score.recall * 100:.2f} / "
+                f"{score.precision * 100:.2f})"
+            )
+            if best is None or score.f1 > best:
+                best = score.f1
+        rows.append(row + cells)
+    if extra_rows:
+        for name, values in extra_rows.items():
+            rows.append([name] + [values.get(m, "-") for m in methods])
+    return format_table(headers, rows, title=title)
+
+
+def format_stats_table(
+    stats: Mapping[str, Mapping[str, object]], title: Optional[str] = None
+) -> str:
+    """Table-I/VI style statistics: rows = metrics, columns = splits."""
+    splits = list(stats)
+    metrics: List[str] = []
+    for split in splits:
+        for metric in stats[split]:
+            if metric not in metrics:
+                metrics.append(metric)
+    rows = []
+    for metric in metrics:
+        row = [metric]
+        for split in splits:
+            value = stats[split].get(metric, "-")
+            row.append(f"{value:,.2f}" if isinstance(value, float) else f"{value:,}")
+        rows.append(row)
+    return format_table(["Metric"] + splits, rows, title=title)

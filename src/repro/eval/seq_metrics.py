@@ -1,0 +1,104 @@
+"""Entity-level IOB evaluation (Eq. 16–18, used by Table IV/V).
+
+Precision = true-positive entity predictions / all predicted entities;
+recall = true positives / all gold entities; an entity counts as correct
+only when its span boundaries *and* tag both match (the standard CoNLL
+criterion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..docmodel.labels import ENTITY_SCHEME, IobScheme, iob_to_spans
+
+__all__ = ["PrfScore", "entity_prf", "entity_prf_by_tag", "token_accuracy"]
+
+
+@dataclass
+class PrfScore:
+    """Precision/recall/F1 with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int = 0
+    predicted: int = 0
+    gold: int = 0
+
+    @classmethod
+    def from_counts(cls, tp: int, predicted: int, gold: int) -> "PrfScore":
+        precision = tp / predicted if predicted else 0.0
+        recall = tp / gold if gold else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        return cls(precision, recall, f1, tp, predicted, gold)
+
+
+def _spans(labels: Sequence[str], scheme: IobScheme):
+    ids = [
+        scheme.label_id(label) if label in scheme.labels else scheme.outside_id
+        for label in labels
+    ]
+    return set(iob_to_spans(ids, scheme))
+
+
+def entity_prf(
+    gold: Sequence[Sequence[str]],
+    predicted: Sequence[Sequence[str]],
+    scheme: IobScheme = ENTITY_SCHEME,
+) -> PrfScore:
+    """Micro-averaged entity P/R/F1 over a corpus of label sequences."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted corpora differ in size")
+    tp = n_pred = n_gold = 0
+    for gold_labels, pred_labels in zip(gold, predicted):
+        gold_spans = _spans(gold_labels, scheme)
+        pred_spans = _spans(pred_labels, scheme)
+        tp += len(gold_spans & pred_spans)
+        n_pred += len(pred_spans)
+        n_gold += len(gold_spans)
+    return PrfScore.from_counts(tp, n_pred, n_gold)
+
+
+def entity_prf_by_tag(
+    gold: Sequence[Sequence[str]],
+    predicted: Sequence[Sequence[str]],
+    scheme: IobScheme = ENTITY_SCHEME,
+) -> Dict[str, PrfScore]:
+    """Per-tag entity P/R/F1 (the rows of Table IV)."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted corpora differ in size")
+    counts: Dict[str, List[int]] = {}
+    for gold_labels, pred_labels in zip(gold, predicted):
+        gold_spans = _spans(gold_labels, scheme)
+        pred_spans = _spans(pred_labels, scheme)
+        tags = {tag for *_, tag in gold_spans | pred_spans}
+        for tag in tags:
+            g = {s for s in gold_spans if s[2] == tag}
+            p = {s for s in pred_spans if s[2] == tag}
+            entry = counts.setdefault(tag, [0, 0, 0])
+            entry[0] += len(g & p)
+            entry[1] += len(p)
+            entry[2] += len(g)
+    return {
+        tag: PrfScore.from_counts(tp, n_pred, n_gold)
+        for tag, (tp, n_pred, n_gold) in sorted(counts.items())
+    }
+
+
+def token_accuracy(
+    gold: Sequence[Sequence[str]], predicted: Sequence[Sequence[str]]
+) -> float:
+    """Plain per-token label accuracy (used for early stopping)."""
+    correct = total = 0
+    for gold_labels, pred_labels in zip(gold, predicted):
+        if len(gold_labels) != len(pred_labels):
+            raise ValueError("sequence length mismatch")
+        correct += sum(1 for g, p in zip(gold_labels, pred_labels) if g == p)
+        total += len(gold_labels)
+    return correct / total if total else 0.0

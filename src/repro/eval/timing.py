@@ -1,0 +1,33 @@
+"""Inference timing (the Time/Resume row of Table II)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from ..docmodel.document import ResumeDocument
+
+__all__ = ["time_per_resume"]
+
+
+def time_per_resume(
+    predict: Callable[[ResumeDocument], object],
+    documents: Sequence[ResumeDocument],
+    repeats: int = 1,
+    warmup: int = 1,
+) -> float:
+    """Average wall-clock seconds to process one resume.
+
+    Runs ``warmup`` unmeasured passes first (BLAS/page-cache warmup), then
+    times ``repeats`` passes over the document list.
+    """
+    if not documents:
+        raise ValueError("need at least one document to time")
+    for _ in range(warmup):
+        predict(documents[0])
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for document in documents:
+            predict(document)
+    elapsed = time.perf_counter() - started
+    return elapsed / (repeats * len(documents))

@@ -1,0 +1,39 @@
+"""``repro.ner`` — distantly supervised intra-block information extraction.
+
+The paper's second task: entity dictionaries, automatic annotation, data
+augmentation, a BERT+BiLSTM+MLP tagger, and the self-distillation based
+self-training framework (Algorithm 2) with soft labels and high-confidence
+token selection.
+"""
+
+from .annotate import DistantAnnotation, DistantAnnotator, annotate_examples
+from .augment import augment_examples, reorder_fields, replace_mentions
+from .dictionaries import EntityDictionaries, build_dictionaries
+from .encoding import NerFeatures, NerFeaturizer
+from .model import NerConfig, NerEncoder, NerTagger
+from .self_training import (
+    SelfTrainConfig,
+    SelfTrainer,
+    confidence_mask,
+    soft_pseudo_labels,
+)
+
+__all__ = [
+    "EntityDictionaries",
+    "build_dictionaries",
+    "DistantAnnotation",
+    "DistantAnnotator",
+    "annotate_examples",
+    "augment_examples",
+    "replace_mentions",
+    "reorder_fields",
+    "NerFeatures",
+    "NerFeaturizer",
+    "NerConfig",
+    "NerEncoder",
+    "NerTagger",
+    "SelfTrainConfig",
+    "SelfTrainer",
+    "soft_pseudo_labels",
+    "confidence_mask",
+]

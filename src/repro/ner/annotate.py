@@ -1,0 +1,223 @@
+"""Automatic distant-supervision annotation (Section IV-B2).
+
+Labels raw block text by combining, in priority order:
+
+1. **regular expressions** — emails, phone numbers, dates/date ranges;
+2. **prefix heuristics** — ``email :``, ``phone :``, ``age :``,
+   ``gender :`` field labels;
+3. **closed value sets** — genders, degrees;
+4. **dictionary string matching** — longest-match-first n-gram lookup in
+   the entity dictionaries (colleges, majors, companies, positions,
+   project names);
+5. **heuristic rules** — person-name bigrams near the document head and
+   company-suffix patterns (``... co. ltd``).
+
+The result is deliberately *noisy and incomplete* — exactly the supervision
+regime the paper's self-distillation framework targets.  Each annotation
+also records which positions the annotator *committed* on; the fuzzy-CRF
+and AutoNER baselines treat uncommitted positions as unconstrained.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..corpus.datasets import NerExample
+from .dictionaries import EntityDictionaries, build_dictionaries
+
+__all__ = ["DistantAnnotation", "DistantAnnotator", "annotate_examples"]
+
+_EMAIL_RE = re.compile(r"^[\w.+-]+@[\w-]+\.[\w.]+$")
+_PHONE_COMPACT_RE = re.compile(r"^\d{10}$")
+_PHONE_DASHED_RE = re.compile(r"^\d{3}-\d{3}-\d{4}$")
+_PHONE_PAREN_RE = re.compile(r"^\(\d{3}\)$")
+_DIGITS3_RE = re.compile(r"^\d{3}$")
+_DIGITS4_RE = re.compile(r"^\d{4}$")
+_DATE_RE = re.compile(r"^\d{4}[./-]\d{2}$")
+_AGE_RE = re.compile(r"^\d{2}$")
+
+_FIELD_PREFIXES = {
+    "email": "Email",
+    "phone": "PhoneNum",
+    "age": "Age",
+    "gender": "Gender",
+}
+
+
+@dataclass
+class DistantAnnotation:
+    """IOB labels plus the annotator's commitment mask."""
+
+    labels: List[str]
+    matched: List[bool]
+
+    @property
+    def num_entities(self) -> int:
+        return sum(1 for label in self.labels if label.startswith("B-"))
+
+
+class DistantAnnotator:
+    """Annotates word sequences with distant entity labels."""
+
+    def __init__(self, dictionaries: Optional[EntityDictionaries] = None):
+        self.dictionaries = dictionaries or build_dictionaries()
+        self._phrase_index = self._build_phrase_index()
+        self._company_suffixes = self._build_company_suffixes()
+
+    def _build_phrase_index(self):
+        """(length-sorted) list of (phrase_tuple, tag), longest first."""
+        entries: List[Tuple[Tuple[str, ...], str]] = []
+        for tag, phrases in self.dictionaries.phrase_dictionaries().items():
+            entries.extend((phrase, tag) for phrase in phrases)
+        entries.sort(key=lambda item: -len(item[0]))
+        return entries
+
+    def _build_company_suffixes(self):
+        # Only the unambiguous legal-form suffixes from the paper's example
+        # ("... often ends with 'Co. LTD'"); generic suffixes like
+        # "technologies" stay dictionary-only, keeping the heuristic's
+        # precision high and its recall partial.
+        return (("co.", "ltd"), ("inc",))
+
+    # ------------------------------------------------------------------
+    def annotate(self, words: Sequence[str]) -> DistantAnnotation:
+        """Produce distant IOB labels for one block's words."""
+        lowered = [w.lower() for w in words]
+        n = len(words)
+        labels = ["O"] * n
+        matched = [False] * n
+
+        def claim(start: int, stop: int, tag: str) -> bool:
+            if any(matched[start:stop]):
+                return False
+            labels[start] = f"B-{tag}"
+            for i in range(start + 1, stop):
+                labels[i] = f"I-{tag}"
+            for i in range(start, stop):
+                matched[i] = True
+            return True
+
+        self._match_regexes(lowered, claim)
+        self._match_prefixes(lowered, claim, matched)
+        self._match_value_sets(lowered, claim)
+        self._match_phrases(lowered, claim, matched)
+        self._match_name_bigram(lowered, claim)
+        self._match_company_suffix(lowered, claim, matched)
+        return DistantAnnotation(labels, matched)
+
+    # ------------------------------------------------------------------
+    def _match_regexes(self, words, claim):
+        n = len(words)
+        i = 0
+        while i < n:
+            word = words[i]
+            if _EMAIL_RE.match(word):
+                claim(i, i + 1, "Email")
+            elif _PHONE_COMPACT_RE.match(word) or _PHONE_DASHED_RE.match(word):
+                claim(i, i + 1, "PhoneNum")
+            elif (
+                _PHONE_PAREN_RE.match(word)
+                and i + 2 < n
+                and _DIGITS3_RE.match(words[i + 1])
+                and _DIGITS4_RE.match(words[i + 2])
+            ):
+                claim(i, i + 3, "PhoneNum")
+                i += 3
+                continue
+            elif _DATE_RE.match(word):
+                stop = i + 1
+                if stop < n and words[stop] == "-":
+                    after = stop + 1
+                    if after < n and (
+                        _DATE_RE.match(words[after]) or words[after] == "present"
+                    ):
+                        stop = after + 1
+                claim(i, stop, "Date")
+                i = stop
+                continue
+            i += 1
+
+    def _match_prefixes(self, words, claim, matched):
+        for i, word in enumerate(words):
+            tag = _FIELD_PREFIXES.get(word)
+            if tag is None:
+                continue
+            j = i + 1
+            if j < len(words) and words[j] == ":":
+                j += 1
+            if j >= len(words) or matched[j]:
+                continue
+            if tag == "Age" and not _AGE_RE.match(words[j]):
+                continue
+            claim(j, j + 1, tag)
+
+    def _match_value_sets(self, words, claim):
+        for i, word in enumerate(words):
+            if word in self.dictionaries.genders:
+                claim(i, i + 1, "Gender")
+            elif word in self.dictionaries.degrees:
+                claim(i, i + 1, "Degree")
+
+    def _match_phrases(self, words, claim, matched):
+        n = len(words)
+        for phrase, tag in self._phrase_index:
+            length = len(phrase)
+            if length > n:
+                continue
+            for start in range(n - length + 1):
+                if matched[start]:
+                    continue
+                if tuple(words[start : start + length]) == phrase:
+                    claim(start, start + length, tag)
+
+    def _match_name_bigram(self, words, claim, head_window: int = 8):
+        limit = min(len(words) - 1, head_window)
+        for i in range(limit):
+            if (
+                words[i] in self.dictionaries.first_names
+                and words[i + 1] in self.dictionaries.last_names
+            ):
+                if claim(i, i + 2, "Name"):
+                    return
+
+    def _match_company_suffix(self, words, claim, matched):
+        n = len(words)
+        for suffix in self._company_suffixes:
+            length = len(suffix)
+            for start in range(1, n - length + 1):
+                if tuple(words[start : start + length]) != suffix:
+                    continue
+                begin = start - 1
+                if matched[begin] or matched[start]:
+                    continue
+                claim(begin, start + length, "Company")
+
+
+def annotate_examples(
+    examples: Sequence[NerExample],
+    annotator: Optional[DistantAnnotator] = None,
+    require_entity: bool = True,
+) -> List[NerExample]:
+    """Re-label examples with distant labels (gold stays in the originals).
+
+    With ``require_entity`` (Section V-B1), blocks where the annotator found
+    nothing are dropped, matching the paper's "each training instance has at
+    least one matched entity mention".
+    """
+    annotator = annotator or DistantAnnotator()
+    annotated: List[NerExample] = []
+    for example in examples:
+        annotation = annotator.annotate(example.words)
+        if require_entity and annotation.num_entities == 0:
+            continue
+        annotated.append(
+            NerExample(
+                words=list(example.words),
+                labels=annotation.labels,
+                block_tag=example.block_tag,
+                doc_id=example.doc_id,
+            )
+        )
+    return annotated

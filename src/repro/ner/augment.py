@@ -1,0 +1,111 @@
+"""Training-data augmentation for distant supervision (Section IV-B2).
+
+Two operations from the paper:
+
+* **mention replacement** — swap an annotated entity's surface form for
+  another dictionary value of the same class (labels resized accordingly);
+* **field reordering** — swap the order of two adjacent entity mentions
+  (e.g. company name and work date), diversifying field layouts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..corpus.datasets import NerExample
+from ..docmodel.labels import ENTITY_SCHEME, iob_to_spans
+from .dictionaries import EntityDictionaries, build_dictionaries
+
+__all__ = ["replace_mentions", "reorder_fields", "augment_examples"]
+
+
+def _spans(example: NerExample):
+    ids = [
+        ENTITY_SCHEME.label_id(l) if l in ENTITY_SCHEME.labels else 0
+        for l in example.labels
+    ]
+    return iob_to_spans(ids, ENTITY_SCHEME)
+
+
+def replace_mentions(
+    example: NerExample,
+    dictionaries: EntityDictionaries,
+    rng: np.random.Generator,
+) -> Optional[NerExample]:
+    """Replace one dictionary-backed mention with another dictionary value."""
+    replaceable = {
+        tag: sorted(phrases)
+        for tag, phrases in dictionaries.phrase_dictionaries().items()
+    }
+    candidates = [s for s in _spans(example) if s[2] in replaceable]
+    if not candidates:
+        return None
+    start, stop, tag = candidates[int(rng.integers(0, len(candidates)))]
+    pool = replaceable[tag]
+    replacement = list(pool[int(rng.integers(0, len(pool)))])
+
+    words = (
+        list(example.words[:start]) + replacement + list(example.words[stop:])
+    )
+    labels = (
+        list(example.labels[:start])
+        + [f"B-{tag}"] + [f"I-{tag}"] * (len(replacement) - 1)
+        + list(example.labels[stop:])
+    )
+    return NerExample(words, labels, example.block_tag, example.doc_id)
+
+
+def reorder_fields(
+    example: NerExample, rng: np.random.Generator
+) -> Optional[NerExample]:
+    """Swap two adjacent entity mentions separated by at most two words."""
+    spans = _spans(example)
+    adjacent = [
+        (a, b)
+        for a, b in zip(spans, spans[1:])
+        if b[0] - a[1] <= 2 and a[2] != b[2]
+    ]
+    if not adjacent:
+        return None
+    (s1, e1, t1), (s2, e2, t2) = adjacent[int(rng.integers(0, len(adjacent)))]
+
+    words = list(example.words)
+    labels = list(example.labels)
+    middle_words = words[e1:s2]
+    middle_labels = labels[e1:s2]
+    new_words = (
+        words[:s1] + words[s2:e2] + middle_words + words[s1:e1] + words[e2:]
+    )
+    new_labels = (
+        labels[:s1] + labels[s2:e2] + middle_labels + labels[s1:e1] + labels[e2:]
+    )
+    return NerExample(new_words, new_labels, example.block_tag, example.doc_id)
+
+
+def augment_examples(
+    examples: Sequence[NerExample],
+    dictionaries: Optional[EntityDictionaries] = None,
+    replacement_factor: float = 0.5,
+    reorder_factor: float = 0.3,
+    seed: int = 0,
+) -> List[NerExample]:
+    """Return the originals plus augmented variants.
+
+    ``replacement_factor``/``reorder_factor`` control how many augmented
+    copies are drawn per original (in expectation).
+    """
+    dictionaries = dictionaries or build_dictionaries()
+    rng = np.random.default_rng(seed)
+    out: List[NerExample] = list(examples)
+    for example in examples:
+        if rng.random() < replacement_factor:
+            replaced = replace_mentions(example, dictionaries, rng)
+            if replaced is not None:
+                out.append(replaced)
+        if rng.random() < reorder_factor:
+            reordered = reorder_fields(example, rng)
+            if reordered is not None:
+                out.append(reordered)
+    return out

@@ -1,0 +1,182 @@
+"""The intra-block NER tagger: encoder + BiLSTM + MLP (Section IV-B3).
+
+``NerEncoder`` is the from-scratch stand-in for the paper's pre-trained
+RoBERTa (the environment has no pretrained checkpoints); ``NerTagger``
+stacks the BiLSTM and MLP prediction head on top, exactly the architecture
+the paper trains under distant supervision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..corpus.datasets import NerExample
+from ..docmodel.labels import ENTITY_SCHEME, IobScheme
+from ..nn import BiLstm, Dropout, Mlp, Module, Tensor, TransformerEncoder, no_grad
+from ..nn import init as nn_init
+from ..nn.functional import cross_entropy, softmax
+from ..text.wordpiece import WordPieceTokenizer
+from .encoding import NerFeatures, NerFeaturizer
+
+__all__ = ["NerConfig", "NerEncoder", "NerTagger"]
+
+
+class NerConfig:
+    """Hyper-parameters for the NER stack (paper: 12 layers, 768 hidden,
+    BiLSTM 256; defaults here are the CPU-scale rendition)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int = 64,
+        layers: int = 2,
+        heads: int = 4,
+        lstm_hidden: int = 32,
+        dropout: float = 0.1,
+        max_pieces: int = 192,
+        max_words: int = 96,
+        ffn_multiplier: int = 2,
+    ):
+        if hidden_dim % heads:
+            raise ValueError("hidden_dim must divide heads")
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.layers = layers
+        self.heads = heads
+        self.lstm_hidden = lstm_hidden
+        self.dropout = dropout
+        self.max_pieces = max_pieces
+        self.max_words = max_words
+        self.ffn_multiplier = ffn_multiplier
+
+
+class NerEncoder(Module):
+    """Text Transformer encoder over WordPiece sequences.
+
+    Besides sub-word embeddings it consumes the surface-shape descriptors
+    of :func:`repro.ner.encoding.word_shape` — explicit character-level
+    cues (digit runs, ``@``, punctuation, block position) standing in for
+    what web-scale pre-training gives the paper's RoBERTa for free.
+    """
+
+    def __init__(self, config: NerConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        from ..core.embeddings import TextEmbedding
+        from ..nn import Linear
+        from .encoding import SHAPE_DIM
+
+        self.config = config
+        self.embedding = TextEmbedding(
+            config.vocab_size,
+            config.hidden_dim,
+            max_positions=config.max_pieces,
+            rng=rng,
+        )
+        self.shape_project = Linear(SHAPE_DIM, config.hidden_dim, rng=rng)
+        self.encoder = TransformerEncoder(
+            config.layers,
+            config.hidden_dim,
+            config.heads,
+            ffn_dim=config.hidden_dim * config.ffn_multiplier,
+            dropout=config.dropout,
+            rng=rng,
+        )
+
+    def forward(
+        self,
+        piece_ids: np.ndarray,
+        piece_mask: np.ndarray,
+        piece_shape: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        segments = np.zeros_like(piece_ids)
+        embedded = self.embedding(piece_ids, segments)
+        if piece_shape is not None:
+            embedded = embedded + self.shape_project(
+                Tensor(np.asarray(piece_shape, dtype=np.float64))
+            )
+        return self.encoder(embedded, attention_mask=piece_mask)
+
+
+class NerTagger(Module):
+    """Encoder + BiLSTM + MLP word-level tagger."""
+
+    def __init__(
+        self,
+        config: NerConfig,
+        tokenizer: WordPieceTokenizer,
+        scheme: IobScheme = ENTITY_SCHEME,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or nn_init.default_rng()
+        self.config = config
+        self.scheme = scheme
+        self.featurizer = NerFeaturizer(
+            tokenizer, scheme, max_words=config.max_words, max_pieces=config.max_pieces
+        )
+        self.encoder = NerEncoder(config, rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        self.bilstm = BiLstm(config.hidden_dim, config.lstm_hidden, rng=rng)
+        self.mlp = Mlp(
+            [2 * config.lstm_hidden, config.lstm_hidden, scheme.num_labels], rng=rng
+        )
+
+    # ------------------------------------------------------------------
+    def word_states(self, features: NerFeatures) -> Tensor:
+        """Contextual state of each word's first sub-word, ``(b, w, d)``."""
+        states = self.encoder(
+            features.piece_ids, features.piece_mask, features.piece_shape
+        )
+        b = features.batch_size
+        rows = np.arange(b)[:, None]
+        return states[rows, features.first_piece]
+
+    def logits(self, features: NerFeatures) -> Tensor:
+        """Per-word label scores ``(b, w, num_labels)``."""
+        gathered = self.dropout(self.word_states(features))
+        hidden = self.bilstm(gathered)
+        return self.mlp(hidden)
+
+    def loss(self, features: NerFeatures) -> Tensor:
+        """Masked cross-entropy against ``features.label_ids``."""
+        return cross_entropy(
+            self.logits(features), features.label_ids, mask=features.word_mask
+        )
+
+    # ------------------------------------------------------------------
+    def predict_probs(self, examples: Sequence[NerExample]) -> np.ndarray:
+        """Class distributions ``(b, w, num_labels)`` (eval mode, no grad)."""
+        features = self.featurizer.featurize(examples)
+        self.eval()
+        with no_grad():
+            probs = softmax(self.logits(features), axis=-1)
+        return probs.numpy()
+
+    def predict(self, examples: Sequence[NerExample]) -> List[List[str]]:
+        """IOB label strings per example (argmax decoding)."""
+        features = self.featurizer.featurize(examples)
+        self.eval()
+        with no_grad():
+            scores = self.logits(features).numpy()
+        predictions: List[List[str]] = []
+        for row, example in enumerate(examples):
+            n = len(example.words)
+            ids = scores[row, : min(n, features.max_words)].argmax(axis=-1)
+            labels = self.scheme.decode(list(ids))
+            labels += ["O"] * (n - len(labels))
+            predictions.append(labels)
+        return predictions
+
+    def clone(self) -> "NerTagger":
+        """A parameter-identical copy (used by the teacher-student loop)."""
+        twin = NerTagger(
+            self.config,
+            self.featurizer.tokenizer,
+            scheme=self.scheme,
+            rng=nn_init.default_rng(0),
+        )
+        twin.load_state_dict(self.state_dict())
+        return twin

@@ -1,0 +1,132 @@
+"""Multi-head self-attention and Transformer encoder stacks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init
+from .functional import gelu, masked_fill, softmax
+from .layers import Dropout, LayerNorm, Linear
+from .module import Module, ModuleList
+from .tensor import Tensor
+
+__all__ = [
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product multi-head self-attention.
+
+    Operates on ``(batch, seq, dim)`` inputs with an optional boolean/0-1
+    ``attention_mask`` of shape ``(batch, seq)`` where 1 marks valid tokens.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or init.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(
+            0, 2, 1, 3
+        )
+
+    def forward(
+        self, x: Tensor, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x))
+        k = self._split_heads(self.key(x))
+        v = self._split_heads(self.value(x))
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(self.head_dim)
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            if not mask.all():
+                # Broadcast key mask to (batch, heads, query, key).
+                invalid = ~mask[:, None, None, :]
+                invalid = np.broadcast_to(invalid, scores.shape)
+                scores = masked_fill(scores, invalid)
+        weights = softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.out(context)
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm Transformer encoder layer (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or init.default_rng()
+        ffn_dim = ffn_dim or dim * 4
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self, x: Tensor, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask)
+        x = self.norm1(x + self.dropout(attended))
+        transformed = self.ffn_out(gelu(self.ffn_in(x)))
+        return self.norm2(x + self.dropout(transformed))
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer`."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or init.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+
+    def forward(
+        self, x: Tensor, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_mask=attention_mask)
+        return x

@@ -1,0 +1,307 @@
+"""Linear-chain conditional random fields.
+
+Provides the standard CRF used by the block classifier and NER baselines
+(forward-algorithm loss, Viterbi decoding) and the *fuzzy* CRF of
+Shang et al. (2018) used for distantly supervised data, where each position
+may carry a set of permitted tags and the likelihood marginalises over all
+paths consistent with the constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import init
+from .functional import logsumexp
+from .module import Module, Parameter
+from .tensor import Tensor, where
+
+__all__ = ["LinearChainCrf", "FuzzyCrf"]
+
+_NEG_INF = -1e9
+
+
+def _lse(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-sum-exp over ``axis`` (pure numpy, used by the fused op)."""
+    m = np.max(x, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    return np.squeeze(m, axis) + np.log(np.exp(x - m).sum(axis=axis))
+
+
+def _fused_log_partition(
+    emissions: Tensor,
+    transitions,
+    start_scores,
+    end_scores,
+    lengths: np.ndarray,
+) -> Tensor:
+    """Log partition per sequence as ONE autograd node.
+
+    The naive composition of tensor ops builds thousands of graph nodes per
+    document (a python-level forward recursion); this fused operator runs
+    the forward pass in raw numpy and implements the analytic gradient — the
+    forward-backward marginals — making CRF training ~10x faster.  Gradients
+    flow to the emissions, the transition matrix, and the start/end scores.
+    """
+    emissions_data = emissions.data
+    batch, seq, num_tags = emissions_data.shape
+    trans = transitions.data
+    start = start_scores.data
+    end = end_scores.data
+
+    # Forward pass: alphas per sequence (stored for the backward pass).
+    alphas = np.zeros((batch, seq, num_tags))
+    log_z = np.zeros(batch)
+    for b in range(batch):
+        length = int(lengths[b])
+        alpha = start + emissions_data[b, 0]
+        alphas[b, 0] = alpha
+        for t in range(1, length):
+            alpha = _lse(alpha[:, None] + trans, axis=0) + emissions_data[b, t]
+            alphas[b, t] = alpha
+        log_z[b] = _lse(alpha + end, axis=0)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_emissions = np.zeros_like(emissions_data)
+        grad_trans = np.zeros_like(trans)
+        grad_start = np.zeros_like(start)
+        grad_end = np.zeros_like(end)
+        for b in range(batch):
+            length = int(lengths[b])
+            g = grad[b]
+            # Backward (beta) recursion.
+            betas = np.zeros((length, num_tags))
+            betas[length - 1] = end
+            for t in range(length - 2, -1, -1):
+                betas[t] = _lse(
+                    trans + emissions_data[b, t + 1] + betas[t + 1], axis=1
+                )
+            # Unary marginals.
+            marginals = np.exp(alphas[b, :length] + betas - log_z[b])
+            grad_emissions[b, :length] += g * marginals
+            grad_start += g * marginals[0]
+            grad_end += g * np.exp(alphas[b, length - 1] + end - log_z[b])
+            # Pairwise marginals -> transition gradient.
+            for t in range(length - 1):
+                pair = np.exp(
+                    alphas[b, t][:, None]
+                    + trans
+                    + emissions_data[b, t + 1][None, :]
+                    + betas[t + 1][None, :]
+                    - log_z[b]
+                )
+                grad_trans += g * pair
+        emissions._accumulate(grad_emissions)
+        transitions._accumulate(grad_trans)
+        start_scores._accumulate(grad_start)
+        end_scores._accumulate(grad_end)
+
+    return emissions._make(
+        log_z, (emissions, transitions, start_scores, end_scores), backward
+    )
+
+
+def _fused_gold_score(
+    emissions: Tensor,
+    transitions,
+    start_scores,
+    end_scores,
+    tags: np.ndarray,
+    mask: np.ndarray,
+) -> Tensor:
+    """Gold-path score per sequence as one autograd node (count gradients)."""
+    emissions_data = emissions.data
+    batch, seq, _ = emissions_data.shape
+    lengths = mask.sum(axis=1).astype(np.int64)
+    batch_idx = np.arange(batch)
+
+    scores = start_scores.data[tags[:, 0]] + emissions_data[batch_idx, 0, tags[:, 0]]
+    for t in range(1, seq):
+        step = mask[:, t]
+        scores = scores + step * (
+            emissions_data[batch_idx, t, tags[:, t]]
+            + transitions.data[tags[:, t - 1], tags[:, t]]
+        )
+    last_tags = tags[batch_idx, lengths - 1]
+    scores = scores + end_scores.data[last_tags]
+
+    def backward(grad: np.ndarray) -> None:
+        grad_emissions = np.zeros_like(emissions_data)
+        grad_trans = np.zeros_like(transitions.data)
+        grad_start = np.zeros_like(start_scores.data)
+        grad_end = np.zeros_like(end_scores.data)
+        np.add.at(grad_emissions, (batch_idx, 0, tags[:, 0]), grad)
+        np.add.at(grad_start, tags[:, 0], grad)
+        for t in range(1, seq):
+            weight = grad * mask[:, t]
+            np.add.at(grad_emissions, (batch_idx, t, tags[:, t]), weight)
+            np.add.at(grad_trans, (tags[:, t - 1], tags[:, t]), weight)
+        np.add.at(grad_end, last_tags, grad)
+        emissions._accumulate(grad_emissions)
+        transitions._accumulate(grad_trans)
+        start_scores._accumulate(grad_start)
+        end_scores._accumulate(grad_end)
+
+    return emissions._make(
+        scores, (emissions, transitions, start_scores, end_scores), backward
+    )
+
+
+class LinearChainCrf(Module):
+    """Linear-chain CRF layer over emission scores.
+
+    Emissions have shape ``(batch, seq, num_tags)``.  ``mask`` is a 0/1 array
+    of shape ``(batch, seq)``; position 0 must be valid for every sequence.
+    """
+
+    def __init__(self, num_tags: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or init.default_rng()
+        self.num_tags = num_tags
+        self.transitions = Parameter(init.uniform((num_tags, num_tags), rng))
+        self.start_scores = Parameter(init.uniform((num_tags,), rng))
+        self.end_scores = Parameter(init.uniform((num_tags,), rng))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def neg_log_likelihood(
+        self, emissions: Tensor, tags: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        tags = np.asarray(tags, dtype=np.int64)
+        mask = self._prepare_mask(mask, tags.shape)
+        gold = self._score_sequence(emissions, tags, mask)
+        log_z = self._partition(emissions, mask)
+        batch = emissions.shape[0]
+        return (log_z - gold).sum() / float(batch)
+
+    def _prepare_mask(self, mask, shape) -> np.ndarray:
+        if mask is None:
+            mask = np.ones(shape, dtype=np.float64)
+        mask = np.asarray(mask, dtype=np.float64)
+        if not np.all(mask[:, 0] == 1.0):
+            raise ValueError("CRF requires the first position of each sequence valid")
+        return mask
+
+    @staticmethod
+    def _is_prefix_mask(mask: np.ndarray) -> bool:
+        lengths = mask.sum(axis=1).astype(np.int64)
+        positions = np.arange(mask.shape[1])
+        return bool(np.all((positions[None, :] < lengths[:, None]) == (mask > 0)))
+
+    def _score_sequence(
+        self, emissions: Tensor, tags: np.ndarray, mask: np.ndarray
+    ) -> Tensor:
+        if self._is_prefix_mask(mask):
+            return _fused_gold_score(
+                emissions, self.transitions, self.start_scores,
+                self.end_scores, tags, mask,
+            )
+        return self._score_sequence_reference(emissions, tags, mask)
+
+    def _score_sequence_reference(
+        self, emissions: Tensor, tags: np.ndarray, mask: np.ndarray
+    ) -> Tensor:
+        """Compositional-autograd gold score (slow; used for verification
+        and for non-prefix masks)."""
+        batch, seq, _ = emissions.shape
+        batch_idx = np.arange(batch)
+
+        score = self.start_scores[tags[:, 0]] + emissions[batch_idx, 0, tags[:, 0]]
+        for t in range(1, seq):
+            step_mask = Tensor(mask[:, t])
+            emit = emissions[batch_idx, t, tags[:, t]]
+            trans = self.transitions[tags[:, t - 1], tags[:, t]]
+            score = score + (emit + trans) * step_mask
+
+        # End transition from the last valid tag of each sequence.
+        lengths = mask.sum(axis=1).astype(np.int64)
+        last_tags = tags[batch_idx, lengths - 1]
+        score = score + self.end_scores[last_tags]
+        return score
+
+    def _partition(self, emissions: Tensor, mask: np.ndarray) -> Tensor:
+        if self._is_prefix_mask(mask):
+            lengths = mask.sum(axis=1).astype(np.int64)
+            return _fused_log_partition(
+                emissions, self.transitions, self.start_scores,
+                self.end_scores, lengths,
+            )
+        return self._partition_reference(emissions, mask)
+
+    def _partition_reference(self, emissions: Tensor, mask: np.ndarray) -> Tensor:
+        """Compositional-autograd forward algorithm (slow; verification)."""
+        batch, seq, _ = emissions.shape
+        alpha = self.start_scores + emissions[:, 0, :]
+        for t in range(1, seq):
+            # broadcast: (batch, prev, 1) + (prev, next) -> (batch, prev, next)
+            scores = alpha.reshape(batch, self.num_tags, 1) + self.transitions
+            new_alpha = logsumexp(scores, axis=1) + emissions[:, t, :]
+            step = mask[:, t][:, None].astype(bool)
+            alpha = where(np.broadcast_to(step, alpha.shape), new_alpha, alpha)
+        alpha = alpha + self.end_scores
+        return logsumexp(alpha, axis=1)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(
+        self, emissions: Tensor, mask: Optional[np.ndarray] = None
+    ) -> List[List[int]]:
+        """Viterbi decoding; returns the best tag sequence per batch item."""
+        scores = emissions.data if isinstance(emissions, Tensor) else emissions
+        batch, seq, num_tags = scores.shape
+        mask = self._prepare_mask(mask, (batch, seq))
+        lengths = mask.sum(axis=1).astype(np.int64)
+        transitions = self.transitions.data
+        start = self.start_scores.data
+        end = self.end_scores.data
+
+        results: List[List[int]] = []
+        for b in range(batch):
+            length = int(lengths[b])
+            viterbi = np.empty((length, num_tags))
+            pointers = np.empty((length, num_tags), dtype=np.int64)
+            viterbi[0] = start + scores[b, 0]
+            for t in range(1, length):
+                candidate = viterbi[t - 1][:, None] + transitions
+                pointers[t] = candidate.argmax(axis=0)
+                viterbi[t] = candidate.max(axis=0) + scores[b, t]
+            viterbi[length - 1] += end
+            best = int(viterbi[length - 1].argmax())
+            path = [best]
+            for t in range(length - 1, 0, -1):
+                best = int(pointers[t, best])
+                path.append(best)
+            path.reverse()
+            results.append(path)
+        return results
+
+
+class FuzzyCrf(LinearChainCrf):
+    """Fuzzy CRF: likelihood marginalised over label sets per position.
+
+    ``allowed`` is a boolean array ``(batch, seq, num_tags)`` marking the
+    tags permitted at each position (all-True rows mean "unknown").  The loss
+    is ``log Z - log Z_constrained`` where the constrained partition sums
+    only over paths that respect ``allowed``.
+    """
+
+    def constrained_nll(
+        self,
+        emissions: Tensor,
+        allowed: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        allowed = np.asarray(allowed, dtype=bool)
+        batch, seq, _ = emissions.shape
+        mask = self._prepare_mask(mask, (batch, seq))
+        if not allowed.any(axis=-1).all():
+            raise ValueError("every position needs at least one allowed tag")
+
+        penalty = Tensor(np.where(allowed, 0.0, _NEG_INF))
+        constrained = self._partition(emissions + penalty, mask)
+        log_z = self._partition(emissions, mask)
+        return (log_z - constrained).sum() / float(batch)

@@ -1,0 +1,45 @@
+"""Weight initialisation schemes with an explicit RNG for reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng", "xavier_uniform", "normal", "zeros", "ones", "uniform"]
+
+_GLOBAL_SEED = 0
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a numpy Generator; seed defaults to the library-wide seed."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for weight matrices."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """BERT-style truncated-ish normal initialisation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape, rng: np.random.Generator, limit: float = 0.1) -> np.ndarray:
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    return fan_in, shape[-1]

@@ -1,0 +1,139 @@
+"""Core neural layers: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import init
+from .functional import gelu
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "Mlp"]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b`` over the last axis."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or init.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        padding_idx: Optional[int] = None,
+    ):
+        super().__init__()
+        rng = rng or init.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng))
+        self.padding_idx = padding_idx
+        if padding_idx is not None:
+            self.weight.data[padding_idx] = 0.0
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return self.weight[ids]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones(dim))
+        self.beta = Parameter(init.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1): {p}")
+        self.p = p
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class Mlp(Module):
+    """Multi-layer perceptron with GELU activations between layers."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "gelu",
+    ):
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("Mlp needs at least input and output sizes")
+        rng = rng or init.default_rng()
+        from .module import ModuleList
+
+        self.layers = ModuleList(
+            Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])
+        )
+        if activation not in ("gelu", "tanh", "relu"):
+            raise ValueError(f"unknown activation: {activation}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i != last:
+                if self.activation == "gelu":
+                    x = gelu(x)
+                elif self.activation == "tanh":
+                    x = x.tanh()
+                else:
+                    x = x.relu()
+        return x

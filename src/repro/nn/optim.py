@@ -1,0 +1,176 @@
+"""Optimisers (SGD, Adam, AdamW), gradient clipping and LR schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = [
+    "Sgd",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LinearWarmupSchedule",
+    "ParamGroup",
+]
+
+
+class ParamGroup:
+    """A set of parameters sharing a learning rate.
+
+    The paper fine-tunes the hierarchical encoder at 5e-5 while the
+    BiLSTM+CRF head trains at 1e-3; param groups make that split explicit.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        self.lr = lr
+
+
+class _Optimizer:
+    def __init__(self, groups: Sequence[ParamGroup]):
+        if not groups:
+            raise ValueError("optimizer needs at least one parameter group")
+        self.groups = list(groups)
+
+    @classmethod
+    def from_params(cls, params: Iterable[Parameter], lr: float, **kwargs):
+        return cls([ParamGroup(params, lr)], **kwargs)
+
+    def zero_grad(self) -> None:
+        for group in self.groups:
+            for param in group.params:
+                param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr_scale(self, scale: float) -> None:
+        """Scale every group's base learning rate (used by schedules)."""
+        for group, base in zip(self.groups, self._base_lrs):
+            group.lr = base * scale
+
+    def _snapshot_lrs(self) -> None:
+        self._base_lrs = [group.lr for group in self.groups]
+
+
+class Sgd(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, groups: Sequence[ParamGroup], momentum: float = 0.0):
+        super().__init__(groups)
+        self.momentum = momentum
+        self._velocity = [
+            [np.zeros_like(p.data) for p in g.params] for g in self.groups
+        ]
+        self._snapshot_lrs()
+
+    def step(self) -> None:
+        for group, velocities in zip(self.groups, self._velocity):
+            for param, velocity in zip(group.params, velocities):
+                if param.grad is None:
+                    continue
+                if self.momentum:
+                    velocity *= self.momentum
+                    velocity += param.grad
+                    update = velocity
+                else:
+                    update = param.grad
+                param.data -= group.lr * update
+
+
+class Adam(_Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        groups: Sequence[ParamGroup],
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(groups)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [[np.zeros_like(p.data) for p in g.params] for g in self.groups]
+        self._v = [[np.zeros_like(p.data) for p in g.params] for g in self.groups]
+        self._snapshot_lrs()
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for gi, group in enumerate(self.groups):
+            for pi, param in enumerate(group.params):
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if self.weight_decay and not self._decoupled():
+                    grad = grad + self.weight_decay * param.data
+                m = self._m[gi][pi]
+                v = self._v[gi][pi]
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad**2
+                m_hat = m / bias1
+                v_hat = v / bias2
+                update = m_hat / (np.sqrt(v_hat) + self.eps)
+                if self.weight_decay and self._decoupled():
+                    update = update + self.weight_decay * param.data
+                param.data -= group.lr * update
+
+    def _decoupled(self) -> bool:
+        return False
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the paper's 0.01 setting)."""
+
+    def __init__(self, groups: Sequence[ParamGroup], weight_decay: float = 0.01, **kw):
+        super().__init__(groups, weight_decay=weight_decay, **kw)
+
+    def _decoupled(self) -> bool:
+        return True
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class LinearWarmupSchedule:
+    """Linear warmup followed by linear decay to zero."""
+
+    def __init__(self, optimizer: _Optimizer, warmup_steps: int, total_steps: int):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.warmup_steps = max(warmup_steps, 0)
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        self._step_count += 1
+        scale = self.scale_at(self._step_count)
+        self.optimizer.set_lr_scale(scale)
+        return scale
+
+    def scale_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return remaining / denom

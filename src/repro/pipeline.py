@@ -1,0 +1,176 @@
+"""End-to-end resume parsing: block classification + intra-block NER.
+
+``ResumeParser`` is the deployment-shaped API (the paper ships this
+pipeline on Baidu Cloud): a document goes through the sentence-level block
+classifier, contiguous same-tag sentences form block instances, and each
+entity-bearing block runs through the NER tagger, yielding the hierarchical
+structure — e.g. every work experience with its company, position, and
+dates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .corpus.datasets import NerExample
+from .core.block_classifier import BlockClassifier
+from .docmodel.document import ResumeDocument
+from .docmodel.labels import BLOCK_ENTITIES, iob_to_spans
+from .ner.model import NerTagger
+
+__all__ = [
+    "ParsedEntity",
+    "ParsedBlock",
+    "ParsedResume",
+    "ResumeParser",
+    "segment_to_ner_examples",
+]
+
+
+@dataclass
+class ParsedEntity:
+    """One extracted entity mention."""
+
+    tag: str
+    text: str
+    start: int  # word offsets within the block
+    stop: int
+
+
+@dataclass
+class ParsedBlock:
+    """One semantic block with its text and extracted entities."""
+
+    tag: str
+    sentence_indices: List[int]
+    text: str
+    entities: List[ParsedEntity] = field(default_factory=list)
+
+
+@dataclass
+class ParsedResume:
+    """The hierarchical structure extracted from one resume."""
+
+    doc_id: str
+    blocks: List[ParsedBlock]
+
+    def blocks_by_tag(self, tag: str) -> List[ParsedBlock]:
+        return [b for b in self.blocks if b.tag == tag]
+
+    def to_dict(self) -> Dict:
+        """JSON-ready nested structure."""
+        return {
+            "doc_id": self.doc_id,
+            "blocks": [
+                {
+                    "tag": block.tag,
+                    "text": block.text,
+                    "entities": [
+                        {"tag": e.tag, "text": e.text, "span": [e.start, e.stop]}
+                        for e in block.entities
+                    ],
+                }
+                for block in self.blocks
+            ],
+        }
+
+
+class ResumeParser:
+    """The full two-stage pipeline of the paper."""
+
+    def __init__(
+        self,
+        block_classifier: BlockClassifier,
+        ner_tagger: Optional[NerTagger] = None,
+    ):
+        self.block_classifier = block_classifier
+        self.ner_tagger = ner_tagger
+
+    # ------------------------------------------------------------------
+    def segment(self, document: ResumeDocument) -> List[ParsedBlock]:
+        """Stage 1: sentence-level block segmentation."""
+        labels = self.block_classifier.predict(document)
+        scheme = self.block_classifier.scheme
+        ids = [
+            scheme.label_id(label) if label in scheme.labels else scheme.outside_id
+            for label in labels
+        ]
+        blocks: List[ParsedBlock] = []
+        for start, stop, tag in iob_to_spans(ids, scheme):
+            indices = list(range(start, stop))
+            text = " ".join(document.sentences[i].text for i in indices)
+            blocks.append(ParsedBlock(tag=tag, sentence_indices=indices, text=text))
+        return blocks
+
+    def extract_entities(
+        self, document: ResumeDocument, blocks: Sequence[ParsedBlock]
+    ) -> None:
+        """Stage 2: NER inside each entity-bearing block (in place)."""
+        if self.ner_tagger is None:
+            return
+        targets = [b for b in blocks if b.tag in BLOCK_ENTITIES]
+        if not targets:
+            return
+        examples = []
+        for block in targets:
+            words: List[str] = []
+            for index in block.sentence_indices:
+                words.extend(document.sentences[index].words)
+            examples.append(
+                NerExample(words, ["O"] * len(words), block.tag, document.doc_id)
+            )
+        predictions = self.ner_tagger.predict(examples)
+        scheme = self.ner_tagger.scheme
+        for block, example, labels in zip(targets, examples, predictions):
+            ids = [
+                scheme.label_id(l) if l in scheme.labels else scheme.outside_id
+                for l in labels
+            ]
+            allowed = set(BLOCK_ENTITIES[block.tag])
+            for start, stop, tag in iob_to_spans(ids, scheme):
+                if tag not in allowed:
+                    continue  # Table IV evaluates per-block entity types
+                block.entities.append(
+                    ParsedEntity(
+                        tag=tag,
+                        text=" ".join(example.words[start:stop]),
+                        start=start,
+                        stop=stop,
+                    )
+                )
+
+    def parse(self, document: ResumeDocument) -> ParsedResume:
+        """Run both stages and return the hierarchical structure."""
+        blocks = self.segment(document)
+        self.extract_entities(document, blocks)
+        return ParsedResume(doc_id=document.doc_id, blocks=blocks)
+
+
+def segment_to_ner_examples(
+    classifier: BlockClassifier,
+    documents,
+) -> List[NerExample]:
+    """Slice documents into NER instances using *predicted* blocks.
+
+    This is the paper's actual data flow for task 2 (Section V-B1): the
+    trained block classifier segments each training document, and the text
+    of each entity-bearing predicted block becomes one training instance
+    for the distant annotator.  (``repro.corpus.extract_block_examples``
+    is the gold-segmentation variant used for controlled evaluation.)
+    """
+    parser = ResumeParser(classifier, ner_tagger=None)
+    examples: List[NerExample] = []
+    for document in documents:
+        for block in parser.segment(document):
+            if block.tag not in BLOCK_ENTITIES:
+                continue
+            words: List[str] = []
+            for index in block.sentence_indices:
+                words.extend(document.sentences[index].words)
+            if not words:
+                continue
+            examples.append(
+                NerExample(words, ["O"] * len(words), block.tag, document.doc_id)
+            )
+    return examples

@@ -1,0 +1,23 @@
+"""``repro.text`` — vocabulary and WordPiece tokenisation substrate."""
+
+from .normalize import normalize_text, pretokenize
+from .vocab import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, Vocab
+from .word2vec import Word2VecConfig, Word2VecModel, train_word2vec
+from .wordpiece import WordPieceTokenizer, train_wordpiece
+
+__all__ = [
+    "normalize_text",
+    "pretokenize",
+    "Vocab",
+    "PAD",
+    "UNK",
+    "CLS",
+    "SEP",
+    "MASK",
+    "SPECIAL_TOKENS",
+    "WordPieceTokenizer",
+    "Word2VecConfig",
+    "Word2VecModel",
+    "train_word2vec",
+    "train_wordpiece",
+]

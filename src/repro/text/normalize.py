@@ -1,0 +1,33 @@
+"""Text normalisation and pre-tokenisation helpers."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List
+
+__all__ = ["normalize_text", "pretokenize"]
+
+_PUNCT_RE = re.compile(r"([!-/:-@\[-`{-~])")
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, NFKC-normalise and collapse whitespace."""
+    text = unicodedata.normalize("NFKC", text)
+    text = text.lower()
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def pretokenize(text: str) -> List[str]:
+    """Split normalised text into whitespace/punctuation-delimited words.
+
+    Punctuation characters become standalone tokens, matching the BERT
+    basic tokenizer's behaviour so emails split as
+    ``alice @ example . com``.
+    """
+    text = normalize_text(text)
+    if not text:
+        return []
+    text = _PUNCT_RE.sub(r" \1 ", text)
+    return [w for w in text.split(" ") if w]

@@ -1,0 +1,94 @@
+"""Vocabulary: bidirectional token/id mapping with reserved special tokens."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List
+
+__all__ = ["Vocab", "PAD", "UNK", "CLS", "SEP", "MASK", "SPECIAL_TOKENS"]
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP, MASK)
+
+
+class Vocab:
+    """An immutable-after-build token vocabulary.
+
+    Special tokens always occupy the first ids so ``pad_id == 0`` can be
+    relied on by padding code everywhere.
+    """
+
+    def __init__(self, tokens: Iterable[str]):
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        for token in tokens:
+            self._add(token)
+
+    def _add(self, token: str) -> None:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, idx: int) -> str:
+        return self._id_to_token[idx]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        return [self.token_to_id(t) for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> List[str]:
+        return [self.id_to_token(i) for i in ids]
+
+    def tokens(self) -> List[str]:
+        """All tokens in id order (including specials)."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self._id_to_token, handle, ensure_ascii=False)
+
+    @classmethod
+    def load(cls, path: str) -> "Vocab":
+        with open(path, encoding="utf-8") as handle:
+            tokens = json.load(handle)
+        if tokens[: len(SPECIAL_TOKENS)] != list(SPECIAL_TOKENS):
+            raise ValueError("vocabulary file missing special-token prefix")
+        return cls(tokens[len(SPECIAL_TOKENS) :])

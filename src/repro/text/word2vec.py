@@ -1,0 +1,167 @@
+"""Skip-gram word2vec with negative sampling (Mikolov et al., 2013).
+
+The paper's related work traces resume extraction through Word2Vec-
+initialised BiLSTM+CRF systems (Sheng et al., 2018; Chen et al., 2016);
+this module provides that substrate: a from-scratch SGNS trainer over the
+corpus, producing an embedding matrix aligned to a :class:`~repro.text.
+vocab.Vocab` that can initialise any model's word embedding table.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .normalize import pretokenize
+from .vocab import SPECIAL_TOKENS, Vocab
+
+__all__ = ["Word2VecConfig", "train_word2vec", "Word2VecModel"]
+
+
+class Word2VecConfig:
+    """SGNS hyper-parameters."""
+
+    def __init__(
+        self,
+        dim: int = 64,
+        window: int = 3,
+        negatives: int = 5,
+        epochs: int = 3,
+        learning_rate: float = 0.025,
+        min_count: int = 1,
+        subsample: float = 0.0,
+        seed: int = 0,
+    ):
+        """``subsample`` of 0 disables frequent-word subsampling — the
+        Mikolov heuristic assumes web-scale corpora and starves small ones."""
+        if dim <= 0 or window <= 0 or negatives <= 0:
+            raise ValueError("dim, window and negatives must be positive")
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.min_count = min_count
+        self.subsample = subsample
+        self.seed = seed
+
+
+class Word2VecModel:
+    """Trained embeddings with similarity queries."""
+
+    def __init__(self, vocab: Vocab, vectors: np.ndarray):
+        if vectors.shape[0] != len(vocab):
+            raise ValueError("vectors must align with the vocabulary")
+        self.vocab = vocab
+        self.vectors = vectors
+
+    def vector(self, word: str) -> np.ndarray:
+        return self.vectors[self.vocab.token_to_id(word)]
+
+    def similarity(self, a: str, b: str) -> float:
+        va, vb = self.vector(a), self.vector(b)
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        if denom == 0:
+            return 0.0
+        return float(va @ vb / denom)
+
+    def most_similar(self, word: str, top: int = 5) -> List[tuple]:
+        """Nearest words by cosine similarity (excludes the query/specials)."""
+        query = self.vector(word)
+        norms = np.linalg.norm(self.vectors, axis=1) * max(
+            np.linalg.norm(query), 1e-12
+        )
+        scores = self.vectors @ query / np.maximum(norms, 1e-12)
+        order = np.argsort(-scores)
+        results = []
+        skip = {self.vocab.token_to_id(word)} | set(range(len(SPECIAL_TOKENS)))
+        for idx in order:
+            if int(idx) in skip:
+                continue
+            results.append((self.vocab.id_to_token(int(idx)), float(scores[idx])))
+            if len(results) >= top:
+                break
+        return results
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+def train_word2vec(
+    texts: Iterable[str],
+    config: Optional[Word2VecConfig] = None,
+    vocab: Optional[Vocab] = None,
+) -> Word2VecModel:
+    """Train SGNS embeddings over raw texts.
+
+    When ``vocab`` is given, embeddings align to it (words below
+    ``min_count`` or outside the corpus keep their random initialisation);
+    otherwise a word-level vocabulary is built from the corpus.
+    """
+    config = config or Word2VecConfig()
+    rng = np.random.default_rng(config.seed)
+
+    sentences: List[List[str]] = [pretokenize(text) for text in texts]
+    counts = Counter(word for sentence in sentences for word in sentence)
+    if vocab is None:
+        kept = [w for w, c in counts.most_common() if c >= config.min_count]
+        vocab = Vocab(kept)
+
+    vocab_size = len(vocab)
+    input_vectors = (rng.random((vocab_size, config.dim)) - 0.5) / config.dim
+    output_vectors = np.zeros((vocab_size, config.dim))
+
+    # Unigram^0.75 negative-sampling table.
+    frequencies = np.zeros(vocab_size)
+    for word, count in counts.items():
+        frequencies[vocab.token_to_id(word)] += count
+    weights = frequencies**0.75
+    total_weight = weights.sum()
+    if total_weight == 0:
+        return Word2VecModel(vocab, input_vectors)
+    sampling = weights / total_weight
+
+    total_words = max(sum(counts.values()), 1)
+    lr = config.learning_rate
+    for _ in range(config.epochs):
+        for sentence in sentences:
+            ids: List[int] = []
+            for word in sentence:
+                idx = vocab.token_to_id(word)
+                if idx == vocab.unk_id:
+                    continue
+                if config.subsample > 0:
+                    # Frequent-word subsampling (Mikolov's heuristic).
+                    frequency = counts[word] / total_words
+                    keep = min(
+                        1.0,
+                        (config.subsample / frequency) ** 0.5
+                        + config.subsample / frequency,
+                    )
+                    if rng.random() >= keep:
+                        continue
+                ids.append(idx)
+            for position, center in enumerate(ids):
+                span = int(rng.integers(1, config.window + 1))
+                lo = max(position - span, 0)
+                hi = min(position + span + 1, len(ids))
+                for ctx_pos in range(lo, hi):
+                    if ctx_pos == position:
+                        continue
+                    context = ids[ctx_pos]
+                    negatives = rng.choice(
+                        vocab_size, size=config.negatives, p=sampling
+                    )
+                    targets = np.concatenate([[context], negatives])
+                    labels = np.zeros(len(targets))
+                    labels[0] = 1.0
+                    v_in = input_vectors[center]
+                    v_out = output_vectors[targets]
+                    scores = _sigmoid(v_out @ v_in)
+                    gradient = (labels - scores) * lr
+                    input_vectors[center] += gradient @ v_out
+                    output_vectors[targets] += gradient[:, None] * v_in
+    return Word2VecModel(vocab, input_vectors)

@@ -1,0 +1,150 @@
+"""Command-line tools: ``python -m repro.tools <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic resume corpus as JSON lines;
+* ``render`` — print one generated resume's annotated page layout;
+* ``train`` — train a small end-to-end parser and save it;
+* ``parse`` — load a saved parser and parse a freshly generated resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .corpus import ContentConfig, ResumeGenerator
+
+    profile = ContentConfig.paper() if args.profile == "paper" else ContentConfig.tiny()
+    generator = ResumeGenerator(seed=args.seed, content_config=profile)
+    for document in generator.stream(args.count):
+        payload = {
+            "doc_id": document.doc_id,
+            "pages": document.num_pages,
+            "sentences": [
+                {
+                    "text": s.text,
+                    "page": s.page,
+                    "bbox": list(s.bbox.to_tuple()),
+                    "block": s.majority_block()[0],
+                }
+                for s in document.sentences
+            ],
+        }
+        print(json.dumps(payload))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .corpus import ContentConfig, ResumeGenerator, ascii_page
+
+    profile = ContentConfig.paper() if args.profile == "paper" else ContentConfig.tiny()
+    document = ResumeGenerator(seed=args.seed, content_config=profile).batch(1)[0]
+    for page in range(1, document.num_pages + 1):
+        print(ascii_page(document, page))
+        print()
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import (
+        BlockClassifier,
+        BlockTrainer,
+        Featurizer,
+        HierarchicalEncoder,
+        LabeledDocument,
+        Pretrainer,
+        ResuFormerConfig,
+    )
+    from .corpus import ContentConfig, ResumeGenerator
+    from .persistence import save_parser
+    from .pipeline import ResumeParser
+    from .text import WordPieceTokenizer
+
+    generator = ResumeGenerator(seed=args.seed, content_config=ContentConfig.tiny())
+    documents = generator.batch(args.documents)
+    split = max(args.documents - 4, 2)
+    unlabeled, labeled = documents[:split], documents[split:]
+
+    print(f"training on {len(labeled)} labeled / {len(unlabeled)} unlabeled resumes")
+    tokenizer = WordPieceTokenizer.train(
+        (s.text for d in documents for s in d.sentences), vocab_size=1000
+    )
+    config = ResuFormerConfig(vocab_size=len(tokenizer.vocab))
+    featurizer = Featurizer(tokenizer, config)
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(args.seed))
+    Pretrainer(encoder, featurizer, seed=args.seed).fit(
+        unlabeled, epochs=args.pretrain_epochs
+    )
+    classifier = BlockClassifier(encoder, featurizer)
+    trainer = BlockTrainer(classifier, seed=args.seed)
+    history = trainer.fit(
+        [LabeledDocument.from_gold(d) for d in labeled[:-1]],
+        validation=[LabeledDocument.from_gold(labeled[-1])],
+        epochs=args.epochs,
+    )
+    if history["val_accuracy"]:
+        print(f"validation sentence accuracy: {history['val_accuracy'][-1]:.2f}")
+    save_parser(ResumeParser(classifier), args.output)
+    print(f"saved parser to {args.output}")
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    from .corpus import ContentConfig, ResumeGenerator
+    from .persistence import load_parser
+
+    parser = load_parser(args.model)
+    document = ResumeGenerator(
+        seed=args.seed, content_config=ContentConfig.tiny()
+    ).batch(1)[0]
+    parsed = parser.parse(document)
+    print(json.dumps(parsed.to_dict(), indent=2))
+    return 0
+
+
+def build_cli() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="ResuFormer reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="emit synthetic resumes as JSONL")
+    generate.add_argument("--count", type=int, default=5)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--profile", choices=["tiny", "paper"], default="tiny")
+    generate.set_defaults(func=_cmd_generate)
+
+    render = sub.add_parser("render", help="print an annotated resume layout")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--profile", choices=["tiny", "paper"], default="tiny")
+    render.set_defaults(func=_cmd_render)
+
+    train = sub.add_parser("train", help="train and save a small parser")
+    train.add_argument("--output", required=True)
+    train.add_argument("--documents", type=int, default=20)
+    train.add_argument("--pretrain-epochs", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=_cmd_train)
+
+    parse = sub.add_parser("parse", help="parse a generated resume with a saved model")
+    parse.add_argument("--model", required=True)
+    parse.add_argument("--seed", type=int, default=123)
+    parse.set_defaults(func=_cmd_parse)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_cli().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

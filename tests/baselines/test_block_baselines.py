@@ -1,0 +1,252 @@
+"""Tests for the block classification baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BertCrf,
+    HiBertCrf,
+    LayoutXlmLike,
+    RobertaGcn,
+    TokenTaggerConfig,
+    TokenTaggerTrainer,
+    build_spatial_graph,
+    normalized_adjacency,
+    token_block_labels,
+    window_document,
+)
+from repro.core import Featurizer, ResuFormerConfig
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.docmodel import BLOCK_SCHEME
+from repro.text import WordPieceTokenizer
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return ResumeGenerator(seed=31, content_config=ContentConfig.tiny()).batch(4)
+
+
+@pytest.fixture(scope="module")
+def tokenizer(docs):
+    return WordPieceTokenizer.train(
+        [s.text for d in docs for s in d.sentences], vocab_size=400, min_frequency=1
+    )
+
+
+def make_config(tokenizer, **kwargs):
+    return TokenTaggerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        layers=1,
+        heads=2,
+        window_words=48,
+        dropout=0.0,
+        **kwargs,
+    )
+
+
+class TestWindowing:
+    def test_windows_cover_all_pieces(self, docs, tokenizer):
+        config = make_config(tokenizer)
+        doc = docs[0]
+        windows = window_document(doc, tokenizer, config)
+        total = sum(len(w.word_ids) for w in windows)
+        expected = sum(
+            len(tokenizer.tokenize_word(t.word.lower())) for t in doc.tokens()
+        )
+        assert total == expected
+        assert all(len(w.word_ids) <= config.window_words for w in windows)
+
+    def test_word_index_spans_document(self, docs, tokenizer):
+        config = make_config(tokenizer)
+        doc = docs[0]
+        windows = window_document(doc, tokenizer, config)
+        seen = np.concatenate([w.word_index for w in windows])
+        assert seen.min() == 0
+        assert seen.max() == doc.num_tokens - 1
+
+    def test_overlapping_stride_covers_tail(self, docs, tokenizer):
+        config = make_config(tokenizer)
+        doc = docs[0]
+        total_pieces = sum(
+            len(tokenizer.tokenize_word(t.word.lower())) for t in doc.tokens()
+        )
+        windows = window_document(doc, tokenizer, config, stride=24)
+        covered = set()
+        for w in windows:
+            covered.update(w.word_index.tolist())
+        assert covered == set(range(doc.num_tokens))
+        assert len(windows) >= (total_pieces + 47) // 48  # >= non-overlap count
+
+    def test_labels_align_with_pieces(self, docs, tokenizer):
+        config = make_config(tokenizer)
+        windows = window_document(
+            docs[0], tokenizer, config, with_labels=True
+        )
+        for window in windows:
+            assert window.labels is not None
+            assert len(window.labels) == len(window.word_ids)
+
+    def test_token_block_labels_expand_sentences(self, docs):
+        doc = docs[0]
+        labels = token_block_labels(doc)
+        assert len(labels) == doc.num_tokens
+        # The first token of an annotated document starts a block.
+        assert BLOCK_SCHEME.id_to_label(labels[0]).startswith("B-")
+
+    def test_continuation_pieces_get_inside(self, docs, tokenizer):
+        config = make_config(tokenizer)
+        windows = window_document(docs[0], tokenizer, config, with_labels=True)
+        flat_labels = np.concatenate([w.labels for w in windows])
+        flat_words = np.concatenate([w.word_index for w in windows])
+        for i in range(1, len(flat_labels)):
+            if flat_words[i] == flat_words[i - 1]:  # continuation piece
+                label = BLOCK_SCHEME.id_to_label(int(flat_labels[i]))
+                assert not label.startswith("B-")
+
+
+class TestTokenTaggers:
+    def test_bert_crf_predict_interfaces(self, docs, tokenizer):
+        model = BertCrf(make_config(tokenizer), tokenizer, rng=np.random.default_rng(0))
+        doc = docs[0]
+        token_tags = model.predict_token_tags(doc)
+        assert len(token_tags) == doc.num_tokens
+        sentence_labels = model.predict(doc)
+        assert len(sentence_labels) == doc.num_sentences
+        assert all(
+            l == "O" or l in BLOCK_SCHEME.labels for l in sentence_labels
+        )
+
+    def test_bert_crf_has_no_multimodal_channels(self, tokenizer):
+        model = BertCrf(make_config(tokenizer), tokenizer, rng=np.random.default_rng(0))
+        assert model.layout_embedding is None
+        assert model.visual_project is None
+
+    def test_layoutxlm_is_multimodal(self, tokenizer):
+        model = LayoutXlmLike(
+            make_config(tokenizer), tokenizer, rng=np.random.default_rng(1)
+        )
+        assert model.layout_embedding is not None
+        assert model.visual_project is not None
+
+    def test_training_reduces_loss(self, docs, tokenizer):
+        model = BertCrf(make_config(tokenizer), tokenizer, rng=np.random.default_rng(2))
+        trainer = TokenTaggerTrainer(model, learning_rate=3e-3, seed=0)
+        losses = trainer.fit(docs[:2], epochs=3)
+        assert losses[-1] < losses[0]
+
+    def test_layoutxlm_mlm_pretraining_runs(self, docs, tokenizer):
+        model = LayoutXlmLike(
+            make_config(tokenizer), tokenizer, rng=np.random.default_rng(3)
+        )
+        losses = model.pretrain_mlm(docs[:1], epochs=2, learning_rate=1e-3)
+        assert losses
+        assert losses[-1] < losses[0] * 1.5  # moving, not exploding
+
+    def test_sentence_vote_iob_consistency(self, docs, tokenizer):
+        model = BertCrf(make_config(tokenizer), tokenizer, rng=np.random.default_rng(4))
+        labels = model.predict(docs[0])
+        previous_tag = None
+        for label in labels:
+            if label.startswith("I-"):
+                assert previous_tag == label[2:]
+            previous_tag = None if label == "O" else label[2:]
+
+    def test_invalid_config_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            TokenTaggerConfig(
+                vocab_size=10, hidden_dim=30, heads=4
+            ).validate()
+
+
+class TestRobertaGcn:
+    def test_spatial_graph_knn(self):
+        layout = np.zeros((5, 7), dtype=int)
+        layout[:, 0] = [0, 10, 20, 30, 40]
+        layout[:, 2] = layout[:, 0] + 2
+        graph = build_spatial_graph(layout, k=2)
+        assert graph.number_of_nodes() == 5
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 4)
+
+    def test_single_node_graph(self):
+        graph = build_spatial_graph(np.zeros((1, 7), dtype=int))
+        assert graph.number_of_nodes() == 1
+        adjacency = normalized_adjacency(graph)
+        np.testing.assert_allclose(adjacency, [[1.0]])
+
+    def test_normalized_adjacency_rows(self):
+        layout = np.zeros((4, 7), dtype=int)
+        layout[:, 0] = [0, 5, 10, 15]
+        adjacency = normalized_adjacency(build_spatial_graph(layout, k=1))
+        assert adjacency.shape == (4, 4)
+        # Symmetric normalisation keeps the matrix symmetric.
+        np.testing.assert_allclose(adjacency, adjacency.T)
+
+    def test_gcn_predicts(self, docs, tokenizer):
+        model = RobertaGcn(
+            make_config(tokenizer), tokenizer, rng=np.random.default_rng(5)
+        )
+        tags = model.predict_token_tags(docs[0])
+        assert len(tags) == docs[0].num_tokens
+
+    def test_gcn_supports_mlm_pretraining(self, docs, tokenizer):
+        model = RobertaGcn(
+            make_config(tokenizer), tokenizer, rng=np.random.default_rng(9)
+        )
+        losses = model.pretrain_mlm(docs[:1], epochs=1, learning_rate=1e-3)
+        assert losses
+        assert hasattr(model, "mlm_head")
+
+    def test_gcn_trains(self, docs, tokenizer):
+        model = RobertaGcn(
+            make_config(tokenizer), tokenizer, rng=np.random.default_rng(6)
+        )
+        losses = TokenTaggerTrainer(model, learning_rate=3e-3, seed=0).fit(
+            docs[:2], epochs=2
+        )
+        assert losses[-1] < losses[0]
+
+
+class TestHiBertCrf:
+    @pytest.fixture(scope="class")
+    def model(self, tokenizer):
+        config = ResuFormerConfig(
+            vocab_size=len(tokenizer.vocab),
+            hidden_dim=32,
+            sentence_layers=1,
+            sentence_heads=2,
+            document_layers=1,
+            document_heads=2,
+            visual_proj_dim=8,
+            dropout=0.0,
+        )
+        return HiBertCrf(
+            Featurizer(tokenizer, config), rng=np.random.default_rng(7)
+        )
+
+    def test_predict_shapes(self, model, docs):
+        labels = model.predict(docs[0])
+        assert len(labels) == docs[0].num_sentences
+        token_tags = model.predict_token_tags(docs[0])
+        assert len(token_tags) == docs[0].num_tokens
+
+    def test_text_only_no_visual_parameters(self, model):
+        names = [name for name, _ in model.named_parameters()]
+        assert not any("visual" in n for n in names)
+        assert not any("layout" in n for n in names)
+
+    def test_loss_trains(self, model, docs):
+        from repro.nn import AdamW, ParamGroup
+
+        features = model.featurizer.featurize(docs[0])
+        labels = docs[0].block_iob_labels(BLOCK_SCHEME)
+        optimizer = AdamW([ParamGroup(model.parameters(), 3e-3)])
+        first = None
+        for _ in range(4):
+            optimizer.zero_grad()
+            loss = model.loss(features, labels)
+            loss.backward()
+            optimizer.step()
+            first = first if first is not None else float(loss.data)
+        assert float(loss.data) < first

@@ -1,0 +1,66 @@
+"""Tests for the classic Word2Vec+BiLSTM+CRF resume extractor."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Word2VecBiLstmCrf
+from repro.corpus import build_ner_corpus
+from repro.ner import DistantAnnotator, annotate_examples, build_dictionaries
+from repro.text import Vocab, Word2VecConfig, train_word2vec
+
+
+@pytest.fixture(scope="module")
+def setting():
+    corpus = build_ner_corpus(
+        num_train_docs=8, num_validation_docs=2, num_test_docs=2, seed=61
+    )
+    annotator = DistantAnnotator(build_dictionaries(coverage=0.7, seed=2))
+    train = annotate_examples(corpus.train, annotator)
+    vocab = Vocab(
+        sorted({w.lower() for e in train for w in e.words})
+    )
+    return corpus, train, vocab
+
+
+class TestWord2VecBiLstmCrf:
+    def test_predict_shapes(self, setting):
+        corpus, train, vocab = setting
+        model = Word2VecBiLstmCrf(vocab, rng=np.random.default_rng(0))
+        predictions = model.predict(corpus.test[:3])
+        for example, labels in zip(corpus.test[:3], predictions):
+            assert len(labels) == len(example.words)
+
+    def test_training_reduces_loss(self, setting):
+        _, train, vocab = setting
+        model = Word2VecBiLstmCrf(vocab, rng=np.random.default_rng(1))
+        losses = model.fit(train[:20], epochs=3, learning_rate=3e-3)
+        assert losses[-1] < losses[0]
+
+    def test_pretrained_vectors_loaded(self, setting):
+        _, train, vocab = setting
+        w2v = train_word2vec(
+            (e.text for e in train),
+            Word2VecConfig(dim=64, epochs=1, seed=0),
+            vocab=vocab,
+        )
+        model = Word2VecBiLstmCrf(
+            vocab, pretrained=w2v, rng=np.random.default_rng(2)
+        )
+        np.testing.assert_allclose(model.embedding.weight.data, w2v.vectors)
+
+    def test_pretrained_shape_mismatch_rejected(self, setting):
+        _, train, vocab = setting
+        from repro.text import Word2VecModel
+
+        tiny = Word2VecModel(vocab, np.zeros((len(vocab), 8)))
+        with pytest.raises(ValueError):
+            Word2VecBiLstmCrf(vocab, embedding_dim=64, pretrained=tiny)
+
+    def test_oov_words_share_unk(self, setting):
+        corpus, _, vocab = setting
+        model = Word2VecBiLstmCrf(vocab, rng=np.random.default_rng(3))
+        from repro.corpus import NerExample
+
+        example = NerExample(["qqqq", "zzzz"], ["O", "O"], "PInfo")
+        ids, _, _ = model.encode_batch([example])
+        assert ids[0, 0] == ids[0, 1] == vocab.unk_id

@@ -1,0 +1,43 @@
+"""Shared fixtures for core-model tests: a tiny corpus, tokenizer, config."""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, HierarchicalEncoder, ResuFormerConfig
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.text import WordPieceTokenizer
+
+
+@pytest.fixture(scope="session")
+def tiny_docs():
+    return ResumeGenerator(seed=7, content_config=ContentConfig.tiny()).batch(6)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(tiny_docs):
+    texts = [s.text for d in tiny_docs for s in d.sentences]
+    return WordPieceTokenizer.train(texts, vocab_size=500, min_frequency=1)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer):
+    return ResuFormerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        sentence_layers=1,
+        sentence_heads=2,
+        document_layers=1,
+        document_heads=2,
+        visual_proj_dim=8,
+        dropout=0.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def featurizer(tokenizer, config):
+    return Featurizer(tokenizer, config)
+
+
+@pytest.fixture()
+def encoder(config):
+    return HierarchicalEncoder(config, rng=np.random.default_rng(3))

@@ -1,0 +1,120 @@
+"""Tests for the block classifier, trainer, and knowledge distillation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockClassifier,
+    BlockTrainer,
+    LabeledDocument,
+    pseudo_label,
+    run_distillation,
+)
+from repro.docmodel import BLOCK_SCHEME
+
+
+@pytest.fixture()
+def classifier(encoder, featurizer):
+    return BlockClassifier(
+        encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(9)
+    )
+
+
+class TestBlockClassifier:
+    def test_emissions_shape(self, classifier, featurizer, tiny_docs):
+        f = featurizer.featurize(tiny_docs[0])
+        emissions = classifier.emissions(f)
+        assert emissions.shape == (1, f.num_sentences, BLOCK_SCHEME.num_labels)
+
+    def test_loss_positive(self, classifier, featurizer, tiny_docs):
+        doc = tiny_docs[0]
+        f = featurizer.featurize(doc)
+        labels = doc.block_iob_labels(BLOCK_SCHEME)
+        loss = classifier.loss(f, labels)
+        assert float(loss.data) > 0
+
+    def test_predict_returns_label_per_sentence(self, classifier, tiny_docs):
+        doc = tiny_docs[0]
+        labels = classifier.predict(doc)
+        assert len(labels) == doc.num_sentences
+        assert all(l in BLOCK_SCHEME.labels for l in labels)
+
+    def test_predict_block_tags_strips_prefixes(self, classifier, tiny_docs):
+        tags = classifier.predict_block_tags(tiny_docs[0])
+        assert all("-" not in t for t in tags)
+
+    def test_predict_token_tags_aligns(self, classifier, tiny_docs):
+        doc = tiny_docs[0]
+        token_tags = classifier.predict_token_tags(doc)
+        assert len(token_tags) == doc.num_tokens
+
+
+class TestBlockTrainer:
+    def test_training_improves_accuracy(self, classifier, tiny_docs):
+        train = [LabeledDocument.from_gold(d) for d in tiny_docs[:4]]
+        val = [LabeledDocument.from_gold(d) for d in tiny_docs[4:5]]
+        trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=1e-2, seed=0)
+        before = trainer.sentence_accuracy(val)
+        history = trainer.fit(train, validation=val, epochs=4, patience=4)
+        after = trainer.sentence_accuracy(val)
+        assert after >= before
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_early_stopping_restores_best(self, classifier, tiny_docs):
+        train = [LabeledDocument.from_gold(d) for d in tiny_docs[:2]]
+        val = [LabeledDocument.from_gold(d) for d in tiny_docs[2:3]]
+        trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=1e-2, seed=0)
+        history = trainer.fit(train, validation=val, epochs=3, patience=1)
+        best = max(history["val_accuracy"])
+        final = trainer.sentence_accuracy(val)
+        assert final == pytest.approx(best, abs=1e-9)
+
+    def test_labeled_document_from_gold(self, tiny_docs):
+        item = LabeledDocument.from_gold(tiny_docs[0])
+        assert len(item.labels) == tiny_docs[0].num_sentences
+
+
+class _OracleTeacher:
+    """A perfect teacher: returns gold labels (upper-bounds KD quality)."""
+
+    def predict(self, document):
+        return BLOCK_SCHEME.decode(document.block_iob_labels(BLOCK_SCHEME))
+
+
+class _NoisyTeacher:
+    def predict(self, document):
+        labels = BLOCK_SCHEME.decode(document.block_iob_labels(BLOCK_SCHEME))
+        return ["O" if i % 4 == 0 else l for i, l in enumerate(labels)]
+
+
+class TestDistillation:
+    def test_pseudo_label_shapes(self, tiny_docs):
+        pseudo = pseudo_label(_OracleTeacher(), tiny_docs[:2])
+        assert len(pseudo) == 2
+        for item, doc in zip(pseudo, tiny_docs[:2]):
+            assert len(item.labels) == doc.num_sentences
+
+    def test_pseudo_label_handles_unknown_labels(self, tiny_docs):
+        class WeirdTeacher:
+            def predict(self, document):
+                return ["B-Nonsense"] * document.num_sentences
+
+        pseudo = pseudo_label(WeirdTeacher(), tiny_docs[:1])
+        assert all(l == BLOCK_SCHEME.outside_id for l in pseudo[0].labels)
+
+    def test_run_distillation_two_stages(self, classifier, tiny_docs):
+        labeled = [LabeledDocument.from_gold(d) for d in tiny_docs[:2]]
+        pseudo = pseudo_label(_NoisyTeacher(), tiny_docs[2:4])
+        val = [LabeledDocument.from_gold(d) for d in tiny_docs[4:5]]
+        trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=1e-2, seed=0)
+        history = run_distillation(
+            trainer, labeled, pseudo, validation=val,
+            pseudo_epochs=1, finetune_epochs=1,
+        )
+        assert len(history["loss"]) == 2  # one epoch per stage
+
+    def test_run_distillation_without_pseudo(self, classifier, tiny_docs):
+        labeled = [LabeledDocument.from_gold(d) for d in tiny_docs[:2]]
+        trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=1e-2, seed=0)
+        history = run_distillation(trainer, labeled, [], finetune_epochs=1)
+        assert len(history["loss"]) == 1

@@ -1,0 +1,186 @@
+"""Tests for embeddings and the hierarchical encoder stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DocumentEncoder,
+    HierarchicalEncoder,
+    LayoutEmbedding,
+    ResuFormerConfig,
+    SentenceEncoder,
+    TextEmbedding,
+)
+from repro.nn import Tensor
+
+
+class TestTextEmbedding:
+    def test_shape_and_norm(self):
+        emb = TextEmbedding(50, 16, max_positions=10, rng=np.random.default_rng(0))
+        out = emb(np.zeros((3, 8), dtype=int), np.zeros((3, 8), dtype=int))
+        assert out.shape == (3, 8, 16)
+
+    def test_position_changes_output(self):
+        emb = TextEmbedding(50, 16, max_positions=10, rng=np.random.default_rng(0))
+        ids = np.array([[5, 5]])
+        out = emb(ids, np.zeros_like(ids)).numpy()
+        assert not np.allclose(out[0, 0], out[0, 1])  # same word, diff position
+
+    def test_overlong_sequence_rejected(self):
+        emb = TextEmbedding(50, 16, max_positions=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            emb(np.zeros((1, 5), dtype=int), np.zeros((1, 5), dtype=int))
+
+
+class TestLayoutEmbedding:
+    def test_shape(self):
+        emb = LayoutEmbedding(16, buckets=64, rng=np.random.default_rng(1))
+        layout = np.zeros((3, 5, 7), dtype=int)
+        assert emb(layout).shape == (3, 5, 16)
+
+    def test_x_position_sensitivity(self):
+        emb = LayoutEmbedding(16, buckets=64, rng=np.random.default_rng(1))
+        a = np.array([[1, 2, 3, 4, 2, 2, 0]])
+        b = a.copy()
+        b[0, 0] = 30  # move x_min
+        assert not np.allclose(emb(a).numpy(), emb(b).numpy())
+
+    def test_page_sensitivity(self):
+        emb = LayoutEmbedding(16, buckets=64, rng=np.random.default_rng(1))
+        a = np.array([[1, 2, 3, 4, 2, 2, 1]])
+        b = a.copy()
+        b[0, 6] = 2
+        assert not np.allclose(emb(a).numpy(), emb(b).numpy())
+
+
+class TestSentenceEncoder:
+    def test_outputs(self, config, featurizer, tiny_docs):
+        enc = SentenceEncoder(config, rng=np.random.default_rng(2))
+        f = featurizer.featurize(tiny_docs[0])
+        states, vectors = enc(
+            f.token_ids, f.token_mask, f.token_layout, f.token_segments
+        )
+        m, t = f.token_ids.shape
+        assert states.shape == (m, t, config.hidden_dim)
+        assert vectors.shape == (m, config.hidden_dim)
+
+    def test_sentence_vectors_unit_norm(self, config, featurizer, tiny_docs):
+        enc = SentenceEncoder(config, rng=np.random.default_rng(2))
+        f = featurizer.featurize(tiny_docs[0])
+        _, vectors = enc(
+            f.token_ids, f.token_mask, f.token_layout, f.token_segments
+        )
+        norms = np.linalg.norm(vectors.numpy(), axis=-1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-8)
+
+    def test_layout_affects_encoding(self, config, featurizer, tiny_docs):
+        enc = SentenceEncoder(config, rng=np.random.default_rng(2))
+        enc.eval()
+        f = featurizer.featurize(tiny_docs[0])
+        _, base = enc(f.token_ids, f.token_mask, f.token_layout, f.token_segments)
+        shifted = f.token_layout.copy()
+        shifted[..., 0] = (shifted[..., 0] + 20) % config.layout_buckets
+        _, moved = enc(f.token_ids, f.token_mask, shifted, f.token_segments)
+        assert not np.allclose(base.numpy(), moved.numpy())
+
+
+class TestDocumentEncoder:
+    def test_forward_shapes(self, config, featurizer, tiny_docs):
+        sent = SentenceEncoder(config, rng=np.random.default_rng(4))
+        doc_enc = DocumentEncoder(config, rng=np.random.default_rng(5))
+        f = featurizer.featurize(tiny_docs[0])
+        _, vectors = sent(f.token_ids, f.token_mask, f.token_layout, f.token_segments)
+        contextual, fused = doc_enc(
+            vectors,
+            f.sentence_visual,
+            f.sentence_layout,
+            f.sentence_positions,
+            f.sentence_segments,
+        )
+        m = f.num_sentences
+        assert contextual.shape == (m, config.document_dim)
+        assert fused.shape == (m, config.document_dim)
+
+    def test_mask_slots_replace_input(self, config, featurizer, tiny_docs):
+        doc_enc = DocumentEncoder(config, rng=np.random.default_rng(5))
+        doc_enc.eval()
+        f = featurizer.featurize(tiny_docs[0])
+        m = f.num_sentences
+        vectors = Tensor(np.random.default_rng(0).normal(size=(m, config.hidden_dim)))
+        slots = np.zeros(m, dtype=bool)
+        slots[1] = True
+        _, fused = doc_enc(
+            vectors,
+            f.sentence_visual,
+            f.sentence_layout,
+            f.sentence_positions,
+            f.sentence_segments,
+            mask_slots=slots,
+        )
+        # Fused targets stay unmasked — they are the contrastive ground truth.
+        assert not np.allclose(
+            fused.numpy()[1, : config.hidden_dim], 0.0
+        )
+
+    def test_sentence_cap_enforced(self, config):
+        doc_enc = DocumentEncoder(config, rng=np.random.default_rng(5))
+        m = config.max_document_sentences + 1
+        vectors = Tensor(np.zeros((m, config.hidden_dim)))
+        with pytest.raises(ValueError):
+            doc_enc(
+                vectors,
+                np.zeros((m, config.visual_dim)),
+                np.zeros((m, 7), dtype=int),
+                np.arange(m) % config.max_document_sentences,
+                np.zeros(m, dtype=int),
+            )
+
+    def test_visual_channel_matters(self, config, featurizer, tiny_docs):
+        doc_enc = DocumentEncoder(config, rng=np.random.default_rng(5))
+        doc_enc.eval()
+        f = featurizer.featurize(tiny_docs[0])
+        m = f.num_sentences
+        vectors = Tensor(np.zeros((m, config.hidden_dim)))
+        base, _ = doc_enc(
+            vectors, f.sentence_visual, f.sentence_layout,
+            f.sentence_positions, f.sentence_segments,
+        )
+        other, _ = doc_enc(
+            vectors, np.zeros_like(f.sentence_visual), f.sentence_layout,
+            f.sentence_positions, f.sentence_segments,
+        )
+        assert not np.allclose(base.numpy(), other.numpy())
+
+
+class TestHierarchicalEncoder:
+    def test_end_to_end(self, encoder, featurizer, tiny_docs, config):
+        f = featurizer.featurize(tiny_docs[0])
+        out = encoder(f)
+        m = f.num_sentences
+        assert out.token_states.shape == (m, f.max_tokens, config.hidden_dim)
+        assert out.sentence_vectors.shape == (m, config.hidden_dim)
+        assert out.fused.shape == (m, config.document_dim)
+        assert out.contextual.shape == (m, config.document_dim)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ResuFormerConfig(hidden_dim=30, sentence_heads=4).validate()
+        with pytest.raises(ValueError):
+            ResuFormerConfig(temperature=0.0).validate()
+
+    def test_summary_mentions_structure(self, encoder):
+        text = encoder.summary()
+        assert "sentence encoder" in text
+        assert "document encoder" in text
+        assert "parameters" in text
+
+    def test_gradients_reach_every_parameter(self, encoder, featurizer, tiny_docs):
+        f = featurizer.featurize(tiny_docs[0])
+        out = encoder(f)
+        (out.contextual.sum() + out.token_states.sum()).backward()
+        missing = [
+            name
+            for name, p in encoder.named_parameters()
+            if p.grad is None and "mask_vector" not in name
+        ]
+        assert not missing, missing

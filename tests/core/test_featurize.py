@@ -1,0 +1,93 @@
+"""Tests for document featurisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, ResuFormerConfig
+from repro.corpus import VISUAL_DIM
+from repro.docmodel import Page, ResumeDocument
+
+
+class TestFeaturize:
+    def test_shapes(self, featurizer, tiny_docs, config):
+        features = featurizer.featurize(tiny_docs[0])
+        m = min(tiny_docs[0].num_sentences, config.max_document_sentences)
+        t = features.max_tokens
+        # Width adapts to the document's longest sentence, capped by config.
+        assert t <= config.max_sentence_tokens + 1
+        assert features.token_ids.shape == (m, t)
+        assert features.token_mask.shape == (m, t)
+        assert features.token_layout.shape == (m, t, 7)
+        assert features.sentence_layout.shape == (m, 7)
+        assert features.sentence_visual.shape == (m, VISUAL_DIM)
+        assert features.num_sentences == m
+
+    def test_width_tracks_longest_sentence(self, featurizer, tiny_docs):
+        features = featurizer.featurize(tiny_docs[0])
+        longest = int(features.token_mask.sum(axis=1).max())
+        assert features.max_tokens == longest
+
+    def test_cls_first(self, featurizer, tiny_docs, tokenizer):
+        features = featurizer.featurize(tiny_docs[0])
+        assert np.all(features.token_ids[:, 0] == tokenizer.vocab.cls_id)
+        assert np.all(features.token_mask[:, 0] == 1)
+
+    def test_padding_zero(self, featurizer, tiny_docs):
+        features = featurizer.featurize(tiny_docs[0])
+        pad = features.token_mask == 0
+        assert np.all(features.token_ids[pad] == 0)
+
+    def test_layout_buckets_in_range(self, featurizer, tiny_docs, config):
+        features = featurizer.featurize(tiny_docs[0])
+        spatial = features.token_layout[..., :6]
+        assert spatial.min() >= 0
+        assert spatial.max() < config.layout_buckets
+
+    def test_page_feature_matches_sentence_page(self, featurizer, tiny_docs):
+        doc = tiny_docs[0]
+        features = featurizer.featurize(doc)
+        for row, sentence in enumerate(doc.sentences):
+            assert features.sentence_layout[row, 6] == min(sentence.page, 15)
+
+    def test_segments_alternate(self, featurizer, tiny_docs, config):
+        features = featurizer.featurize(tiny_docs[0])
+        expected = np.arange(features.num_sentences) % config.num_segments
+        np.testing.assert_array_equal(features.sentence_segments, expected)
+
+    def test_truncates_long_documents(self, tokenizer, tiny_docs):
+        config = ResuFormerConfig(
+            vocab_size=len(tokenizer.vocab),
+            hidden_dim=32,
+            sentence_layers=1,
+            sentence_heads=2,
+            document_layers=1,
+            document_heads=2,
+            visual_proj_dim=8,
+            max_document_sentences=5,
+        )
+        features = Featurizer(tokenizer, config).featurize(tiny_docs[0])
+        assert features.num_sentences == 5
+
+    def test_empty_document_rejected(self, featurizer):
+        empty = ResumeDocument("empty", [Page(1)], [])
+        with pytest.raises(ValueError):
+            featurizer.featurize(empty)
+
+    def test_subwords_share_word_layout(self, featurizer, tiny_docs):
+        doc = tiny_docs[0]
+        features = featurizer.featurize(doc)
+        # Row 0: all non-CLS token boxes must coincide with some token box
+        # of the sentence (subwords inherit the word box).
+        sentence = doc.sentences[0]
+        page = doc.page(sentence.page)
+        valid = int(features.token_mask[0].sum())
+        word_tuples = {
+            tuple(
+                featurizer._layout_tuple(
+                    t.bbox.normalized(page.width, page.height), t.page
+                )
+            )
+            for t in sentence.tokens
+        }
+        for position in range(1, valid):
+            assert tuple(features.token_layout[0, position]) in word_tuples

@@ -1,0 +1,45 @@
+"""Smoke checks for the paper-scale configuration (Section V-A2 values)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ResuFormerConfig
+
+
+class TestPaperScaleConfig:
+    def test_values_match_section_va2(self):
+        config = ResuFormerConfig.paper_scale()
+        assert config.hidden_dim == 768
+        assert config.sentence_layers == 6
+        assert config.sentence_heads == 12
+        assert config.document_layers == 4
+        assert config.max_sentence_tokens == 55
+        assert config.max_document_sentences == 350
+        assert config.temperature == 0.8
+        assert (config.lambda_wp, config.lambda_cl, config.lambda_ns) == (
+            0.4, 1.0, 0.6,
+        )
+        config.validate()
+
+    def test_document_dim_divisible(self):
+        config = ResuFormerConfig.paper_scale()
+        assert config.document_dim % config.document_heads == 0
+
+    @pytest.mark.slow
+    def test_paper_scale_forward_pass(self):
+        # One forward pass at full width proves the architecture scales;
+        # excluded from the default run via the 'slow' marker.
+        from repro.core import Featurizer, HierarchicalEncoder
+        from repro.corpus import ContentConfig, ResumeGenerator
+        from repro.text import WordPieceTokenizer
+
+        doc = ResumeGenerator(seed=1, content_config=ContentConfig.tiny()).batch(1)[0]
+        tokenizer = WordPieceTokenizer.train(
+            (s.text for s in doc.sentences), vocab_size=300, min_frequency=1
+        )
+        config = ResuFormerConfig.paper_scale()
+        config.vocab_size = len(tokenizer.vocab)
+        encoder = HierarchicalEncoder(config, rng=np.random.default_rng(0))
+        features = Featurizer(tokenizer, config).featurize(doc)
+        out = encoder(features)
+        assert out.contextual.shape == (doc.num_sentences, config.document_dim)

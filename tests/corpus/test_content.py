@@ -1,0 +1,106 @@
+"""Tests for resume content planning and entity generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import ContentConfig, plan_resume
+from repro.corpus import entities
+from repro.docmodel import BLOCK_TAGS, ENTITY_TAGS
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestEntityGenerators:
+    def test_person_name_two_words(self):
+        assert len(entities.person_name(rng()).split()) == 2
+
+    def test_phone_has_ten_digits(self):
+        for seed in range(10):
+            phone = entities.phone_number(rng(seed))
+            digits = [c for c in phone if c.isdigit()]
+            assert len(digits) == 10
+
+    def test_email_shape(self):
+        mail = entities.email(rng())
+        assert "@" in mail and "." in mail.split("@")[1]
+
+    def test_age_in_range(self):
+        for seed in range(20):
+            assert 21 <= int(entities.age(rng(seed))) <= 55
+
+    def test_date_range_order(self):
+        for seed in range(20):
+            dr = entities.date_range(rng(seed))
+            assert " - " in dr
+            start = dr.split(" - ")[0]
+            year = int(start[:4])
+            assert 2005 <= year <= 2022
+
+    def test_company_has_suffix(self):
+        from repro.corpus.names import COMPANY_SUFFIXES
+
+        company = entities.company(rng())
+        assert any(company.endswith(suffix) for suffix in COMPANY_SUFFIXES)
+
+    def test_reproducible(self):
+        assert entities.person_name(rng(5)) == entities.person_name(rng(5))
+
+
+class TestPlanResume:
+    def test_always_has_core_sections(self):
+        lines = plan_resume(rng(1))
+        tags = {line.block_tag for line in lines}
+        assert {"PInfo", "EduExp", "WorkExp", "Title"} <= tags
+        assert tags <= set(BLOCK_TAGS)
+
+    def test_pinfo_comes_first(self):
+        for seed in range(5):
+            lines = plan_resume(rng(seed))
+            assert lines[0].block_tag == "PInfo"
+            assert lines[0].role == "name"
+
+    def test_headers_are_title_blocks(self):
+        lines = plan_resume(rng(2))
+        headers = [l for l in lines if l.role == "header"]
+        assert headers
+        assert all(l.block_tag == "Title" for l in headers)
+
+    def test_block_ids_unique_per_instance(self):
+        lines = plan_resume(rng(3))
+        by_id = {}
+        for line in lines:
+            by_id.setdefault(line.block_id, set()).add(line.block_tag)
+        # One block instance never spans two tags.
+        assert all(len(tags) == 1 for tags in by_id.values())
+
+    def test_entities_valid(self):
+        lines = plan_resume(rng(4))
+        seen = set()
+        for line in lines:
+            for fragment in line.fragments:
+                if fragment.entity != "O":
+                    assert fragment.entity in ENTITY_TAGS
+                    seen.add(fragment.entity)
+        assert "Name" in seen
+
+    def test_section_order_varies(self):
+        def order(seed):
+            return tuple(
+                l.block_tag for l in plan_resume(rng(seed)) if l.role == "header"
+            )
+
+        orders = {order(s) for s in range(15)}
+        assert len(orders) > 3  # writing styles genuinely differ
+
+    def test_paper_profile_richer_than_tiny(self):
+        tiny = plan_resume(rng(6), ContentConfig.tiny())
+        paper = plan_resume(rng(6), ContentConfig.paper())
+        assert len(paper) > len(tiny)
+
+    def test_multiple_work_instances_possible(self):
+        config = ContentConfig(work_experiences=(3, 3))
+        lines = plan_resume(rng(7), config)
+        ids = {l.block_id for l in lines if l.block_tag == "WorkExp"}
+        assert len(ids) == 3

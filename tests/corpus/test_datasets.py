@@ -1,0 +1,103 @@
+"""Tests for dataset builders and statistics (Tables I and VI)."""
+
+import pytest
+
+from repro.corpus import (
+    ContentConfig,
+    NerExample,
+    build_block_corpus,
+    build_ner_corpus,
+    corpus_stats,
+    extract_block_examples,
+    ner_stats,
+)
+from repro.corpus import ResumeGenerator
+from repro.docmodel import BLOCK_ENTITIES
+
+
+class TestBlockCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_block_corpus(
+            num_pretrain=6, num_train=4, num_validation=2, num_test=2, seed=0
+        )
+
+    def test_split_sizes(self, corpus):
+        assert len(corpus.pretrain) == 6
+        assert len(corpus.train) == 4
+        assert len(corpus.validation) == 2
+        assert len(corpus.test) == 2
+
+    def test_splits_disjoint(self, corpus):
+        texts = {}
+        for name, docs in corpus.splits().items():
+            for doc in docs:
+                signature = doc.sentences[0].text + str(doc.num_tokens)
+                assert signature not in texts, f"leak between {texts.get(signature)} and {name}"
+                texts[signature] = name
+
+    def test_stats(self, corpus):
+        stats = corpus_stats(corpus.pretrain)
+        assert stats.num_documents == 6
+        assert stats.avg_tokens > 50
+        assert stats.avg_sentences > 10
+        assert stats.avg_pages >= 1
+
+    def test_stats_empty(self):
+        stats = corpus_stats([])
+        assert stats.num_documents == 0
+
+
+class TestExtractBlockExamples:
+    def test_blocks_cover_entity_bearing_tags(self):
+        docs = ResumeGenerator(seed=1).batch(4)
+        examples = extract_block_examples(docs)
+        tags = {e.block_tag for e in examples}
+        assert "PInfo" in tags
+        assert "WorkExp" in tags
+        assert tags <= set(BLOCK_ENTITIES)
+
+    def test_labels_align(self):
+        docs = ResumeGenerator(seed=2).batch(2)
+        for example in extract_block_examples(docs):
+            assert len(example.words) == len(example.labels)
+
+    def test_pinfo_block_contains_name_entity(self):
+        docs = ResumeGenerator(seed=3).batch(1)
+        pinfo = [e for e in extract_block_examples(docs) if e.block_tag == "PInfo"]
+        assert pinfo
+        assert any(l == "B-Name" for l in pinfo[0].labels)
+
+    def test_filter_by_tag(self):
+        docs = ResumeGenerator(seed=4).batch(2)
+        only_work = extract_block_examples(docs, block_tags=["WorkExp"])
+        assert only_work
+        assert all(e.block_tag == "WorkExp" for e in only_work)
+
+    def test_misaligned_example_rejected(self):
+        with pytest.raises(ValueError):
+            NerExample(["a", "b"], ["O"], block_tag="PInfo")
+
+
+class TestNerCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_ner_corpus(
+            num_train_docs=5, num_validation_docs=2, num_test_docs=2, seed=9
+        )
+
+    def test_splits_nonempty(self, corpus):
+        assert corpus.train and corpus.validation and corpus.test
+
+    def test_stats_shape(self, corpus):
+        stats = ner_stats(corpus.train)
+        assert stats.num_samples == len(corpus.train)
+        assert stats.avg_tokens > 2
+        assert stats.avg_entities >= 1.0  # Table VI: 3.5-4.3 at paper scale
+
+    def test_every_example_has_entity(self, corpus):
+        # Section V-B1: each training instance has >= 1 matched entity.
+        assert all(e.num_entities >= 1 for e in corpus.train)
+
+    def test_stats_empty(self):
+        assert ner_stats([]).num_samples == 0

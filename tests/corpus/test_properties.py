@@ -1,0 +1,110 @@
+"""Property-based invariants of the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.corpus.templates import PAGE_HEIGHT, PAGE_WIDTH
+from repro.docmodel import BLOCK_SCHEME, BLOCK_TAGS, ENTITY_TAGS, iob_to_spans
+
+
+@st.composite
+def generated_documents(draw):
+    seed = draw(st.integers(0, 10_000))
+    return ResumeGenerator(seed=seed, content_config=ContentConfig.tiny()).batch(1)[0]
+
+
+class TestGeneratorInvariants:
+    @given(generated_documents())
+    @settings(max_examples=15, deadline=None)
+    def test_tokens_stay_on_their_pages(self, document):
+        page_numbers = {p.number for p in document.pages}
+        for token in document.tokens():
+            assert token.page in page_numbers
+            assert 0 <= token.bbox.x0 <= token.bbox.x1 <= PAGE_WIDTH + 1e-6
+            assert 0 <= token.bbox.y0 <= token.bbox.y1 <= PAGE_HEIGHT + 1e-6
+
+    @given(generated_documents())
+    @settings(max_examples=15, deadline=None)
+    def test_every_token_annotated(self, document):
+        for token in document.tokens():
+            assert token.block_tag in BLOCK_TAGS
+            assert token.block_id is not None
+            label = token.entity_label
+            assert label == "O" or label[2:] in ENTITY_TAGS
+
+    @given(generated_documents())
+    @settings(max_examples=15, deadline=None)
+    def test_block_labels_form_valid_spans(self, document):
+        ids = document.block_iob_labels(BLOCK_SCHEME)
+        spans = iob_to_spans(ids, BLOCK_SCHEME)
+        covered = sum(stop - start for start, stop, _ in spans)
+        # Every sentence is annotated in the synthetic corpus.
+        assert covered == document.num_sentences
+
+    @given(generated_documents())
+    @settings(max_examples=15, deadline=None)
+    def test_entity_spans_well_formed(self, document):
+        # Inside a sentence, an I- label continues the same tag as its
+        # predecessor.  A sentence may *start* with I-: layout wrapping and
+        # column interleaving legitimately split entities across rows (the
+        # same thing happens to real PDF parses).
+        for sentence in document.sentences:
+            previous = None
+            for token in sentence.tokens:
+                label = token.entity_label
+                if label.startswith("I-") and previous is not None:
+                    assert previous.endswith(label[2:]), (previous, label)
+                previous = label
+
+    @given(generated_documents())
+    @settings(max_examples=15, deadline=None)
+    def test_sentences_sorted_in_reading_order(self, document):
+        keys = [(s.page, round(s.bbox.y0, 3)) for s in document.sentences]
+        pages = [k[0] for k in keys]
+        assert pages == sorted(pages)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_generation_is_pure(self, seed):
+        a = ResumeGenerator(seed=seed).batch(1)[0]
+        b = ResumeGenerator(seed=seed).batch(1)[0]
+        assert [t.word for t in a.tokens()] == [t.word for t in b.tokens()]
+        assert [t.bbox.to_tuple() for t in a.tokens()] == [
+            t.bbox.to_tuple() for t in b.tokens()
+        ]
+
+
+class TestGeneratorDiversity:
+    def test_templates_all_used(self):
+        generator = ResumeGenerator(seed=0)
+        docs = generator.batch(30)
+        # With 3 templates and 30 docs, page-1 left margins should vary.
+        margins = {round(min(t.bbox.x0 for t in d.tokens()), 0) for d in docs}
+        assert len(margins) >= 2
+
+    def test_work_experience_counts_vary(self):
+        config = ContentConfig(work_experiences=(1, 4))
+        docs = ResumeGenerator(seed=3, content_config=config).batch(20)
+        counts = set()
+        for doc in docs:
+            ids = {
+                t.block_id for t in doc.tokens() if t.block_tag == "WorkExp"
+            }
+            counts.add(len(ids))
+        assert len(counts) >= 3  # the "multiple experiences" property
+
+    def test_multi_page_documents_occur(self):
+        docs = ResumeGenerator(
+            seed=5, content_config=ContentConfig.paper()
+        ).batch(5)
+        assert any(d.num_pages >= 2 for d in docs)
+        # Work experiences span pages sometimes (the paper's hard case).
+        crosses = 0
+        for doc in docs:
+            for block_id in {t.block_id for t in doc.tokens()}:
+                pages = {t.page for t in doc.tokens() if t.block_id == block_id}
+                crosses += len(pages) > 1
+        assert crosses >= 1

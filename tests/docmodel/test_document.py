@@ -1,0 +1,172 @@
+"""Tests for the document model and token->sentence segmentation."""
+
+import pytest
+
+from repro.docmodel import (
+    BLOCK_SCHEME,
+    BBox,
+    Page,
+    ResumeDocument,
+    SegmentationConfig,
+    Sentence,
+    Token,
+    segment_tokens,
+)
+
+
+def make_token(word, x0, y0, page=1, width=None, height=10, **kwargs):
+    width = width if width is not None else 8 * len(word)
+    return Token(word, BBox(x0, y0, x0 + width, y0 + height), page, **kwargs)
+
+
+def row_tokens(words, y, page=1, gap=4, **kwargs):
+    tokens = []
+    x = 50
+    for word in words:
+        token = make_token(word, x, y, page=page, **kwargs)
+        tokens.append(token)
+        x = token.bbox.x1 + gap
+    return tokens
+
+
+class TestSentence:
+    def test_requires_tokens(self):
+        with pytest.raises(ValueError):
+            Sentence([], page=1)
+
+    def test_text_and_bbox(self):
+        sentence = Sentence(row_tokens(["hello", "world"], y=100), page=1)
+        assert sentence.text == "hello world"
+        box = sentence.bbox
+        assert box.x0 == 50
+        assert box.y0 == 100
+
+    def test_majority_block(self):
+        tokens = row_tokens(["a", "b", "c"], y=0)
+        for t in tokens[:2]:
+            t.block_tag, t.block_id = "WorkExp", 3
+        tokens[2].block_tag, tokens[2].block_id = "EduExp", 1
+        sentence = Sentence(tokens, page=1)
+        assert sentence.majority_block() == ("WorkExp", 3)
+
+    def test_majority_block_empty(self):
+        sentence = Sentence(row_tokens(["a"], y=0), page=1)
+        assert sentence.majority_block() == (None, None)
+
+    def test_style_aggregates(self):
+        tokens = row_tokens(["a", "b"], y=0, font_size=12.0)
+        tokens[0].bold = True
+        sentence = Sentence(tokens, page=1)
+        assert sentence.mean_font_size == 12.0
+        assert sentence.bold_fraction == 0.5
+
+
+class TestSegmentation:
+    def test_single_row_single_sentence(self):
+        sentences = segment_tokens(row_tokens(["john", "doe"], y=100))
+        assert len(sentences) == 1
+        assert sentences[0].text == "john doe"
+
+    def test_rows_split_by_y(self):
+        tokens = row_tokens(["line", "one"], y=100) + row_tokens(["line", "two"], y=130)
+        sentences = segment_tokens(tokens)
+        assert [s.text for s in sentences] == ["line one", "line two"]
+
+    def test_large_gap_splits_columns(self):
+        # Two-column layout: big horizontal gap must split the row.
+        left = make_token("left", 50, 100)
+        right = make_token("right", 400, 100)
+        sentences = segment_tokens([left, right])
+        assert [s.text for s in sentences] == ["left", "right"]
+
+    def test_small_gap_keeps_together(self):
+        a = make_token("first", 50, 100)
+        b = make_token("second", a.bbox.x1 + 3, 100)
+        sentences = segment_tokens([a, b])
+        assert len(sentences) == 1
+
+    def test_pages_processed_in_order(self):
+        tokens = row_tokens(["page", "two"], y=50, page=2) + row_tokens(
+            ["page", "one"], y=50, page=1
+        )
+        sentences = segment_tokens(tokens)
+        assert [s.page for s in sentences] == [1, 2]
+
+    def test_max_tokens_respected(self):
+        config = SegmentationConfig(max_sentence_tokens=3)
+        tokens = row_tokens([f"w{i}" for i in range(7)], y=10, gap=2)
+        sentences = segment_tokens(tokens, config)
+        assert max(len(s.tokens) for s in sentences) <= 3
+        assert sum(len(s.tokens) for s in sentences) == 7
+
+    def test_out_of_order_input_sorted(self):
+        tokens = row_tokens(["a", "b", "c"], y=10, gap=2)
+        sentences = segment_tokens(list(reversed(tokens)))
+        assert sentences[0].text == "a b c"
+
+    def test_empty(self):
+        assert segment_tokens([]) == []
+
+    def test_tall_token_does_not_chain_rows(self):
+        # A large-font token vertically overlapping two body rows must not
+        # merge them (regression: greedy tail-anchored clustering drifted).
+        top = row_tokens(["alpha", "beta"], y=78, height=10)
+        tall = make_token("name", 400, 79, height=20)
+        bottom = row_tokens(["gamma", "delta"], y=93, height=10)
+        sentences = segment_tokens(top + [tall] + bottom)
+        texts = [s.text for s in sentences]
+        assert "alpha beta" in texts[0]
+        assert any(s.text == "gamma delta" for s in sentences)
+        # No sentence mixes the two body rows.
+        for sentence in sentences:
+            ys = {t.bbox.y0 for t in sentence.tokens if t.word != "name"}
+            assert len(ys) <= 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(row_tolerance_factor=0)
+
+
+class TestResumeDocument:
+    def make_doc(self):
+        s1 = Sentence(row_tokens(["resume", "title"], y=10), page=1)
+        s2 = Sentence(row_tokens(["work", "at", "acme"], y=30), page=1)
+        s3 = Sentence(row_tokens(["more", "work"], y=50), page=2)
+        for t in s1.tokens:
+            t.block_tag, t.block_id = "Title", 0
+        for t in s2.tokens + s3.tokens:
+            t.block_tag, t.block_id = "WorkExp", 1
+        return ResumeDocument("doc-1", [Page(1), Page(2)], [s1, s2, s3])
+
+    def test_counts(self):
+        doc = self.make_doc()
+        assert doc.num_pages == 2
+        assert doc.num_sentences == 3
+        assert doc.num_tokens == 7
+        assert len(doc.tokens()) == 7
+
+    def test_page_lookup(self):
+        doc = self.make_doc()
+        assert doc.page(2).number == 2
+        with pytest.raises(KeyError):
+            doc.page(9)
+
+    def test_block_iob_labels(self):
+        doc = self.make_doc()
+        labels = BLOCK_SCHEME.decode(doc.block_iob_labels(BLOCK_SCHEME))
+        assert labels == ["B-Title", "B-WorkExp", "I-WorkExp"]
+
+    def test_unlabeled_sentences_get_outside(self):
+        doc = self.make_doc()
+        for t in doc.sentences[1].tokens:
+            t.block_tag, t.block_id = None, None
+        labels = BLOCK_SCHEME.decode(doc.block_iob_labels(BLOCK_SCHEME))
+        assert labels[1] == "O"
+        # After an O, the same block id restarts with B.
+        assert labels[2] == "B-WorkExp"
+
+    def test_token_block_tags(self):
+        doc = self.make_doc()
+        tags = doc.token_block_tags()
+        assert tags[:2] == ["Title", "Title"]
+        assert tags[2:] == ["WorkExp"] * 5

@@ -1,0 +1,101 @@
+"""Tests for bounding-box geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docmodel import LAYOUT_SCALE, BBox, merge_boxes, normalize_coordinate
+
+
+def boxes(max_extent=100.0):
+    coord = st.floats(0, max_extent, allow_nan=False)
+    return st.builds(
+        lambda x0, y0, w, h: BBox(x0, y0, x0 + w, y0 + h),
+        coord, coord,
+        st.floats(0, 50), st.floats(0, 50),
+    )
+
+
+class TestBBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(5, 0, 0, 5)
+        with pytest.raises(ValueError):
+            BBox(0, 5, 5, 0)
+
+    def test_dimensions(self):
+        box = BBox(10, 20, 40, 60)
+        assert box.width == 30
+        assert box.height == 40
+        assert box.area == 1200
+        assert box.center == (25, 40)
+
+    def test_union(self):
+        a = BBox(0, 0, 10, 10)
+        b = BBox(5, 5, 20, 8)
+        assert a.union(b) == BBox(0, 0, 20, 10)
+
+    def test_intersection_area(self):
+        a = BBox(0, 0, 10, 10)
+        b = BBox(5, 5, 15, 15)
+        assert a.intersection_area(b) == 25
+        assert not a.overlaps(BBox(20, 20, 30, 30))
+
+    def test_touching_boxes_do_not_overlap(self):
+        a = BBox(0, 0, 10, 10)
+        b = BBox(10, 0, 20, 10)
+        assert not a.overlaps(b)
+
+    def test_normalized_range(self):
+        box = BBox(0, 0, 612, 792).normalized(612, 792)
+        assert box.to_tuple() == (0, 0, LAYOUT_SCALE, LAYOUT_SCALE)
+
+    def test_layout_tuple(self):
+        box = BBox(10, 20, 110, 40)
+        assert box.layout_tuple() == (10, 20, 110, 40, 100, 20)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_property_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.x0 <= min(a.x0, b.x0)
+        assert u.y1 >= max(a.y1, b.y1)
+        assert u.area >= max(a.area, b.area)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_property_intersection_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(b.intersection_area(a))
+
+
+class TestNormalizeCoordinate:
+    def test_clamps(self):
+        assert normalize_coordinate(-5, 100) == 0
+        assert normalize_coordinate(200, 100) == LAYOUT_SCALE
+
+    def test_rounding(self):
+        assert normalize_coordinate(50, 100) == 500
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            normalize_coordinate(1, 0)
+
+    @given(st.floats(0, 612), st.floats(1, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_always_in_range(self, value, extent):
+        out = normalize_coordinate(value, extent)
+        assert 0 <= out <= LAYOUT_SCALE
+
+
+class TestMergeBoxes:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_boxes([])
+
+    def test_single(self):
+        box = BBox(1, 2, 3, 4)
+        assert merge_boxes([box]) == box
+
+    def test_many(self):
+        merged = merge_boxes([BBox(0, 0, 1, 1), BBox(5, 5, 6, 6), BBox(2, -1, 3, 0)])
+        assert merged == BBox(0, -1, 6, 6)

@@ -1,0 +1,110 @@
+"""Tests for IOB label schemes and span conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docmodel import (
+    BLOCK_ENTITIES,
+    BLOCK_SCHEME,
+    BLOCK_TAGS,
+    ENTITY_SCHEME,
+    ENTITY_TAGS,
+    IobScheme,
+    iob_to_spans,
+    spans_to_iob,
+)
+
+
+class TestScheme:
+    def test_block_scheme_size(self):
+        assert BLOCK_SCHEME.num_labels == 1 + 2 * len(BLOCK_TAGS)
+
+    def test_entity_scheme_size(self):
+        assert ENTITY_SCHEME.num_labels == 1 + 2 * len(ENTITY_TAGS)
+
+    def test_outside_is_zero(self):
+        assert BLOCK_SCHEME.outside_id == 0
+        assert BLOCK_SCHEME.id_to_label(0) == "O"
+
+    def test_begin_inside_adjacent(self):
+        for tag in BLOCK_TAGS:
+            assert BLOCK_SCHEME.inside_id(tag) == BLOCK_SCHEME.begin_id(tag) + 1
+
+    def test_tag_of(self):
+        assert BLOCK_SCHEME.tag_of(BLOCK_SCHEME.begin_id("WorkExp")) == "WorkExp"
+        assert BLOCK_SCHEME.tag_of(0) == "O"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            BLOCK_SCHEME.label_id("B-Nonsense")
+
+    def test_encode_decode(self):
+        labels = ["O", "B-PInfo", "I-PInfo"]
+        assert BLOCK_SCHEME.decode(BLOCK_SCHEME.encode(labels)) == labels
+
+    def test_block_entities_subset(self):
+        for block, entities in BLOCK_ENTITIES.items():
+            assert block in BLOCK_TAGS
+            assert set(entities) <= set(ENTITY_TAGS)
+
+
+class TestSpansToIob:
+    def test_basic(self):
+        ids = spans_to_iob(5, [(1, 3, "PInfo")], BLOCK_SCHEME)
+        assert BLOCK_SCHEME.decode(ids) == ["O", "B-PInfo", "I-PInfo", "O", "O"]
+
+    def test_adjacent_spans_get_two_b(self):
+        ids = spans_to_iob(4, [(0, 2, "Title"), (2, 4, "Title")], BLOCK_SCHEME)
+        assert BLOCK_SCHEME.decode(ids) == ["B-Title", "I-Title", "B-Title", "I-Title"]
+
+    def test_overlap_raises(self):
+        with pytest.raises(ValueError):
+            spans_to_iob(5, [(0, 3, "PInfo"), (2, 4, "EduExp")], BLOCK_SCHEME)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            spans_to_iob(3, [(2, 5, "PInfo")], BLOCK_SCHEME)
+        with pytest.raises(ValueError):
+            spans_to_iob(3, [(2, 2, "PInfo")], BLOCK_SCHEME)
+
+
+class TestIobToSpans:
+    def test_roundtrip(self):
+        spans = [(0, 2, "PInfo"), (3, 4, "EduExp")]
+        ids = spans_to_iob(6, spans, BLOCK_SCHEME)
+        assert iob_to_spans(ids, BLOCK_SCHEME) == spans
+
+    def test_repairs_dangling_inside(self):
+        ids = BLOCK_SCHEME.encode(["O", "I-PInfo", "I-PInfo", "O"])
+        assert iob_to_spans(ids, BLOCK_SCHEME) == [(1, 3, "PInfo")]
+
+    def test_tag_switch_without_b(self):
+        ids = BLOCK_SCHEME.encode(["B-PInfo", "I-EduExp"])
+        assert iob_to_spans(ids, BLOCK_SCHEME) == [(0, 1, "PInfo"), (1, 2, "EduExp")]
+
+    def test_span_reaching_end(self):
+        ids = BLOCK_SCHEME.encode(["O", "B-Awards", "I-Awards"])
+        assert iob_to_spans(ids, BLOCK_SCHEME) == [(1, 3, "Awards")]
+
+    def test_empty(self):
+        assert iob_to_spans([], BLOCK_SCHEME) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 5), st.sampled_from(BLOCK_TAGS)),
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_nonoverlapping(self, raw):
+        # Build non-overlapping spans deterministically from raw pieces.
+        spans = []
+        cursor = 0
+        for offset, width, tag in raw:
+            start = cursor + offset
+            spans.append((start, start + width, tag))
+            cursor = start + width
+        length = (spans[-1][1] if spans else 0) + 2
+        ids = spans_to_iob(length, spans, BLOCK_SCHEME)
+        assert iob_to_spans(ids, BLOCK_SCHEME) == spans

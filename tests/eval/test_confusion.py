@@ -1,0 +1,49 @@
+"""Tests for confusion-matrix analysis."""
+
+import numpy as np
+import pytest
+
+from repro.eval import confusion_matrix, format_confusion, most_confused_pairs
+
+TAGS = ["A", "B"]
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        gold = [["A", "B", None]]
+        matrix = confusion_matrix(gold, gold, TAGS)
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 1]))
+
+    def test_off_diagonal_errors(self):
+        gold = [["A", "A"]]
+        pred = [["B", "A"]]
+        matrix = confusion_matrix(gold, pred, TAGS)
+        assert matrix[0, 1] == 1  # gold A predicted B
+        assert matrix[0, 0] == 1
+
+    def test_unknown_tags_fold_into_outside(self):
+        matrix = confusion_matrix([["Z"]], [["A"]], TAGS)
+        assert matrix[2, 0] == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([["A"]], [["A", "B"]], TAGS)
+
+    def test_format_confusion(self):
+        matrix = confusion_matrix([["A", "B"]], [["A", "A"]], TAGS)
+        text = format_confusion(matrix, TAGS)
+        assert "gold \\ pred" in text
+        assert "O" in text
+
+    def test_format_checks_shape(self):
+        with pytest.raises(ValueError):
+            format_confusion(np.zeros((2, 2)), TAGS)
+
+    def test_most_confused_pairs_sorted(self):
+        gold = [["A"] * 5 + ["B"] * 2]
+        pred = [["B"] * 5 + ["A"] * 2]
+        pairs = most_confused_pairs(
+            confusion_matrix(gold, pred, TAGS), TAGS, top=2
+        )
+        assert pairs[0] == ("A", "B", 5)
+        assert pairs[1] == ("B", "A", 2)

@@ -1,0 +1,188 @@
+"""Tests for area metrics, entity metrics, timing and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import ResumeGenerator
+from repro.docmodel import BLOCK_SCHEME, ENTITY_SCHEME
+from repro.eval import (
+    AreaEvaluation,
+    PrfScore,
+    area_prf_by_tag,
+    area_prf_micro,
+    entity_prf,
+    entity_prf_by_tag,
+    format_prf_table,
+    format_stats_table,
+    format_table,
+    time_per_resume,
+    token_accuracy,
+)
+
+
+class TestPrfScore:
+    def test_from_counts(self):
+        score = PrfScore.from_counts(8, 10, 16)
+        assert score.precision == 0.8
+        assert score.recall == 0.5
+        assert score.f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+
+    def test_zero_denominators(self):
+        score = PrfScore.from_counts(0, 0, 0)
+        assert score.precision == score.recall == score.f1 == 0.0
+
+
+class TestEntityPrf:
+    def test_perfect(self):
+        labels = [["B-Name", "I-Name", "O", "B-Date"]]
+        score = entity_prf(labels, labels)
+        assert score.f1 == 1.0
+        assert score.true_positives == 2
+
+    def test_boundary_mismatch_counts_twice(self):
+        gold = [["B-Name", "I-Name", "O"]]
+        pred = [["B-Name", "O", "O"]]
+        score = entity_prf(gold, pred)
+        assert score.true_positives == 0
+        assert score.predicted == 1
+        assert score.gold == 1
+
+    def test_tag_mismatch(self):
+        gold = [["B-Name"]]
+        pred = [["B-Date"]]
+        assert entity_prf(gold, pred).f1 == 0.0
+
+    def test_by_tag_separates(self):
+        gold = [["B-Name", "O", "B-Date"]]
+        pred = [["B-Name", "O", "O"]]
+        by_tag = entity_prf_by_tag(gold, pred)
+        assert by_tag["Name"].f1 == 1.0
+        assert by_tag["Date"].recall == 0.0
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            entity_prf([["O"]], [])
+
+    def test_unknown_labels_treated_as_outside(self):
+        gold = [["B-Name"]]
+        pred = [["B-Banana"]]
+        score = entity_prf(gold, pred)
+        assert score.predicted == 0
+
+    def test_token_accuracy(self):
+        gold = [["O", "B-Name"], ["O"]]
+        pred = [["O", "O"], ["O"]]
+        assert token_accuracy(gold, pred) == pytest.approx(2 / 3)
+
+    def test_token_accuracy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            token_accuracy([["O", "O"]], [["O"]])
+
+
+class _ConstantPredictor:
+    def __init__(self, tag):
+        self.tag = tag
+
+    def predict_token_tags(self, document):
+        return [self.tag] * document.num_tokens
+
+
+class _OraclePredictor:
+    def predict_token_tags(self, document):
+        return [t or "O" for t in document.token_block_tags()]
+
+
+class TestAreaMetrics:
+    @pytest.fixture(scope="class")
+    def docs(self):
+        return ResumeGenerator(seed=55).batch(2)
+
+    def test_oracle_scores_one(self, docs):
+        evaluation = AreaEvaluation(docs)
+        scores = evaluation.evaluate(_OraclePredictor())
+        for tag, score in scores.items():
+            assert score.f1 == pytest.approx(1.0), tag
+
+    def test_constant_predictor_partial(self, docs):
+        evaluation = AreaEvaluation(docs)
+        scores = evaluation.evaluate(_ConstantPredictor("WorkExp"))
+        assert scores["WorkExp"].recall == pytest.approx(1.0)
+        assert scores["WorkExp"].precision < 1.0
+        assert scores["PInfo"].recall == 0.0
+
+    def test_micro_average(self, docs):
+        evaluation = AreaEvaluation(docs)
+        micro = evaluation.evaluate_micro(_OraclePredictor())
+        assert micro.f1 == pytest.approx(1.0)
+
+    def test_misaligned_raises(self, docs):
+        with pytest.raises(ValueError):
+            area_prf_by_tag(docs, [["WorkExp"]] * 2, [["WorkExp"]] * 2)
+
+    def test_weights_by_area(self):
+        # One big token (area 4x) + one small token, different tags: getting
+        # only the big one right yields precision above token-count 50%.
+        from repro.docmodel import BBox, Page, ResumeDocument, Sentence, Token
+
+        big = Token("big", BBox(0, 0, 40, 20), 1, block_tag="Title", block_id=0)
+        small = Token("s", BBox(0, 30, 10, 40), 1, block_tag="PInfo", block_id=1)
+        doc = ResumeDocument(
+            "d", [Page(1)], [Sentence([big], 1), Sentence([small], 1)]
+        )
+        gold = [["Title", "PInfo"]]
+        pred = [["Title", "Title"]]
+        scores = area_prf_by_tag([doc], gold, pred)
+        big_area = 800.0
+        small_area = 100.0
+        assert scores["Title"].precision == pytest.approx(
+            big_area / (big_area + small_area)
+        )
+
+
+class TestTiming:
+    def test_returns_positive_average(self):
+        docs = ResumeGenerator(seed=5).batch(2)
+        calls = []
+        average = time_per_resume(lambda d: calls.append(d), docs, repeats=2)
+        assert average >= 0
+        # warmup (1) + repeats * len(docs)
+        assert len(calls) == 1 + 2 * 2
+
+    def test_empty_documents_raise(self):
+        with pytest.raises(ValueError):
+            time_per_resume(lambda d: None, [])
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_prf_table(self):
+        results = {
+            "Ours": {"PInfo": PrfScore(0.9, 0.8, 0.85)},
+            "BERT": {"PInfo": PrfScore(0.5, 0.4, 0.45)},
+        }
+        text = format_prf_table(results, ["PInfo", "Missing"])
+        assert "85.00 (80.00 / 90.00)" in text
+        assert "-" in text  # missing tag renders as dash
+
+    def test_format_prf_table_extra_rows(self):
+        results = {"Ours": {"PInfo": PrfScore(1, 1, 1)}}
+        text = format_prf_table(
+            results, ["PInfo"], extra_rows={"Time/Resume": {"Ours": "0.27s"}}
+        )
+        assert "Time/Resume" in text
+        assert "0.27s" in text
+
+    def test_format_stats_table(self):
+        text = format_stats_table(
+            {"train": {"# of samples": 100, "avg tokens": 12.5}},
+            title="Table I",
+        )
+        assert "Table I" in text
+        assert "100" in text
+        assert "12.50" in text

@@ -1,0 +1,42 @@
+"""Shared test utilities: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(
+    fn: Callable[[Tensor], Tensor], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``fn`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        high = float(fn(Tensor(x)).data)
+        flat[i] = original - eps
+        low = float(fn(Tensor(x)).data)
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2.0 * eps)
+    return grad
+
+
+def check_grad(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert autograd gradient of scalar ``fn`` matches finite differences."""
+    tensor = Tensor(np.asarray(x, dtype=np.float64), requires_grad=True)
+    out = fn(tensor)
+    out.backward()
+    expected = numeric_grad(fn, np.asarray(x, dtype=np.float64))
+    np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=rtol)

@@ -1,0 +1,157 @@
+"""Tests for the distant-supervision annotator."""
+
+import pytest
+
+from repro.corpus import NerExample, ResumeGenerator, extract_block_examples
+from repro.eval import entity_prf
+from repro.ner import DistantAnnotator, annotate_examples, build_dictionaries
+
+
+@pytest.fixture(scope="module")
+def annotator():
+    return DistantAnnotator(build_dictionaries(coverage=1.0, seed=0))
+
+
+def labels_of(annotator, text):
+    return annotator.annotate(text.split()).labels
+
+
+class TestRegexMatchers:
+    def test_email(self, annotator):
+        labels = labels_of(annotator, "contact me at jane.doe@example.com now")
+        assert labels[3] == "B-Email"
+
+    def test_phone_compact(self, annotator):
+        assert labels_of(annotator, "call 5551234567 today")[1] == "B-PhoneNum"
+
+    def test_phone_dashed(self, annotator):
+        assert labels_of(annotator, "call 555-123-4567 today")[1] == "B-PhoneNum"
+
+    def test_phone_parenthesised(self, annotator):
+        labels = labels_of(annotator, "phone ( 555 ) 123 4567")
+        # tokens: phone ( 555 ) 123 4567 — generator emits '(555)' as one
+        labels2 = labels_of(annotator, "phone (555) 123 4567")
+        assert labels2[1] == "B-PhoneNum"
+        assert labels2[2] == "I-PhoneNum"
+        assert labels2[3] == "I-PhoneNum"
+
+    def test_date_range(self, annotator):
+        labels = labels_of(annotator, "2019.07 - 2021.06 acme inc")
+        assert labels[:3] == ["B-Date", "I-Date", "I-Date"]
+
+    def test_date_range_present(self, annotator):
+        labels = labels_of(annotator, "2019.07 - present")
+        assert labels == ["B-Date", "I-Date", "I-Date"]
+
+    def test_single_date(self, annotator):
+        assert labels_of(annotator, "awarded 2014.10 prize")[1] == "B-Date"
+
+    def test_plain_number_not_date(self, annotator):
+        assert labels_of(annotator, "managed 2019 people")[1] == "O"
+
+
+class TestPrefixHeuristics:
+    def test_age_prefix(self, annotator):
+        labels = labels_of(annotator, "age : 34 years")
+        assert labels[2] == "B-Age"
+
+    def test_age_requires_two_digits(self, annotator):
+        labels = labels_of(annotator, "age : 345 years")
+        assert labels[2] == "O"
+
+    def test_bare_number_without_prefix_unlabeled(self, annotator):
+        assert labels_of(annotator, "shipped 34 features")[1] == "O"
+
+    def test_email_prefix_does_not_override_regex(self, annotator):
+        labels = labels_of(annotator, "email : a.b@example.com")
+        assert labels[2] == "B-Email"
+
+
+class TestValueSets:
+    def test_gender(self, annotator):
+        assert labels_of(annotator, "gender : female")[2] == "B-Gender"
+        assert labels_of(annotator, "a female engineer")[1] == "B-Gender"
+
+    def test_degree(self, annotator):
+        labels = labels_of(annotator, "master degree in physics")
+        assert labels[0] == "B-Degree"
+
+
+class TestDictionaryMatching:
+    def test_multiword_college(self, annotator):
+        labels = labels_of(annotator, "studied at northfield state university now")
+        assert labels[2] == "B-College"
+        assert labels[3] == "I-College"
+        assert labels[4] == "I-College"
+
+    def test_longest_match_wins(self, annotator):
+        # 'senior software engineer' should match as one position, not
+        # leave 'software engineer' inside it.
+        labels = labels_of(annotator, "worked as senior software engineer there")
+        assert labels[2] == "B-Position"
+        assert labels[3] == "I-Position"
+        assert labels[4] == "I-Position"
+
+    def test_out_of_dictionary_missed(self):
+        small = DistantAnnotator(build_dictionaries(coverage=0.05, seed=0))
+        recalled = 0
+        for text in ["northfield university", "westlake college"]:
+            labels = small.annotate(text.split()).labels
+            recalled += labels[0] != "O"
+        assert recalled < 2  # incomplete dictionaries miss mentions
+
+
+class TestHeuristics:
+    def test_name_bigram_at_head(self, annotator):
+        labels = labels_of(annotator, "james smith software engineer")
+        assert labels[0] == "B-Name"
+        assert labels[1] == "I-Name"
+
+    def test_name_bigram_outside_window_ignored(self, annotator):
+        words = ["filler"] * 10 + ["james", "smith"]
+        labels = annotator.annotate(words).labels
+        assert labels[10] == "O"
+
+    def test_company_suffix(self, annotator):
+        small = DistantAnnotator(build_dictionaries(coverage=0.05, seed=0))
+        labels = small.annotate("worked at zenyatta co. ltd".split()).labels
+        assert labels[2] == "B-Company"
+        assert labels[3] == "I-Company"
+        assert labels[4] == "I-Company"
+
+    def test_matched_mask_tracks_claims(self, annotator):
+        annotation = annotator.annotate("james smith studied physics".split())
+        assert annotation.matched[:2] == [True, True]
+        assert annotation.matched[2] is False
+
+
+class TestAnnotateExamples:
+    def test_filters_entityless_blocks(self, annotator):
+        examples = [
+            NerExample(["nothing", "here"], ["O", "O"], "WorkExp"),
+            NerExample(
+                ["2019.07", "-", "2021.06"], ["O", "O", "O"], "WorkExp"
+            ),
+        ]
+        out = annotate_examples(examples, annotator)
+        assert len(out) == 1
+        assert out[0].labels[0] == "B-Date"
+
+    def test_keeps_all_without_filter(self, annotator):
+        examples = [NerExample(["nothing", "here"], ["O", "O"], "WorkExp")]
+        out = annotate_examples(examples, annotator, require_entity=False)
+        assert len(out) == 1
+
+    def test_distant_quality_shape(self):
+        # High precision / partial recall against gold (the D&R profile).
+        docs = ResumeGenerator(seed=11).batch(8)
+        examples = extract_block_examples(docs)
+        annotator = DistantAnnotator(
+            build_dictionaries(coverage=0.5, seed=1, noise=0.3)
+        )
+        predicted = [annotator.annotate(e.words).labels for e in examples]
+        gold = [e.labels for e in examples]
+        score = entity_prf(gold, predicted)
+        assert score.precision > score.recall
+        assert score.precision > 0.8
+        assert 0.3 < score.recall < 0.95

@@ -1,0 +1,103 @@
+"""Tests for distant-supervision data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import NerExample
+from repro.docmodel import ENTITY_SCHEME, iob_to_spans
+from repro.ner import (
+    augment_examples,
+    build_dictionaries,
+    reorder_fields,
+    replace_mentions,
+)
+
+
+@pytest.fixture(scope="module")
+def dictionaries():
+    return build_dictionaries(coverage=1.0, seed=0)
+
+
+def spans_of(example):
+    ids = [ENTITY_SCHEME.label_id(l) for l in example.labels]
+    return iob_to_spans(ids, ENTITY_SCHEME)
+
+
+EXAMPLE = NerExample(
+    "2019.07 - 2021.06 acme co. ltd senior software engineer".split(),
+    ["B-Date", "I-Date", "I-Date", "B-Company", "I-Company", "I-Company",
+     "B-Position", "I-Position", "I-Position"],
+    "WorkExp",
+)
+
+
+class TestReplaceMentions:
+    def test_replaces_with_dictionary_value(self, dictionaries):
+        rng = np.random.default_rng(0)
+        out = replace_mentions(EXAMPLE, dictionaries, rng)
+        assert out is not None
+        assert len(out.words) == len(out.labels)
+        # Same entity classes survive.
+        assert {t for *_, t in spans_of(out)} == {"Date", "Company", "Position"}
+
+    def test_replacement_comes_from_dictionary(self, dictionaries):
+        rng = np.random.default_rng(1)
+        out = replace_mentions(EXAMPLE, dictionaries, rng)
+        replaced = [
+            tuple(out.words[s:e])
+            for s, e, t in spans_of(out)
+            if t in ("Company", "Position")
+        ]
+        pools = dictionaries.companies | dictionaries.positions
+        assert any(r in pools for r in replaced)
+
+    def test_no_replaceable_spans_returns_none(self, dictionaries):
+        example = NerExample(["2019.07"], ["B-Date"], "WorkExp")
+        assert replace_mentions(example, dictionaries, np.random.default_rng(0)) is None
+
+
+class TestReorderFields:
+    def test_swaps_adjacent_entities(self):
+        rng = np.random.default_rng(0)
+        out = reorder_fields(EXAMPLE, rng)
+        assert out is not None
+        tags = [t for *_, t in spans_of(out)]
+        assert sorted(tags) == sorted(t for *_, t in spans_of(EXAMPLE))
+        assert tags != [t for *_, t in spans_of(EXAMPLE)]
+
+    def test_word_count_preserved(self):
+        out = reorder_fields(EXAMPLE, np.random.default_rng(0))
+        assert len(out.words) == len(EXAMPLE.words)
+
+    def test_no_adjacent_pairs_returns_none(self):
+        example = NerExample(
+            ["2019.07"] + ["x"] * 5 + ["acme"],
+            ["B-Date"] + ["O"] * 5 + ["B-Company"],
+            "WorkExp",
+        )
+        assert reorder_fields(example, np.random.default_rng(0)) is None
+
+
+class TestAugmentExamples:
+    def test_output_superset(self, dictionaries):
+        out = augment_examples(
+            [EXAMPLE] * 4, dictionaries, replacement_factor=1.0,
+            reorder_factor=1.0, seed=0,
+        )
+        assert len(out) > 4
+        assert out[:4] == [EXAMPLE] * 4
+
+    def test_zero_factors_identity(self, dictionaries):
+        out = augment_examples(
+            [EXAMPLE], dictionaries, replacement_factor=0.0,
+            reorder_factor=0.0, seed=0,
+        )
+        assert out == [EXAMPLE]
+
+    def test_augmented_labels_stay_aligned(self, dictionaries):
+        out = augment_examples(
+            [EXAMPLE] * 10, dictionaries, replacement_factor=1.0,
+            reorder_factor=1.0, seed=3,
+        )
+        for example in out:
+            assert len(example.words) == len(example.labels)

@@ -1,0 +1,56 @@
+"""Tests for entity dictionary construction."""
+
+import pytest
+
+from repro.ner import build_dictionaries
+
+
+class TestBuildDictionaries:
+    def test_full_coverage_contains_bank(self):
+        dicts = build_dictionaries(coverage=1.0, seed=0)
+        from repro.corpus import names
+
+        assert dicts.first_names == frozenset(names.FIRST_NAMES)
+        assert ("computer", "science") in dicts.majors
+
+    def test_partial_coverage_smaller(self):
+        full = build_dictionaries(coverage=1.0, seed=0)
+        half = build_dictionaries(coverage=0.5, seed=0)
+        assert len(half.first_names) < len(full.first_names)
+        assert len(half.majors) < len(full.majors)
+
+    def test_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            build_dictionaries(coverage=0.0)
+        with pytest.raises(ValueError):
+            build_dictionaries(coverage=1.5)
+        with pytest.raises(ValueError):
+            build_dictionaries(noise=-0.1)
+
+    def test_deterministic(self):
+        a = build_dictionaries(coverage=0.6, seed=3)
+        b = build_dictionaries(coverage=0.6, seed=3)
+        assert a.first_names == b.first_names
+        assert a.companies == b.companies
+
+    def test_noise_adds_distractors(self):
+        clean = build_dictionaries(coverage=1.0, seed=0, noise=0.0)
+        noisy = build_dictionaries(coverage=1.0, seed=0, noise=1.0)
+        assert ("communication",) not in clean.majors
+        assert ("communication",) in noisy.majors
+
+    def test_composite_values_enumerated(self):
+        dicts = build_dictionaries(coverage=1.0, seed=0)
+        # every (stem, suffix) combination is listed
+        assert ("acme", "co.", "ltd") in dicts.companies
+        assert ("acme", "inc") in dicts.companies
+
+    def test_phrase_dictionaries_cover_open_classes(self):
+        dicts = build_dictionaries(coverage=0.5, seed=1)
+        assert set(dicts.phrase_dictionaries()) == {
+            "College", "Major", "Company", "Position", "ProjName",
+        }
+
+    def test_max_phrase_length(self):
+        dicts = build_dictionaries(coverage=1.0, seed=0)
+        assert dicts.max_phrase_length() >= 3

@@ -1,0 +1,151 @@
+"""Tests for soft labels, confidence selection and Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_ner_corpus
+from repro.ner import (
+    NerConfig,
+    NerTagger,
+    SelfTrainConfig,
+    SelfTrainer,
+    annotate_examples,
+    build_dictionaries,
+    confidence_mask,
+    soft_pseudo_labels,
+)
+from repro.ner.self_training import hard_to_onehot
+from repro.text import WordPieceTokenizer
+
+
+class TestSoftPseudoLabels:
+    def test_normalised(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(5), size=(3, 4))
+        word_mask = np.ones((3, 4))
+        soft = soft_pseudo_labels(probs, word_mask)
+        np.testing.assert_allclose(soft.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_sharpens_confident_predictions(self):
+        # With balanced class frequencies, the squared re-weighting
+        # sharpens each row towards its confident class.
+        probs = np.array(
+            [[[0.7, 0.2, 0.1], [0.1, 0.7, 0.2], [0.2, 0.1, 0.7]]]
+        )
+        soft = soft_pseudo_labels(probs, np.ones((1, 3)))
+        assert soft[0, 0, 0] > probs[0, 0, 0]
+        assert soft[0, 1, 1] > probs[0, 1, 1]
+
+    def test_rare_class_boosted_by_frequency_division(self):
+        # Two tokens strongly predicted class0; one weakly class1.  The
+        # frequency division (p_c) boosts the rare class1 relative to a
+        # plain square.
+        probs = np.array([[[0.9, 0.1], [0.9, 0.1], [0.55, 0.45]]])
+        soft = soft_pseudo_labels(probs, np.ones((1, 3)))
+        plain_square = probs**2 / (probs**2).sum(-1, keepdims=True)
+        assert soft[0, 2, 1] > plain_square[0, 2, 1]
+
+    def test_hard_onehot(self):
+        soft = np.array([[[0.2, 0.8], [0.6, 0.4]]])
+        hard = hard_to_onehot(soft)
+        np.testing.assert_array_equal(hard, [[[0, 1], [1, 0]]])
+
+
+class TestConfidenceMask:
+    def test_threshold(self):
+        soft = np.array([[[0.95, 0.05], [0.6, 0.4]]])
+        word_mask = np.ones((1, 2))
+        mask = confidence_mask(soft, word_mask, gamma=0.8)
+        np.testing.assert_array_equal(mask, [[1.0, 0.0]])
+
+    def test_respects_word_mask(self):
+        soft = np.array([[[0.95, 0.05], [0.99, 0.01]]])
+        word_mask = np.array([[1.0, 0.0]])
+        mask = confidence_mask(soft, word_mask, gamma=0.8)
+        np.testing.assert_array_equal(mask, [[1.0, 0.0]])
+
+
+@pytest.fixture(scope="module")
+def setting():
+    corpus = build_ner_corpus(
+        num_train_docs=10, num_validation_docs=3, num_test_docs=3, seed=21
+    )
+    annotator_dicts = build_dictionaries(coverage=0.6, seed=2, noise=0.3)
+    from repro.ner import DistantAnnotator
+
+    train = annotate_examples(corpus.train, DistantAnnotator(annotator_dicts))
+    tokenizer = WordPieceTokenizer.train(
+        [e.text for e in train], vocab_size=400, min_frequency=1
+    )
+    config = NerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        layers=1,
+        heads=2,
+        lstm_hidden=16,
+        dropout=0.0,
+    )
+    return corpus, train, tokenizer, config
+
+
+class TestSelfTrainer:
+    def test_teacher_training_learns(self, setting):
+        corpus, train, tokenizer, config = setting
+        model = NerTagger(config, tokenizer, rng=np.random.default_rng(3))
+        trainer = SelfTrainer(
+            model,
+            SelfTrainConfig(teacher_epochs=4, teacher_patience=4,
+                            iterations=0, learning_rate=3e-3),
+            seed=0,
+        )
+        teacher = trainer.train_teacher(train, corpus.validation)
+        losses = [h["loss"] for h in trainer.history if h["stage"] == 0.0]
+        assert losses[-1] < losses[0]
+
+    def test_without_sd_returns_after_teacher(self, setting):
+        corpus, train, tokenizer, config = setting
+        model = NerTagger(config, tokenizer, rng=np.random.default_rng(4))
+        trainer = SelfTrainer(
+            model,
+            SelfTrainConfig(teacher_epochs=2, iterations=5,
+                            use_self_distillation=False, learning_rate=3e-3),
+            seed=0,
+        )
+        final = trainer.train(train, corpus.validation)
+        stages = {h["stage"] for h in trainer.history}
+        assert stages == {0.0}
+        assert final is model
+
+    def test_full_algorithm_runs_student_iterations(self, setting):
+        corpus, train, tokenizer, config = setting
+        model = NerTagger(config, tokenizer, rng=np.random.default_rng(5))
+        trainer = SelfTrainer(
+            model,
+            SelfTrainConfig(teacher_epochs=2, iterations=4, batch_size=8,
+                            learning_rate=3e-3, eval_every=2),
+            seed=0,
+        )
+        student = trainer.train(train, corpus.validation)
+        stage1 = [h for h in trainer.history if h["stage"] == 1.0]
+        assert len(stage1) == 4
+        assert student is not model  # the student is a clone
+
+    def test_ablation_toggles_change_targets(self, setting):
+        corpus, train, tokenizer, config = setting
+
+        def run(**kwargs):
+            model = NerTagger(config, tokenizer, rng=np.random.default_rng(6))
+            trainer = SelfTrainer(
+                model,
+                SelfTrainConfig(teacher_epochs=1, iterations=2, batch_size=4,
+                                learning_rate=3e-3, **kwargs),
+                seed=0,
+            )
+            trainer.train(train[:8], corpus.validation[:2])
+            return [h["loss"] for h in trainer.history if h["stage"] == 1.0]
+
+        soft = run()
+        hard = run(use_soft_labels=False)
+        no_hcs = run(use_confidence_selection=False)
+        assert soft and hard and no_hcs
+        assert soft != hard  # different targets produce different losses

@@ -1,0 +1,279 @@
+"""CRF tests: partition via brute force, Viterbi optimality, fuzzy CRF."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import FuzzyCrf, LinearChainCrf, Tensor
+
+from ..helpers import check_grad
+
+RNG = np.random.default_rng(21)
+
+
+def brute_force_log_z(crf, emissions, length):
+    """Enumerate every path to compute the exact partition function."""
+    num_tags = crf.num_tags
+    scores = []
+    for path in itertools.product(range(num_tags), repeat=length):
+        score = crf.start_scores.data[path[0]] + emissions[0, path[0]]
+        for t in range(1, length):
+            score += crf.transitions.data[path[t - 1], path[t]]
+            score += emissions[t, path[t]]
+        score += crf.end_scores.data[path[-1]]
+        scores.append(score)
+    return float(np.logaddexp.reduce(scores))
+
+
+def brute_force_best_path(crf, emissions, length):
+    num_tags = crf.num_tags
+    best, best_score = None, -np.inf
+    for path in itertools.product(range(num_tags), repeat=length):
+        score = crf.start_scores.data[path[0]] + emissions[0, path[0]]
+        for t in range(1, length):
+            score += crf.transitions.data[path[t - 1], path[t]]
+            score += emissions[t, path[t]]
+        score += crf.end_scores.data[path[-1]]
+        if score > best_score:
+            best, best_score = list(path), score
+    return best
+
+
+class TestPartition:
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_matches_brute_force(self, length):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(1))
+        emissions = RNG.normal(size=(1, length, 3))
+        mask = np.ones((1, length))
+        log_z = crf._partition(Tensor(emissions), mask).numpy()[0]
+        assert log_z == pytest.approx(
+            brute_force_log_z(crf, emissions[0], length), abs=1e-8
+        )
+
+    def test_masked_positions_excluded(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(2))
+        emissions = RNG.normal(size=(1, 5, 3))
+        mask = np.ones((1, 5))
+        mask[0, 3:] = 0
+        log_z = crf._partition(Tensor(emissions), mask).numpy()[0]
+        assert log_z == pytest.approx(
+            brute_force_log_z(crf, emissions[0, :3], 3), abs=1e-8
+        )
+
+
+class TestNll:
+    def test_is_proper_negative_log_prob(self):
+        # NLL of the gold path must be >= 0 and equal -log p(path).
+        crf = LinearChainCrf(3, rng=np.random.default_rng(3))
+        emissions = RNG.normal(size=(1, 4, 3))
+        tags = np.array([[0, 2, 1, 0]])
+        nll = float(crf.neg_log_likelihood(Tensor(emissions), tags).data)
+        assert nll >= 0
+
+        log_z = brute_force_log_z(crf, emissions[0], 4)
+        gold = crf.start_scores.data[0] + emissions[0, 0, 0]
+        gold += crf.transitions.data[0, 2] + emissions[0, 1, 2]
+        gold += crf.transitions.data[2, 1] + emissions[0, 2, 1]
+        gold += crf.transitions.data[1, 0] + emissions[0, 3, 0]
+        gold += crf.end_scores.data[0]
+        assert nll == pytest.approx(log_z - gold, abs=1e-8)
+
+    def test_gradient_wrt_emissions(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(4))
+        tags = np.array([[0, 1, 2]])
+        check_grad(
+            lambda t: crf.neg_log_likelihood(t.reshape(1, 3, 3), tags),
+            RNG.normal(size=(3, 3)),
+        )
+
+    def test_gradient_wrt_transitions(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(5))
+        emissions = Tensor(RNG.normal(size=(2, 4, 3)))
+        tags = np.array([[0, 1, 2, 0], [2, 2, 1, 1]])
+        loss = crf.neg_log_likelihood(emissions, tags)
+        loss.backward()
+        assert crf.transitions.grad is not None
+        assert crf.start_scores.grad is not None
+        assert crf.end_scores.grad is not None
+
+    def test_requires_valid_first_position(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(6))
+        emissions = Tensor(RNG.normal(size=(1, 3, 3)))
+        mask = np.array([[0, 1, 1]])
+        with pytest.raises(ValueError):
+            crf.neg_log_likelihood(emissions, np.zeros((1, 3), dtype=int), mask)
+
+    def test_training_fits_pattern(self):
+        # The CRF alone (fixed emissions) should learn transition structure.
+        from repro.nn import Adam, ParamGroup
+
+        crf = LinearChainCrf(2, rng=np.random.default_rng(7))
+        emissions = Tensor(np.zeros((4, 6, 2)))  # no emission signal at all
+        tags = np.tile([0, 1, 0, 1, 0, 1], (4, 1))  # strict alternation
+        opt = Adam([ParamGroup(crf.parameters(), 0.1)])
+        for _ in range(60):
+            opt.zero_grad()
+            loss = crf.neg_log_likelihood(emissions, tags)
+            loss.backward()
+            opt.step()
+        decoded = crf.decode(emissions)
+        assert decoded[0] in ([0, 1, 0, 1, 0, 1],)
+
+
+class TestFusedAgainstReference:
+    """The fused forward-backward must match the compositional autograd."""
+
+    def setup_method(self):
+        self.crf = LinearChainCrf(4, rng=np.random.default_rng(30))
+        self.emissions = RNG.normal(size=(3, 6, 4))
+        self.mask = np.ones((3, 6))
+        self.mask[1, 4:] = 0
+        self.mask[2, 2:] = 0
+        self.tags = np.random.default_rng(31).integers(0, 4, size=(3, 6))
+
+    def test_partition_values_match(self):
+        fused = self.crf._partition(Tensor(self.emissions), self.mask)
+        reference = self.crf._partition_reference(
+            Tensor(self.emissions), self.mask
+        )
+        np.testing.assert_allclose(fused.numpy(), reference.numpy(), atol=1e-9)
+
+    def test_partition_gradients_match(self):
+        def run(fn):
+            self.crf.zero_grad()
+            emissions = Tensor(self.emissions.copy(), requires_grad=True)
+            fn(emissions, self.mask).sum().backward()
+            return (
+                emissions.grad.copy(),
+                self.crf.transitions.grad.copy(),
+                self.crf.start_scores.grad.copy(),
+                self.crf.end_scores.grad.copy(),
+            )
+
+        fused = run(self.crf._partition)
+        reference = run(self.crf._partition_reference)
+        for f, r in zip(fused, reference):
+            np.testing.assert_allclose(f, r, atol=1e-8)
+
+    def test_gold_score_values_and_grads_match(self):
+        def run(fn):
+            self.crf.zero_grad()
+            emissions = Tensor(self.emissions.copy(), requires_grad=True)
+            out = fn(emissions, self.tags, self.mask)
+            out.sum().backward()
+            return out.numpy().copy(), emissions.grad.copy(), \
+                self.crf.transitions.grad.copy()
+
+        fused_out, fused_ge, fused_gt = run(self.crf._score_sequence)
+        ref_out, ref_ge, ref_gt = run(self.crf._score_sequence_reference)
+        np.testing.assert_allclose(fused_out, ref_out, atol=1e-9)
+        np.testing.assert_allclose(fused_ge, ref_ge, atol=1e-9)
+        np.testing.assert_allclose(fused_gt, ref_gt, atol=1e-9)
+
+    def test_non_prefix_mask_falls_back(self):
+        mask = np.ones((1, 4))
+        mask[0, 2] = 0  # hole in the middle: not a prefix mask
+        assert not LinearChainCrf._is_prefix_mask(mask)
+        emissions = Tensor(RNG.normal(size=(1, 4, 4)), requires_grad=True)
+        out = self.crf._partition(emissions, mask)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_fused_handles_neg_inf_penalties(self):
+        # The fuzzy CRF adds -1e9 penalties to emissions; the fused op must
+        # stay finite.
+        crf = FuzzyCrf(3, rng=np.random.default_rng(32))
+        emissions = Tensor(RNG.normal(size=(2, 5, 3)), requires_grad=True)
+        allowed = np.ones((2, 5, 3), dtype=bool)
+        allowed[0, 1] = [True, False, False]
+        loss = crf.constrained_nll(emissions, allowed)
+        loss.backward()
+        assert np.isfinite(float(loss.data))
+        assert np.isfinite(emissions.grad).all()
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("length", [1, 3, 5])
+    def test_matches_brute_force(self, length):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(8))
+        emissions = RNG.normal(size=(1, length, 3)) * 2
+        decoded = crf.decode(Tensor(emissions))[0]
+        assert decoded == brute_force_best_path(crf, emissions[0], length)
+
+    def test_respects_mask_lengths(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(9))
+        emissions = RNG.normal(size=(2, 5, 3))
+        mask = np.ones((2, 5))
+        mask[1, 2:] = 0
+        decoded = crf.decode(Tensor(emissions), mask)
+        assert len(decoded[0]) == 5
+        assert len(decoded[1]) == 2
+
+    @given(st.integers(1, 5), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_decode_score_at_least_gold(self, length, num_tags):
+        rng = np.random.default_rng(length * 13 + num_tags)
+        crf = LinearChainCrf(num_tags, rng=rng)
+        emissions = rng.normal(size=(1, length, num_tags))
+
+        def path_score(path):
+            s = crf.start_scores.data[path[0]] + emissions[0, 0, path[0]]
+            for t in range(1, length):
+                s += crf.transitions.data[path[t - 1], path[t]]
+                s += emissions[0, t, path[t]]
+            return s + crf.end_scores.data[path[-1]]
+
+        best = crf.decode(Tensor(emissions))[0]
+        random_path = list(rng.integers(0, num_tags, size=length))
+        assert path_score(best) >= path_score(random_path) - 1e-9
+
+
+class TestFuzzyCrf:
+    def test_all_allowed_gives_zero_loss(self):
+        crf = FuzzyCrf(3, rng=np.random.default_rng(10))
+        emissions = Tensor(RNG.normal(size=(2, 4, 3)))
+        allowed = np.ones((2, 4, 3), dtype=bool)
+        loss = crf.constrained_nll(emissions, allowed)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_single_allowed_equals_hard_nll(self):
+        crf = FuzzyCrf(3, rng=np.random.default_rng(11))
+        emissions = Tensor(RNG.normal(size=(1, 4, 3)))
+        tags = np.array([[0, 2, 1, 0]])
+        allowed = np.zeros((1, 4, 3), dtype=bool)
+        for t in range(4):
+            allowed[0, t, tags[0, t]] = True
+        fuzzy = float(crf.constrained_nll(emissions, allowed).data)
+        hard = float(crf.neg_log_likelihood(emissions, tags).data)
+        assert fuzzy == pytest.approx(hard, abs=1e-5)
+
+    def test_partial_constraints_between_bounds(self):
+        crf = FuzzyCrf(3, rng=np.random.default_rng(12))
+        emissions = Tensor(RNG.normal(size=(1, 4, 3)))
+        tags = np.array([[0, 2, 1, 0]])
+        hard_allowed = np.zeros((1, 4, 3), dtype=bool)
+        for t in range(4):
+            hard_allowed[0, t, tags[0, t]] = True
+        partial = hard_allowed.copy()
+        partial[0, 1] = True  # position 1 is unconstrained
+        loss_partial = float(crf.constrained_nll(emissions, partial).data)
+        loss_hard = float(crf.constrained_nll(emissions, hard_allowed).data)
+        assert 0.0 <= loss_partial <= loss_hard + 1e-9
+
+    def test_empty_allowed_raises(self):
+        crf = FuzzyCrf(3, rng=np.random.default_rng(13))
+        emissions = Tensor(RNG.normal(size=(1, 2, 3)))
+        allowed = np.ones((1, 2, 3), dtype=bool)
+        allowed[0, 1] = False
+        with pytest.raises(ValueError):
+            crf.constrained_nll(emissions, allowed)
+
+    def test_gradient_flows(self):
+        crf = FuzzyCrf(3, rng=np.random.default_rng(14))
+        emissions = Tensor(RNG.normal(size=(1, 3, 3)), requires_grad=True)
+        allowed = np.ones((1, 3, 3), dtype=bool)
+        allowed[0, 0] = [True, False, False]
+        crf.constrained_nll(emissions, allowed).backward()
+        assert emissions.grad is not None

@@ -1,0 +1,139 @@
+"""Edge-case coverage for the nn substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Linear,
+    Mlp,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    concat,
+    no_grad,
+    stack,
+)
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(77)
+
+
+class TestModuleExtras:
+    def test_copy_from(self):
+        a = Linear(3, 3, rng=np.random.default_rng(1))
+        b = Linear(3, 3, rng=np.random.default_rng(2))
+        b.copy_from(a)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        # Copies, not aliases.
+        b.weight.data += 1.0
+        assert not np.allclose(a.weight.data, b.weight.data)
+
+    def test_sequential_forward(self):
+        seq = Sequential(
+            [Linear(4, 8, rng=RNG), Linear(8, 2, rng=RNG)]
+        )
+        out = seq(Tensor(RNG.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_nested_module_list_in_module(self):
+        from repro.nn import ModuleList
+
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.items = ModuleList([Linear(2, 2, rng=RNG)])
+                self.free = Parameter(np.zeros(1))
+
+        names = dict(Holder().named_parameters())
+        assert "items.0.weight" in names
+        assert "free" in names
+
+
+class TestMlpActivations:
+    @pytest.mark.parametrize("activation", ["gelu", "tanh", "relu"])
+    def test_activations_run(self, activation):
+        mlp = Mlp([3, 5, 2], rng=RNG, activation=activation)
+        out = mlp(Tensor(RNG.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+        out.sum().backward()
+        assert mlp.layers[0].weight.grad is not None
+
+
+class TestTensorEdges:
+    def test_concat_three_tensors(self):
+        parts = [Tensor(np.ones((2, i)), requires_grad=True) for i in (1, 2, 3)]
+        merged = concat(parts, axis=1)
+        assert merged.shape == (2, 6)
+        merged.sum().backward()
+        for part in parts:
+            np.testing.assert_allclose(part.grad, 1.0)
+
+    def test_stack_negative_like_axis(self):
+        parts = [Tensor(np.ones(3), requires_grad=True) for _ in range(2)]
+        merged = stack(parts, axis=0)
+        assert merged.shape == (2, 3)
+        merged.sum().backward()
+        np.testing.assert_allclose(parts[0].grad, 1.0)
+
+    def test_scalar_arithmetic_chain(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = ((x * 3 - 1) / 5 + 2) ** 2
+        y.backward()
+        # y = ((3x-1)/5 + 2)^2 ; dy/dx = 2*((3x-1)/5+2) * 3/5
+        expected = 2 * ((3 * 2 - 1) / 5 + 2) * 3 / 5
+        assert float(x.grad) == pytest.approx(expected)
+
+    def test_len_and_item(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(1), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(1)))
+
+    def test_comparison_operators_return_arrays(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        assert (a > 2.0).tolist() == [False, True]
+        assert (a <= 3.0).all()
+
+    def test_no_grad_inference_matches_training_math(self):
+        layer = Linear(4, 4, rng=np.random.default_rng(3))
+        x = Tensor(RNG.normal(size=(2, 4)))
+        with no_grad():
+            inference = layer(x).numpy()
+        training = layer(x).numpy()
+        np.testing.assert_allclose(inference, training)
+
+
+class TestFunctionalEdges:
+    def test_nll_loss_unmasked_mean(self):
+        logp = F.log_softmax(Tensor(RNG.normal(size=(3, 4))))
+        loss = F.nll_loss(logp, np.array([0, 1, 2]))
+        assert float(loss.data) > 0
+
+    def test_softmax_axis_zero(self):
+        x = Tensor(RNG.normal(size=(3, 4)))
+        probs = F.softmax(x, axis=0).numpy()
+        np.testing.assert_allclose(probs.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_logsumexp_positive_axis(self):
+        from scipy.special import logsumexp as scipy_lse
+
+        x = RNG.normal(size=(2, 3, 4))
+        out = F.logsumexp(Tensor(x), axis=1).numpy()
+        np.testing.assert_allclose(out, scipy_lse(x, axis=1), atol=1e-10)
+
+
+class TestDropoutDeterminism:
+    def test_seeded_dropout_reproducible(self):
+        a = Dropout(0.5, rng=np.random.default_rng(5))
+        b = Dropout(0.5, rng=np.random.default_rng(5))
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(a(x).numpy(), b(x).numpy())

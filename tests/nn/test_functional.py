@@ -1,0 +1,166 @@
+"""Tests for repro.nn.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..helpers import check_grad
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 6)) * 5)
+        probs = F.softmax(x).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_softmax_matches_scipy(self):
+        from scipy.special import softmax as scipy_softmax
+
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            F.softmax(Tensor(x)).numpy(), scipy_softmax(x, axis=-1), atol=1e-12
+        )
+
+    def test_softmax_stable_under_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 0.0]]))
+        probs = F.softmax(x).numpy()
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs[0, :2], [0.5, 0.5], atol=1e-6)
+
+    def test_softmax_grad(self):
+        check_grad(
+            lambda t: (F.softmax(t) ** 2).sum(), RNG.normal(size=(3, 4))
+        )
+
+    def test_log_softmax_grad(self):
+        weights = Tensor(RNG.normal(size=(3, 4)))
+        check_grad(
+            lambda t: (F.log_softmax(t) * weights).sum(),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_logsumexp_matches_scipy(self):
+        from scipy.special import logsumexp as scipy_lse
+
+        x = RNG.normal(size=(3, 6)) * 10
+        np.testing.assert_allclose(
+            F.logsumexp(Tensor(x), axis=1).numpy(), scipy_lse(x, axis=1), atol=1e-10
+        )
+
+    def test_logsumexp_keepdims(self):
+        x = Tensor(RNG.normal(size=(3, 6)))
+        assert F.logsumexp(x, axis=1, keepdims=True).shape == (3, 1)
+        assert F.logsumexp(x, axis=1).shape == (3,)
+
+    def test_logsumexp_grad(self):
+        check_grad(
+            lambda t: F.logsumexp(t, axis=-1).sum(), RNG.normal(size=(2, 5))
+        )
+
+    def test_logsumexp_handles_neg_inf_rows(self):
+        x = Tensor(np.full((2, 3), -1e9))
+        out = F.logsumexp(x, axis=1).numpy()
+        assert np.isfinite(out).all()
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert float(loss.data) == pytest.approx(np.log(3))
+
+    def test_cross_entropy_grad(self):
+        targets = np.array([1, 0, 3])
+        check_grad(
+            lambda t: F.cross_entropy(t, targets), RNG.normal(size=(3, 4))
+        )
+
+    def test_cross_entropy_mask(self):
+        logits = RNG.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 0])
+        mask = np.array([1, 1, 0, 0])
+        masked = F.cross_entropy(Tensor(logits), targets, mask=mask)
+        manual = F.cross_entropy(Tensor(logits[:2]), targets[:2])
+        assert float(masked.data) == pytest.approx(float(manual.data))
+
+    def test_cross_entropy_all_masked_is_finite(self):
+        logits = Tensor(RNG.normal(size=(2, 3)))
+        loss = F.cross_entropy(logits, np.array([0, 1]), mask=np.zeros(2))
+        assert np.isfinite(float(loss.data))
+
+    def test_kl_div_equals_ce_on_hard_targets(self):
+        logits = RNG.normal(size=(5, 4))
+        targets = np.array([0, 1, 2, 3, 1])
+        onehot = np.eye(4)[targets]
+        kl = F.kl_div_loss(Tensor(logits), onehot)
+        ce = F.cross_entropy(Tensor(logits), targets)
+        assert float(kl.data) == pytest.approx(float(ce.data))
+
+    def test_kl_div_grad(self):
+        soft = np.abs(RNG.normal(size=(3, 4)))
+        soft /= soft.sum(axis=-1, keepdims=True)
+        check_grad(lambda t: F.kl_div_loss(t, soft), RNG.normal(size=(3, 4)))
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+
+class TestGelu:
+    def test_gelu_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = F.gelu(x).numpy()
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_gelu_grad(self):
+        check_grad(lambda t: F.gelu(t).sum(), RNG.normal(size=(6,)))
+
+
+class TestNormalizeAndMask:
+    def test_l2_normalize_unit_norm(self):
+        x = Tensor(RNG.normal(size=(4, 8)))
+        out = F.l2_normalize(x).numpy()
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.ones(4), atol=1e-9
+        )
+
+    def test_l2_normalize_grad(self):
+        weights = Tensor(RNG.normal(size=(2, 4)))
+        check_grad(
+            lambda t: (F.l2_normalize(t) * weights).sum(),
+            RNG.normal(size=(2, 4)),
+        )
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 3)))
+        mask = np.array([[True, False, False], [False, False, True]])
+        out = F.masked_fill(x, mask, -5.0).numpy()
+        assert out[0, 0] == -5.0
+        assert out[1, 2] == -5.0
+        assert out[0, 1] == 1.0
+
+    def test_masked_fill_blocks_grad_at_masked(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        F.masked_fill(x, mask, 0.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1], [1, 1]])
+
+
+@given(st.integers(2, 6), st.integers(2, 6))
+@settings(max_examples=25, deadline=None)
+def test_property_log_softmax_normalised(rows, cols):
+    x = Tensor(np.random.default_rng(rows * 7 + cols).normal(size=(rows, cols)))
+    logp = F.log_softmax(x).numpy()
+    np.testing.assert_allclose(np.exp(logp).sum(axis=-1), np.ones(rows), atol=1e-9)

@@ -1,0 +1,195 @@
+"""Tests for layers, modules and initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Mlp,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+    init,
+)
+
+from ..helpers import check_grad
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 7, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_batched_input(self):
+        layer = Linear(4, 7, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 7)
+
+    def test_no_bias(self):
+        layer = Linear(4, 7, bias=False, rng=RNG)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4)))).numpy()
+        np.testing.assert_allclose(zero_out, 0.0)
+
+    def test_weight_grad(self):
+        layer = Linear(3, 2, rng=RNG)
+        x = RNG.normal(size=(4, 3))
+
+        def loss_of_weight(w):
+            return ((Tensor(x) @ w + layer.bias) ** 2).sum()
+
+        check_grad(loss_of_weight, layer.weight.data)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.numpy()[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 4, rng=RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_padding_idx_zeroed(self):
+        emb = Embedding(5, 4, rng=RNG, padding_idx=0)
+        np.testing.assert_allclose(emb.weight.data[0], 0.0)
+
+    def test_gradient_accumulates_per_row(self):
+        emb = Embedding(5, 3, rng=RNG)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], 2.0)
+        np.testing.assert_allclose(emb.weight.grad[2], 1.0)
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(RNG.normal(size=(4, 8)) * 10 + 3)).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_grad(self):
+        norm = LayerNorm(5)
+        check_grad(lambda t: (norm(t) ** 2).sum(), RNG.normal(size=(3, 5)))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).numpy(), x.numpy())
+
+    def test_train_mode_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).numpy()
+        values = np.unique(np.round(out, 6))
+        assert set(values) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.05  # inverted dropout keeps expectation
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestMlp:
+    def test_forward_shape(self):
+        mlp = Mlp([4, 8, 3], rng=RNG)
+        assert mlp(Tensor(RNG.normal(size=(5, 4)))).shape == (5, 3)
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            Mlp([4])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            Mlp([2, 2], activation="swish")
+
+
+class TestModuleMechanics:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.bias = Parameter(np.zeros(2))
+
+        names = dict(Outer().named_parameters())
+        assert set(names) == {"inner.w", "bias"}
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 3, rng=RNG)
+        other = Linear(3, 3, rng=np.random.default_rng(999))
+        other.load_state_dict(layer.state_dict())
+        np.testing.assert_allclose(other.weight.data, layer.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        layer = Linear(3, 3, rng=RNG)
+        state = layer.state_dict()
+        state.pop("bias")
+        with pytest.raises(KeyError):
+            layer.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        layer = Linear(3, 3, rng=RNG)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential([Linear(2, 2, rng=RNG), Dropout(0.5)])
+        seq.eval()
+        assert not seq[1].training
+        seq.train()
+        assert seq[1].training
+
+    def test_module_list_parameters(self):
+        ml = ModuleList([Linear(2, 2, rng=RNG), Linear(2, 2, rng=RNG)])
+        assert len(dict(ml.named_parameters())) == 4
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=RNG)
+        (layer(Tensor(np.ones((1, 2)))).sum()).backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, rng=RNG)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_default_rng_deterministic(self):
+        a = init.default_rng().normal(size=5)
+        b = init.default_rng().normal(size=5)
+        np.testing.assert_allclose(a, b)

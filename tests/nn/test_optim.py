@@ -1,0 +1,148 @@
+"""Tests for optimisers, gradient clipping and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    AdamW,
+    LinearWarmupSchedule,
+    Parameter,
+    ParamGroup,
+    Sgd,
+    Tensor,
+    clip_grad_norm,
+)
+
+
+def quadratic_loss(param):
+    return ((param - Tensor(np.array([1.0, -2.0, 3.0]))) ** 2).sum()
+
+
+def run_optimizer(opt_factory, steps=200):
+    param = Parameter(np.zeros(3))
+    opt = opt_factory(param)
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        opt.step()
+    return param.data
+
+
+class TestSgd:
+    def test_converges_on_quadratic(self):
+        final = run_optimizer(lambda p: Sgd([ParamGroup([p], 0.1)]))
+        np.testing.assert_allclose(final, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(3))
+            opt = Sgd([ParamGroup([param], 0.02)], momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(param).backward()
+                opt.step()
+            return float(quadratic_loss(param).data)
+
+        assert run(0.9) < run(0.0)
+
+    def test_skips_params_without_grad(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.ones(2))
+        opt = Sgd([ParamGroup([p1, p2], 0.1)])
+        (p1.sum()).backward()
+        opt.step()
+        np.testing.assert_allclose(p2.data, 1.0)  # untouched
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final = run_optimizer(lambda p: Adam([ParamGroup([p], 0.1)]))
+        np.testing.assert_allclose(final, [1.0, -2.0, 3.0], atol=1e-2)
+
+    def test_from_params_helper(self):
+        param = Parameter(np.zeros(2))
+        opt = Adam.from_params([param], lr=0.1)
+        assert len(opt.groups) == 1
+        assert opt.groups[0].lr == 0.1
+
+    def test_param_groups_use_own_lr(self):
+        fast = Parameter(np.zeros(1))
+        slow = Parameter(np.zeros(1))
+        opt = Sgd([ParamGroup([fast], 1.0), ParamGroup([slow], 0.01)])
+        for p in (fast, slow):
+            p.grad = np.ones(1)
+        opt.step()
+        assert abs(fast.data[0]) > abs(slow.data[0]) * 50
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestAdamW:
+    def test_weight_decay_shrinks_irrelevant_weights(self):
+        param = Parameter(np.array([5.0]))
+        opt = AdamW([ParamGroup([param], 0.05)], weight_decay=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            param.grad = np.zeros(1)  # loss is flat: only decay acts
+            opt.step()
+        assert abs(param.data[0]) < 5.0 * 0.7
+
+    def test_decoupled_decay_differs_from_coupled(self):
+        def run(cls, **kwargs):
+            param = Parameter(np.array([2.0]))
+            opt = cls([ParamGroup([param], 0.01)], weight_decay=0.5, **kwargs)
+            for _ in range(10):
+                opt.zero_grad()
+                (param * Tensor(np.array([1.0]))).sum().backward()
+                opt.step()
+            return param.data[0]
+
+        assert run(AdamW) != pytest.approx(run(Adam))
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        pre_norm = clip_grad_norm([param], max_norm=1.0)
+        assert pre_norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.1)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_ignores_none_grads(self):
+        param = Parameter(np.zeros(4))
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        param = Parameter(np.zeros(1))
+        opt = Adam([ParamGroup([param], 1.0)])
+        sched = LinearWarmupSchedule(opt, warmup_steps=10, total_steps=100)
+        scales = [sched.step() for _ in range(100)]
+        assert scales[0] == pytest.approx(0.1)
+        assert scales[8] < scales[9] <= 1.0
+        assert scales[-1] == pytest.approx(0.0, abs=1e-9)
+        assert max(scales) == pytest.approx(1.0)
+
+    def test_updates_optimizer_lr(self):
+        param = Parameter(np.zeros(1))
+        opt = Adam([ParamGroup([param], 2.0)])
+        sched = LinearWarmupSchedule(opt, warmup_steps=2, total_steps=4)
+        sched.step()
+        assert opt.groups[0].lr == pytest.approx(1.0)
+
+    def test_invalid_total_steps(self):
+        param = Parameter(np.zeros(1))
+        opt = Adam([ParamGroup([param], 1.0)])
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(opt, warmup_steps=0, total_steps=0)

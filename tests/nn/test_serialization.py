@@ -1,0 +1,31 @@
+"""Tests for state-dict serialization."""
+
+import numpy as np
+
+from repro.nn import Linear, load_module, load_state, save_module, save_state
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"a": np.arange(6.0).reshape(2, 3), "b.c": np.ones(4)}
+        path = str(tmp_path / "state.npz")
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b.c"}
+        np.testing.assert_allclose(loaded["a"], state["a"])
+
+    def test_module_roundtrip(self, tmp_path):
+        layer = Linear(3, 4, rng=np.random.default_rng(1))
+        path = str(tmp_path / "model.npz")
+        save_module(layer, path)
+
+        fresh = Linear(3, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(fresh.weight.data, layer.weight.data)
+        load_module(fresh, path)
+        np.testing.assert_allclose(fresh.weight.data, layer.weight.data)
+        np.testing.assert_allclose(fresh.bias.data, layer.bias.data)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "model.npz")
+        save_state({"x": np.ones(2)}, path)
+        assert load_state(path)["x"].shape == (2,)

@@ -1,0 +1,256 @@
+"""Unit and property tests for the autograd tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, concat, no_grad, stack, where
+from repro.nn.tensor import _unbroadcast
+
+from ..helpers import check_grad
+
+RNG = np.random.default_rng(42)
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        check_grad(lambda t: (t + 3.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast_backward(self):
+        bias = RNG.normal(size=(4,))
+        check_grad(lambda t: (t + Tensor(bias)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mul_backward(self):
+        other = RNG.normal(size=(3, 4))
+        check_grad(lambda t: (t * Tensor(other)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_div_backward(self):
+        denom = RNG.normal(size=(3, 4)) + 3.0
+        check_grad(lambda t: (t / Tensor(denom)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_div_denominator_grad(self):
+        numer = RNG.normal(size=(3, 4))
+        check_grad(
+            lambda t: (Tensor(numer) / t).sum(), RNG.normal(size=(3, 4)) + 3.0
+        )
+
+    def test_pow_backward(self):
+        check_grad(lambda t: (t**3).sum(), RNG.normal(size=(3, 4)))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_backward_2d(self):
+        other = RNG.normal(size=(4, 5))
+        check_grad(lambda t: (t @ Tensor(other)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_backward_rhs(self):
+        lhs = RNG.normal(size=(3, 4))
+        check_grad(lambda t: (Tensor(lhs) @ t).sum(), RNG.normal(size=(4, 5)))
+
+    def test_matmul_batched(self):
+        other = RNG.normal(size=(2, 4, 5))
+        check_grad(
+            lambda t: (t @ Tensor(other)).sum(), RNG.normal(size=(2, 3, 4))
+        )
+
+    def test_matmul_broadcast_batch(self):
+        # (2,3,4) @ (4,5): rhs broadcast across batch.
+        rhs = RNG.normal(size=(4, 5))
+        check_grad(lambda t: (t @ Tensor(rhs)).sum(), RNG.normal(size=(2, 3, 4)))
+        lhs = RNG.normal(size=(2, 3, 4))
+        check_grad(lambda t: (Tensor(lhs) @ t).sum(), rhs)
+
+    def test_neg_sub(self):
+        other = RNG.normal(size=(3,))
+        check_grad(lambda t: (Tensor(other) - t).sum(), RNG.normal(size=(3,)))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt", "log"]
+    )
+    def test_unary_backward(self, name):
+        base = RNG.normal(size=(4, 3))
+        if name in ("sqrt", "log"):
+            base = np.abs(base) + 0.5
+        if name in ("relu", "abs"):
+            base = base + np.sign(base) * 0.05  # keep away from the kink
+        check_grad(lambda t: getattr(t, name)().sum(), base)
+
+    def test_clip_backward(self):
+        base = RNG.normal(size=(10,)) * 3
+        base = base[np.abs(np.abs(base) - 1.0) > 0.05]
+        check_grad(lambda t: t.clip(-1.0, 1.0).sum(), base)
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        check_grad(lambda t: t.sum(axis=0).sum(), RNG.normal(size=(3, 4)))
+        check_grad(
+            lambda t: t.sum(axis=1, keepdims=True).sum(), RNG.normal(size=(3, 4))
+        )
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(), RNG.normal(size=(3, 4)))
+        check_grad(lambda t: t.mean(axis=-1).sum(), RNG.normal(size=(3, 4)))
+
+    def test_max(self):
+        base = RNG.normal(size=(3, 4))
+        check_grad(lambda t: t.max(axis=1).sum(), base)
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShape:
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(6, 2) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_transpose(self):
+        w = RNG.normal(size=(3, 5))
+        check_grad(
+            lambda t: (t.transpose(1, 0) @ Tensor(w)).sum(), RNG.normal(size=(3, 4))
+        )
+
+    def test_swapaxes(self):
+        check_grad(
+            lambda t: (t.swapaxes(0, 2) ** 2).sum(), RNG.normal(size=(2, 3, 4))
+        )
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: (t[1:, :2] ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_grad(lambda t: (t[idx] ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_getitem_repeated_rows_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        x[np.array([1, 1])].sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [2, 2], [0, 0]])
+
+    def test_concat(self):
+        b = RNG.normal(size=(3, 2))
+        check_grad(
+            lambda t: (concat([t, Tensor(b)], axis=1) ** 2).sum(),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_stack(self):
+        b = RNG.normal(size=(3, 4))
+        check_grad(
+            lambda t: (stack([t, Tensor(b)], axis=0) ** 2).sum(),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_where(self):
+        cond = RNG.random((3, 4)) > 0.5
+        b = RNG.normal(size=(3, 4))
+        check_grad(
+            lambda t: (where(cond, t, Tensor(b)) ** 2).sum(), RNG.normal(size=(3, 4))
+        )
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        (x * 3).backward()
+        (x * 3).backward()
+        assert float(x.grad) == 6.0
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x must give dy/dx = 4x through shared subexpression.
+        x = Tensor(np.array(3.0), requires_grad=True)
+        sq = x * x
+        (sq + sq).backward()
+        assert float(x.grad) == pytest.approx(12.0)
+
+    def test_reused_tensor_in_two_branches(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = (x * 2).sum() + (x**2).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 2).sum()
+        assert not y.requires_grad
+
+    def test_non_required_leaf_gets_no_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        c = Tensor(np.ones(3))
+        (x * c).sum().backward()
+        assert c.grad is None
+        assert x.grad is not None
+
+
+class TestUnbroadcast:
+    def test_prepended_axes(self):
+        grad = np.ones((2, 3, 4))
+        assert _unbroadcast(grad, (4,)).shape == (4,)
+        np.testing.assert_allclose(_unbroadcast(grad, (4,)), np.full(4, 6.0))
+
+    def test_size_one_axes(self):
+        grad = np.ones((2, 3, 4))
+        out = _unbroadcast(grad, (2, 1, 4))
+        assert out.shape == (2, 1, 4)
+        np.testing.assert_allclose(out, np.full((2, 1, 4), 3.0))
+
+    @given(
+        arrays(
+            np.float64,
+            array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+            elements=st.floats(-10, 10),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_broadcast_add_grad_shape(self, base):
+        x = Tensor(base, requires_grad=True)
+        bias = Tensor(np.ones(base.shape[-1]), requires_grad=True)
+        (x + bias).sum().backward()
+        assert x.grad.shape == base.shape
+        assert bias.grad.shape == (base.shape[-1],)
+        np.testing.assert_allclose(x.grad, np.ones_like(base))
+        expected = np.prod(base.shape[:-1]) if base.ndim > 1 else 1.0
+        np.testing.assert_allclose(bias.grad, np.full(base.shape[-1], expected))
+
+
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        elements=st.floats(-5, 5),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_sum_grad_is_ones(base):
+    x = Tensor(base, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(base))
+
+
+@given(st.lists(st.floats(-3, 3), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_property_tanh_bounded_grad(values):
+    x = Tensor(np.array(values), requires_grad=True)
+    x.tanh().sum().backward()
+    assert np.all(x.grad <= 1.0 + 1e-12)
+    assert np.all(x.grad >= 0.0)

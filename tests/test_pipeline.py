@@ -1,0 +1,129 @@
+"""Integration tests for the end-to-end ResumeParser pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockClassifier,
+    BlockTrainer,
+    Featurizer,
+    HierarchicalEncoder,
+    LabeledDocument,
+    ResuFormerConfig,
+)
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.docmodel import BLOCK_ENTITIES, BLOCK_SCHEME
+from repro.ner import NerConfig, NerTagger
+from repro.pipeline import ParsedResume, ResumeParser
+from repro.text import WordPieceTokenizer
+
+
+@pytest.fixture(scope="module")
+def world():
+    docs = ResumeGenerator(seed=77, content_config=ContentConfig.tiny()).batch(6)
+    tokenizer = WordPieceTokenizer.train(
+        [s.text for d in docs for s in d.sentences], vocab_size=500, min_frequency=1
+    )
+    config = ResuFormerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        sentence_layers=1,
+        sentence_heads=2,
+        document_layers=1,
+        document_heads=2,
+        visual_proj_dim=8,
+        dropout=0.0,
+    )
+    featurizer = Featurizer(tokenizer, config)
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(1))
+    classifier = BlockClassifier(
+        encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(2)
+    )
+    trainer = BlockTrainer(classifier, encoder_lr=1e-3, head_lr=1e-2, seed=0)
+    trainer.fit(
+        [LabeledDocument.from_gold(d) for d in docs[:4]],
+        validation=[LabeledDocument.from_gold(docs[4])],
+        epochs=3,
+        patience=3,
+    )
+    ner_config = NerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32, layers=1, heads=2, lstm_hidden=16, dropout=0.0,
+    )
+    tagger = NerTagger(ner_config, tokenizer, rng=np.random.default_rng(3))
+    return docs, classifier, tagger
+
+
+class TestResumeParser:
+    def test_parse_returns_blocks(self, world):
+        docs, classifier, tagger = world
+        parser = ResumeParser(classifier, tagger)
+        parsed = parser.parse(docs[5])
+        assert isinstance(parsed, ParsedResume)
+        assert parsed.doc_id == docs[5].doc_id
+        assert parsed.blocks  # at least one block found
+
+    def test_blocks_partition_sentences(self, world):
+        docs, classifier, tagger = world
+        parser = ResumeParser(classifier, tagger)
+        parsed = parser.parse(docs[5])
+        seen = [i for b in parsed.blocks for i in b.sentence_indices]
+        assert len(seen) == len(set(seen))  # no overlap
+        assert all(0 <= i < docs[5].num_sentences for i in seen)
+
+    def test_entities_only_in_allowed_blocks(self, world):
+        docs, classifier, tagger = world
+        parser = ResumeParser(classifier, tagger)
+        parsed = parser.parse(docs[5])
+        for block in parsed.blocks:
+            allowed = BLOCK_ENTITIES.get(block.tag, ())
+            for entity in block.entities:
+                assert entity.tag in allowed
+
+    def test_parse_without_ner(self, world):
+        docs, classifier, _ = world
+        parser = ResumeParser(classifier, ner_tagger=None)
+        parsed = parser.parse(docs[5])
+        assert all(not b.entities for b in parsed.blocks)
+
+    def test_to_dict_roundtrip(self, world):
+        import json
+
+        docs, classifier, tagger = world
+        parser = ResumeParser(classifier, tagger)
+        payload = parser.parse(docs[5]).to_dict()
+        encoded = json.dumps(payload)
+        assert json.loads(encoded)["doc_id"] == docs[5].doc_id
+
+    def test_blocks_by_tag(self, world):
+        docs, classifier, tagger = world
+        parser = ResumeParser(classifier, tagger)
+        parsed = parser.parse(docs[5])
+        for tag in ("WorkExp", "Title"):
+            for block in parsed.blocks_by_tag(tag):
+                assert block.tag == tag
+
+    def test_segment_to_ner_examples(self, world):
+        from repro.docmodel import BLOCK_ENTITIES
+        from repro.pipeline import segment_to_ner_examples
+
+        docs, classifier, _ = world
+        examples = segment_to_ner_examples(classifier, docs[:3])
+        assert examples, "trained classifier should find entity-bearing blocks"
+        for example in examples:
+            assert example.block_tag in BLOCK_ENTITIES
+            assert example.words
+            assert example.labels == ["O"] * len(example.words)
+
+    def test_trained_classifier_recovers_gold_blocks(self, world):
+        # After a short fit, predictions should beat the all-O/random floor
+        # on a training document (the single-column ones are easiest).
+        docs, classifier, _ = world
+        agreements = []
+        for doc in docs[:4]:
+            predicted = classifier.predict(doc)
+            gold = BLOCK_SCHEME.decode(doc.block_iob_labels(BLOCK_SCHEME))
+            agreements.append(
+                sum(p == g for p, g in zip(predicted, gold)) / len(gold)
+            )
+        assert max(agreements) > 0.3

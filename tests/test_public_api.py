@@ -1,0 +1,50 @@
+"""Public-API consistency: exports resolve and carry docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.text",
+    "repro.docmodel",
+    "repro.corpus",
+    "repro.core",
+    "repro.ner",
+    "repro.baselines",
+    "repro.eval",
+    "repro.pipeline",
+    "repro.persistence",
+    "repro.tools",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro.tools"])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_classes_and_functions_documented(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    undocumented = []
+    for symbol in exported:
+        obj = getattr(module, symbol, None)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented

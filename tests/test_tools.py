@@ -1,0 +1,38 @@
+"""Tests for the command-line tools."""
+
+import json
+
+import pytest
+
+from repro.tools import build_cli, main
+
+
+class TestCli:
+    def test_generate_jsonl(self, capsys):
+        assert main(["generate", "--count", "2", "--seed", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        payload = json.loads(lines[0])
+        assert payload["pages"] >= 1
+        assert payload["sentences"]
+
+    def test_render_shows_blocks(self, capsys):
+        assert main(["render", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "page 1" in out
+        assert "PInfo" in out
+
+    def test_train_then_parse(self, tmp_path, capsys):
+        model_dir = str(tmp_path / "model")
+        assert main([
+            "train", "--output", model_dir, "--documents", "8",
+            "--pretrain-epochs", "0", "--epochs", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["parse", "--model", model_dir, "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "blocks" in payload
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_cli().parse_args(["bogus"])

@@ -1,0 +1,65 @@
+"""Tests for the skip-gram word2vec trainer."""
+
+import numpy as np
+import pytest
+
+from repro.text import Vocab, Word2VecConfig, Word2VecModel, train_word2vec
+
+CORPUS = [
+    "software engineer builds software systems",
+    "senior software engineer ships software",
+    "data analyst studies data reports",
+    "data analyst reviews data tables",
+    "software engineer writes software tests",
+    "data analyst cleans data pipelines",
+] * 5
+
+
+class TestTrainWord2Vec:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return train_word2vec(
+            CORPUS, Word2VecConfig(dim=24, epochs=6, window=2, seed=1)
+        )
+
+    def test_vectors_align_with_vocab(self, model):
+        assert model.vectors.shape == (len(model.vocab), 24)
+
+    def test_cooccurring_words_more_similar(self, model):
+        # 'software' co-occurs with 'engineer'; 'data' with 'analyst'.
+        assert model.similarity("software", "engineer") > model.similarity(
+            "software", "analyst"
+        )
+        assert model.similarity("data", "analyst") > model.similarity(
+            "data", "engineer"
+        )
+
+    def test_most_similar_excludes_query_and_specials(self, model):
+        results = model.most_similar("software", top=3)
+        words = [w for w, _ in results]
+        assert "software" not in words
+        assert all(not w.startswith("[") for w in words)
+        assert len(results) == 3
+
+    def test_deterministic(self):
+        a = train_word2vec(CORPUS, Word2VecConfig(dim=8, epochs=1, seed=3))
+        b = train_word2vec(CORPUS, Word2VecConfig(dim=8, epochs=1, seed=3))
+        np.testing.assert_allclose(a.vectors, b.vectors)
+
+    def test_external_vocab_alignment(self):
+        vocab = Vocab(["software", "engineer", "zebra"])
+        model = train_word2vec(
+            CORPUS, Word2VecConfig(dim=8, epochs=1, seed=0), vocab=vocab
+        )
+        assert model.vectors.shape == (len(vocab), 8)
+        # 'zebra' never occurs: keeps its (small) random initialisation.
+        assert np.abs(model.vector("zebra")).max() < 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Word2VecConfig(dim=0)
+
+    def test_model_shape_mismatch_rejected(self):
+        vocab = Vocab(["a"])
+        with pytest.raises(ValueError):
+            Word2VecModel(vocab, np.zeros((3, 4)))
