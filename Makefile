@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test bench examples clean
+.PHONY: install test bench bench-perf examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,8 +11,12 @@ test:
 test-slow:
 	python -m pytest tests/ -m slow
 
-bench:
+bench: bench-perf
 	python -m pytest benchmarks/ --benchmark-only
+
+# Batched-inference perf benchmark; writes BENCH_block_inference.json.
+bench-perf:
+	python -m pytest benchmarks/test_perf_inference.py -q -s
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,126 @@
+"""Perf benchmark: batched inference vs per-document inference.
+
+Measures the block classifier's ``predict_batch`` fast path against the
+per-document ``predict`` reference path on the same documents, records
+p50/p95 per-resume latency, docs/sec throughput, and the per-stage
+(featurize / encode / decode) breakdown, and writes the machine-readable
+report to ``BENCH_block_inference.json`` at the repository root.
+
+The two paths are timed in interleaved rounds and the speedup is taken
+from each path's fastest round (scheduler/GC noise only ever inflates a
+round, so the minimum is the most faithful estimate of true cost).
+
+Run via ``make bench-perf`` (or ``pytest benchmarks/test_perf_inference.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+import numpy as np
+
+import repro  # noqa: F401  (pins BLAS threads)
+from repro.core import BlockClassifier, Featurizer, HierarchicalEncoder, ResuFormerConfig
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.eval import LatencyStats, StageProfile
+from repro.text import WordPieceTokenizer
+
+REPORT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_block_inference.json",
+)
+
+NUM_DOCS = 32
+BATCH_SIZE = 16
+ROUNDS = 5
+SEED = 417
+
+
+def _build_world():
+    generator = ResumeGenerator(seed=SEED, content_config=ContentConfig.tiny())
+    documents = generator.batch(NUM_DOCS)
+    tokenizer = WordPieceTokenizer.train(
+        (s.text for d in documents for s in d.sentences),
+        vocab_size=600,
+        min_frequency=1,
+    )
+    config = ResuFormerConfig(vocab_size=len(tokenizer.vocab), dropout=0.0)
+    featurizer = Featurizer(tokenizer, config)
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(SEED))
+    model = BlockClassifier(encoder, featurizer, rng=np.random.default_rng(SEED + 1))
+    return documents, model
+
+
+def test_batched_inference_speedup():
+    documents, model = _build_world()
+
+    # Warm the featurization cache and both code paths so measured rounds
+    # time model compute, not tokenisation or first-call setup.
+    for document in documents:
+        model.featurizer.featurize(document)
+    model.predict(documents[0])
+    model.predict_batch(documents[:BATCH_SIZE], batch_size=BATCH_SIZE)
+
+    profile = StageProfile()
+    single_samples = []          # per-document wall times, all rounds
+    single_rounds = []           # whole-sweep wall time per round
+    batched_rounds = []
+    for _ in range(ROUNDS):
+        gc.collect()
+        started_round = time.perf_counter()
+        for document in documents:
+            started = time.perf_counter()
+            model.predict(document)
+            single_samples.append(time.perf_counter() - started)
+        single_rounds.append(time.perf_counter() - started_round)
+
+        gc.collect()
+        started_round = time.perf_counter()
+        model.predict_batch(documents, batch_size=BATCH_SIZE, profile=profile)
+        batched_rounds.append(time.perf_counter() - started_round)
+
+    single = LatencyStats.from_samples(single_samples)
+    batched = LatencyStats.from_samples(
+        batched_rounds, units=[NUM_DOCS] * ROUNDS
+    )
+
+    # The fast path must agree with the reference path before its timings
+    # mean anything.
+    assert model.predict_batch(documents, batch_size=BATCH_SIZE) == [
+        model.predict(d) for d in documents
+    ]
+
+    speedup = min(single_rounds) / min(batched_rounds)
+    report = {
+        "benchmark": "block_inference",
+        "num_documents": NUM_DOCS,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "per_document_predict": single.to_dict(),
+        "predict_batch": batched.to_dict(),
+        "best_round_seconds": {
+            "per_document_predict": min(single_rounds),
+            "predict_batch": min(batched_rounds),
+        },
+        "speedup_per_resume": speedup,
+        "cache_info": model.featurizer.cache.info(),
+        "stages": profile.breakdown(),
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"\nper-resume latency: predict p50={single.p50 * 1e3:.1f}ms "
+        f"p95={single.p95 * 1e3:.1f}ms | predict_batch "
+        f"p50={batched.p50 * 1e3:.1f}ms p95={batched.p95 * 1e3:.1f}ms | "
+        f"speedup {speedup:.2f}x | throughput "
+        f"{batched.throughput:.1f} docs/s\n[saved to {REPORT_PATH}]",
+        flush=True,
+    )
+
+    assert speedup >= 2.0, (
+        f"predict_batch must be >= 2x faster per resume, got {speedup:.2f}x"
+    )

@@ -6,12 +6,13 @@ three self-supervised objectives, a BiLSTM+MLP+CRF fine-tuning head, and
 knowledge distillation from a token-level teacher.
 """
 
+from .batching import DocumentBatch, collate_documents
 from .block_classifier import BlockClassifier, BlockTrainer, LabeledDocument
 from .config import ResuFormerConfig
 from .distill import pseudo_label, run_distillation
 from .document_encoder import DocumentEncoder
 from .embeddings import LayoutEmbedding, TextEmbedding
-from .featurize import LAYOUT_FEATURES, DocumentFeatures, Featurizer
+from .featurize import LAYOUT_FEATURES, DocumentFeatures, FeatureCache, Featurizer
 from .hierarchical import EncodedDocument, HierarchicalEncoder
 from .pretrain import (
     Pretrainer,
@@ -24,7 +25,10 @@ from .sentence_encoder import SentenceEncoder
 __all__ = [
     "ResuFormerConfig",
     "Featurizer",
+    "FeatureCache",
     "DocumentFeatures",
+    "DocumentBatch",
+    "collate_documents",
     "LAYOUT_FEATURES",
     "TextEmbedding",
     "LayoutEmbedding",

@@ -1,0 +1,111 @@
+"""Cross-document batching for the batched inference engine.
+
+Variable-length documents are packed two ways at once:
+
+* **Token level** — every sentence of every document is stacked into one
+  flat ``(n, t_max)`` block so the sentence encoder runs a single batched
+  pass over the whole group of documents instead of one pass per document.
+* **Sentence level** — per-document sentence arrays are padded to
+  ``(B, m_max, …)`` with a 0/1 validity mask, the shape the document
+  encoder, BiLSTM head and batched CRF consume.
+
+``gather_index`` links the two: it maps each padded ``(document, slot)``
+cell to its row in the flat sentence block (slot 0 for padding, which the
+mask then zeroes), so un-flattening is a single fancy-index gather that
+stays inside the autograd graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .featurize import DocumentFeatures
+
+__all__ = ["DocumentBatch", "collate_documents"]
+
+
+@dataclass
+class DocumentBatch:
+    """Padded feature tensors for ``B`` documents (``n`` total sentences)."""
+
+    features: List[DocumentFeatures]
+    token_ids: np.ndarray        # (n, t_max) int
+    token_mask: np.ndarray       # (n, t_max) 0/1
+    token_layout: np.ndarray     # (n, t_max, 7) int
+    token_segments: np.ndarray   # (n, t_max) int
+    gather_index: np.ndarray     # (B, m_max) int — flat sentence row per slot
+    sentence_mask: np.ndarray    # (B, m_max) 0/1 — valid sentence slots
+    sentence_layout: np.ndarray  # (B, m_max, 7) int
+    sentence_visual: np.ndarray  # (B, m_max, V) float
+    sentence_positions: np.ndarray  # (B, m_max) int
+    sentence_segments: np.ndarray   # (B, m_max) int
+    lengths: np.ndarray          # (B,) sentences per document
+
+    @property
+    def batch_size(self) -> int:
+        return self.sentence_mask.shape[0]
+
+    @property
+    def max_sentences(self) -> int:
+        return self.sentence_mask.shape[1]
+
+    @property
+    def num_sentences(self) -> int:
+        return self.token_ids.shape[0]
+
+
+def collate_documents(features: Sequence[DocumentFeatures]) -> DocumentBatch:
+    """Pad a group of featurised documents into one :class:`DocumentBatch`."""
+    if not features:
+        raise ValueError("cannot collate an empty batch")
+    lengths = np.array([f.num_sentences for f in features], dtype=np.int64)
+    batch = len(features)
+    m_max = int(lengths.max())
+    t_max = max(f.max_tokens for f in features)
+    total = int(lengths.sum())
+    visual_dim = features[0].sentence_visual.shape[1]
+
+    token_ids = np.zeros((total, t_max), dtype=np.int64)
+    token_mask = np.zeros((total, t_max), dtype=np.float64)
+    token_layout = np.zeros((total, t_max, 7), dtype=np.int64)
+    token_segments = np.zeros((total, t_max), dtype=np.int64)
+    gather_index = np.zeros((batch, m_max), dtype=np.int64)
+    sentence_mask = np.zeros((batch, m_max), dtype=np.float64)
+    sentence_layout = np.zeros((batch, m_max, 7), dtype=np.int64)
+    sentence_visual = np.zeros((batch, m_max, visual_dim), dtype=np.float64)
+    sentence_positions = np.zeros((batch, m_max), dtype=np.int64)
+    sentence_segments = np.zeros((batch, m_max), dtype=np.int64)
+
+    offset = 0
+    for row, f in enumerate(features):
+        m, t = f.num_sentences, f.max_tokens
+        flat = slice(offset, offset + m)
+        token_ids[flat, :t] = f.token_ids
+        token_mask[flat, :t] = f.token_mask
+        token_layout[flat, :t] = f.token_layout
+        token_segments[flat, :t] = f.token_segments
+        gather_index[row, :m] = np.arange(offset, offset + m)
+        sentence_mask[row, :m] = 1.0
+        sentence_layout[row, :m] = f.sentence_layout
+        sentence_visual[row, :m] = f.sentence_visual
+        sentence_positions[row, :m] = f.sentence_positions
+        sentence_segments[row, :m] = f.sentence_segments
+        offset += m
+
+    return DocumentBatch(
+        features=list(features),
+        token_ids=token_ids,
+        token_mask=token_mask,
+        token_layout=token_layout,
+        token_segments=token_segments,
+        gather_index=gather_index,
+        sentence_mask=sentence_mask,
+        sentence_layout=sentence_layout,
+        sentence_visual=sentence_visual,
+        sentence_positions=sentence_positions,
+        sentence_segments=sentence_segments,
+        lengths=lengths,
+    )

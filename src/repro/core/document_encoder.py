@@ -82,6 +82,50 @@ class DocumentEncoder(Module):
         states = self.encoder(batched, attention_mask=np.ones((1, m)))
         return states.reshape(m, self.config.document_dim)
 
+    def contextualize_batch(
+        self,
+        fused: Tensor,
+        sentence_layout: np.ndarray,
+        positions: np.ndarray,
+        segments: np.ndarray,
+        sentence_mask: np.ndarray,
+    ) -> Tensor:
+        """Batched variant of :meth:`contextualize` over ``(B, m, D)``.
+
+        ``sentence_mask`` (``(B, m)`` 0/1) marks valid sentence slots;
+        padded slots are excluded from attention so each document's states
+        match a solo pass at its true length.
+        """
+        batch, m, _ = fused.shape
+        if m > self.config.max_document_sentences:
+            raise ValueError(
+                f"{m} sentences exceed limit {self.config.max_document_sentences}"
+            )
+        embedded = (
+            fused
+            + self.layout_embedding(sentence_layout)
+            + self.position(np.asarray(positions, dtype=np.int64))
+            + self.segment(np.asarray(segments, dtype=np.int64))
+        )
+        embedded = self.norm(embedded)
+        return self.encoder(embedded, attention_mask=sentence_mask)
+
+    def forward_batch(
+        self,
+        sentence_vectors: Tensor,
+        visual: np.ndarray,
+        sentence_layout: np.ndarray,
+        positions: np.ndarray,
+        segments: np.ndarray,
+        sentence_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor]:
+        """Batched full pass over padded ``(B, m, …)`` inputs."""
+        fused = self.fuse(sentence_vectors, visual)
+        states = self.contextualize_batch(
+            fused, sentence_layout, positions, segments, sentence_mask
+        )
+        return states, fused
+
     def forward(
         self,
         sentence_vectors: Tensor,

@@ -10,8 +10,10 @@ visual descriptors.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +23,7 @@ from ..docmodel.geometry import BBox
 from ..text.wordpiece import WordPieceTokenizer
 from .config import ResuFormerConfig
 
-__all__ = ["DocumentFeatures", "Featurizer", "LAYOUT_FEATURES"]
+__all__ = ["DocumentFeatures", "FeatureCache", "Featurizer", "LAYOUT_FEATURES"]
 
 #: Order of the per-token/per-sentence layout features.
 LAYOUT_FEATURES = ("x_min", "y_min", "x_max", "y_max", "width", "height", "page")
@@ -51,15 +53,94 @@ class DocumentFeatures:
         return self.token_ids.shape[1]
 
 
-class Featurizer:
-    """Stateless featuriser binding a tokenizer to a model config."""
+class FeatureCache:
+    """LRU cache of :class:`DocumentFeatures` keyed by document identity.
 
-    def __init__(self, tokenizer: WordPieceTokenizer, config: ResuFormerConfig):
+    Keys are object identities guarded by a weak reference: a recycled
+    ``id()`` from a garbage-collected document can never alias a live entry.
+    Features are deterministic for a given document object, so repeated
+    ``predict`` calls and per-epoch validation sweeps hit instead of
+    re-running WordPiece tokenisation and layout bucketing.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[int, Tuple[weakref.ref, DocumentFeatures]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, document: ResumeDocument) -> Optional[DocumentFeatures]:
+        """Return cached features for ``document``, or None (counts a miss)."""
+        entry = self._entries.get(id(document))
+        if entry is not None:
+            ref, features = entry
+            if ref() is document:
+                self._entries.move_to_end(id(document))
+                self.hits += 1
+                return features
+            del self._entries[id(document)]
+        self.misses += 1
+        return None
+
+    def store(self, document: ResumeDocument, features: DocumentFeatures) -> None:
+        self._entries[id(document)] = (weakref.ref(document), features)
+        self._entries.move_to_end(id(document))
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        """Counters for tests and the profiling report."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+class Featurizer:
+    """Featuriser binding a tokenizer to a model config.
+
+    Featurisation is pure in the document, so results are memoised in an
+    identity-keyed LRU (:class:`FeatureCache`) by default; pass
+    ``cache_size=0`` to disable.  Callers must treat the returned arrays as
+    read-only.
+    """
+
+    def __init__(
+        self,
+        tokenizer: WordPieceTokenizer,
+        config: ResuFormerConfig,
+        cache_size: int = 256,
+    ):
         self.tokenizer = tokenizer
         self.config = config
+        self.cache = FeatureCache(cache_size) if cache_size else None
 
     # ------------------------------------------------------------------
     def featurize(self, document: ResumeDocument) -> DocumentFeatures:
+        """Build (or fetch from cache) the feature bundle for one document."""
+        if self.cache is None:
+            return self._compute(document)
+        features = self.cache.lookup(document)
+        if features is None:
+            features = self._compute(document)
+            self.cache.store(document, features)
+        return features
+
+    def _compute(self, document: ResumeDocument) -> DocumentFeatures:
         """Build the full feature bundle for one document."""
         sentences = document.sentences[: self.config.max_document_sentences]
         if not sentences:

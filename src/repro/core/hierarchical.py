@@ -14,8 +14,9 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, concat
 from ..nn import init as nn_init
+from .batching import DocumentBatch
 from .config import ResuFormerConfig
 from .document_encoder import DocumentEncoder
 from .featurize import DocumentFeatures
@@ -72,6 +73,60 @@ class HierarchicalEncoder(Module):
             fused=fused,
             contextual=contextual,
         )
+
+    def _sentence_vectors_bucketed(
+        self, batch: DocumentBatch, rows_per_bucket: int = 20, max_buckets: int = 16
+    ) -> Tensor:
+        """Sentence vectors ``(n, d)`` for the flat cross-document block.
+
+        Attention cost is quadratic in the padded token width, so encoding
+        every sentence at the chunk-global maximum wastes most of the work
+        on padding.  Rows are sorted by true token count, encoded in up to
+        ``max_buckets`` groups trimmed to each group's own maximum width,
+        and scattered back into original order.  Trailing padding is inert
+        (masked keys get exactly zero attention weight and pooling reads the
+        ``[CLS]`` slot), so the result is identical to one untrimmed pass.
+        """
+        widths = batch.token_mask.sum(axis=1).astype(np.int64)
+        order = np.argsort(widths, kind="stable")
+        buckets = max(1, min(max_buckets, len(order) // rows_per_bucket))
+        pieces = []
+        for bucket in np.array_split(order, buckets):
+            if bucket.size == 0:
+                continue
+            t = max(int(widths[bucket].max()), 1)
+            _, vectors = self.sentence_encoder(
+                batch.token_ids[bucket, :t],
+                batch.token_mask[bucket, :t],
+                batch.token_layout[bucket, :t],
+                batch.token_segments[bucket, :t],
+            )
+            pieces.append(vectors)
+        flat = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order))
+        return flat[inverse]
+
+    def encode_batch(self, batch: DocumentBatch) -> Tensor:
+        """Contextual sentence states ``(B, m_max, D)`` for a padded batch.
+
+        The sentence encoder runs over the flat cross-document sentence
+        block in length buckets; the gather back to ``(B, m_max, d)`` is a
+        fancy-index on the autograd tensor, so the path is differentiable
+        end to end.
+        """
+        sentence_vectors = self._sentence_vectors_bucketed(batch)
+        padded = sentence_vectors[batch.gather_index]
+        padded = padded * Tensor(batch.sentence_mask[:, :, None])
+        contextual, _ = self.document_encoder.forward_batch(
+            padded,
+            batch.sentence_visual,
+            batch.sentence_layout,
+            batch.sentence_positions,
+            batch.sentence_segments,
+            batch.sentence_mask,
+        )
+        return contextual
 
     def summary(self) -> str:
         """Architecture overview string (the Figure-2 bench prints this)."""

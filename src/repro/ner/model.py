@@ -135,9 +135,15 @@ class NerTagger(Module):
         return states[rows, features.first_piece]
 
     def logits(self, features: NerFeatures) -> Tensor:
-        """Per-word label scores ``(b, w, num_labels)``."""
+        """Per-word label scores ``(b, w, num_labels)``.
+
+        Padding word slots gather the [CLS] piece state, so they are zeroed
+        and the BiLSTM runs masked — each example's scores depend only on
+        its own words, not on how long its batch-mates are.
+        """
         gathered = self.dropout(self.word_states(features))
-        hidden = self.bilstm(gathered)
+        gathered = gathered * Tensor(features.word_mask[:, :, None])
+        hidden = self.bilstm(gathered, mask=features.word_mask)
         return self.mlp(hidden)
 
     def loss(self, features: NerFeatures) -> Tensor:
@@ -168,6 +174,23 @@ class NerTagger(Module):
             labels = self.scheme.decode(list(ids))
             labels += ["O"] * (n - len(labels))
             predictions.append(labels)
+        return predictions
+
+    def predict_batch(
+        self, examples: Sequence[NerExample], batch_size: int = 32
+    ) -> List[List[str]]:
+        """Batched decoding over many examples.
+
+        Examples are featurised and decoded in chunks of ``batch_size``:
+        padding is trimmed per chunk, which keeps the quadratic attention
+        cost bounded by each chunk's longest block instead of the corpus
+        maximum.  Equivalent to concatenating per-chunk :meth:`predict`.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        predictions: List[List[str]] = []
+        for start in range(0, len(examples), batch_size):
+            predictions.extend(self.predict(examples[start : start + batch_size]))
         return predictions
 
     def clone(self) -> "NerTagger":

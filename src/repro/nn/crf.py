@@ -44,59 +44,79 @@ def _fused_log_partition(
     the forward pass in raw numpy and implements the analytic gradient — the
     forward-backward marginals — making CRF training ~10x faster.  Gradients
     flow to the emissions, the transition matrix, and the start/end scores.
+
+    Both recursions are vectorised over the batch axis: ragged lengths are
+    handled by carrying each sequence's alpha forward unchanged past its
+    last valid step, so the only python loop left is the (inherently
+    sequential) time recursion.
     """
     emissions_data = emissions.data
     batch, seq, num_tags = emissions_data.shape
     trans = transitions.data
     start = start_scores.data
     end = end_scores.data
+    lengths = np.asarray(lengths, dtype=np.int64)
+    batch_idx = np.arange(batch)
 
-    # Forward pass: alphas per sequence (stored for the backward pass).
-    alphas = np.zeros((batch, seq, num_tags))
-    log_z = np.zeros(batch)
-    for b in range(batch):
-        length = int(lengths[b])
-        alpha = start + emissions_data[b, 0]
-        alphas[b, 0] = alpha
-        for t in range(1, length):
-            alpha = _lse(alpha[:, None] + trans, axis=0) + emissions_data[b, t]
-            alphas[b, t] = alpha
-        log_z[b] = _lse(alpha + end, axis=0)
+    # Forward pass: alphas for the whole batch (stored for the backward
+    # pass).  Past a sequence's length the alpha is carried unchanged, so
+    # ``alphas[b, t >= length]`` equals the final alpha of sequence ``b``.
+    alphas = np.empty((batch, seq, num_tags))
+    alpha = start + emissions_data[:, 0]
+    alphas[:, 0] = alpha
+    for t in range(1, seq):
+        advanced = _lse(alpha[:, :, None] + trans[None], axis=1)
+        advanced = advanced + emissions_data[:, t]
+        step = (t < lengths)[:, None]
+        alpha = np.where(step, advanced, alpha)
+        alphas[:, t] = alpha
+    log_z = _lse(alpha + end, axis=1)
 
     def backward(grad: np.ndarray) -> None:
-        grad_emissions = np.zeros_like(emissions_data)
-        grad_trans = np.zeros_like(trans)
-        grad_start = np.zeros_like(start)
-        grad_end = np.zeros_like(end)
-        for b in range(batch):
-            length = int(lengths[b])
-            g = grad[b]
-            # Backward (beta) recursion.
-            betas = np.zeros((length, num_tags))
-            betas[length - 1] = end
-            for t in range(length - 2, -1, -1):
-                betas[t] = _lse(
-                    trans + emissions_data[b, t + 1] + betas[t + 1], axis=1
-                )
-            # Unary marginals.
-            marginals = np.exp(alphas[b, :length] + betas - log_z[b])
-            grad_emissions[b, :length] += g * marginals
-            grad_start += g * marginals[0]
-            grad_end += g * np.exp(alphas[b, length - 1] + end - log_z[b])
-            # Pairwise marginals -> transition gradient.
-            for t in range(length - 1):
-                pair = np.exp(
-                    alphas[b, t][:, None]
-                    + trans
-                    + emissions_data[b, t + 1][None, :]
-                    + betas[t + 1][None, :]
-                    - log_z[b]
-                )
-                grad_trans += g * pair
-        emissions._accumulate(grad_emissions)
-        transitions._accumulate(grad_trans)
-        start_scores._accumulate(grad_start)
-        end_scores._accumulate(grad_end)
+        # Backward (beta) recursion, batched: beta resets to the end scores
+        # at each sequence's last valid step and is inert in the padding.
+        betas = np.empty((batch, seq, num_tags))
+        beta = np.broadcast_to(end, (batch, num_tags))
+        betas[:, seq - 1] = beta
+        for t in range(seq - 2, -1, -1):
+            stepped = _lse(
+                trans[None]
+                + emissions_data[:, t + 1][:, None, :]
+                + beta[:, None, :],
+                axis=2,
+            )
+            is_last = (t == lengths - 1)[:, None]
+            inside = (t < lengths - 1)[:, None]
+            beta = np.where(is_last, end[None, :], np.where(inside, stepped, beta))
+            betas[:, t] = beta
+
+        valid = (np.arange(seq)[None, :] < lengths[:, None]).astype(np.float64)
+        g = grad[:, None, None]
+        # Unary marginals (zeroed in the padding).
+        marginals = np.exp(alphas + betas - log_z[:, None, None])
+        marginals *= valid[:, :, None]
+        emissions._accumulate(g * marginals)
+        start_scores._accumulate((grad[:, None] * marginals[:, 0]).sum(axis=0))
+        final_alpha = alphas[batch_idx, lengths - 1]
+        end_scores._accumulate(
+            (
+                grad[:, None]
+                * np.exp(final_alpha + end - log_z[:, None])
+            ).sum(axis=0)
+        )
+        # Pairwise marginals -> transition gradient, over all (b, t) at once.
+        if seq > 1:
+            pair = np.exp(
+                alphas[:, :-1, :, None]
+                + trans[None, None]
+                + emissions_data[:, 1:, None, :]
+                + betas[:, 1:, None, :]
+                - log_z[:, None, None, None]
+            )
+            pair *= (g * valid[:, 1:, None])[..., None]
+            transitions._accumulate(pair.sum(axis=(0, 1)))
+        else:
+            transitions._accumulate(np.zeros_like(trans))
 
     return emissions._make(
         log_z, (emissions, transitions, start_scores, end_scores), backward
@@ -250,7 +270,13 @@ class LinearChainCrf(Module):
     def decode(
         self, emissions: Tensor, mask: Optional[np.ndarray] = None
     ) -> List[List[int]]:
-        """Viterbi decoding; returns the best tag sequence per batch item."""
+        """Viterbi decoding; returns the best tag sequence per batch item.
+
+        Both the max-product recursion and the backtrace are vectorised over
+        the batch axis; ragged lengths are handled with validity masks, so
+        decoding a batch of documents costs one time loop total instead of
+        one per document.
+        """
         scores = emissions.data if isinstance(emissions, Tensor) else emissions
         batch, seq, num_tags = scores.shape
         mask = self._prepare_mask(mask, (batch, seq))
@@ -258,26 +284,31 @@ class LinearChainCrf(Module):
         transitions = self.transitions.data
         start = self.start_scores.data
         end = self.end_scores.data
+        batch_idx = np.arange(batch)
 
-        results: List[List[int]] = []
-        for b in range(batch):
-            length = int(lengths[b])
-            viterbi = np.empty((length, num_tags))
-            pointers = np.empty((length, num_tags), dtype=np.int64)
-            viterbi[0] = start + scores[b, 0]
-            for t in range(1, length):
-                candidate = viterbi[t - 1][:, None] + transitions
-                pointers[t] = candidate.argmax(axis=0)
-                viterbi[t] = candidate.max(axis=0) + scores[b, t]
-            viterbi[length - 1] += end
-            best = int(viterbi[length - 1].argmax())
-            path = [best]
-            for t in range(length - 1, 0, -1):
-                best = int(pointers[t, best])
-                path.append(best)
-            path.reverse()
-            results.append(path)
-        return results
+        # Forward max-product pass.  ``viterbi`` carries each sequence's
+        # best-path scores; past a sequence's length it is carried forward
+        # unchanged so the end-transition can be applied uniformly.
+        pointers = np.zeros((batch, seq, num_tags), dtype=np.int64)
+        viterbi = start + scores[:, 0]
+        for t in range(1, seq):
+            candidate = viterbi[:, :, None] + transitions[None]
+            pointers[:, t] = candidate.argmax(axis=1)
+            advanced = candidate.max(axis=1) + scores[:, t]
+            step = (t < lengths)[:, None]
+            viterbi = np.where(step, advanced, viterbi)
+
+        best = (viterbi + end).argmax(axis=1)
+        # Batched backtrace: position t-1's tag is read off ``pointers[t]``
+        # wherever t is inside the sequence; finished (shorter) sequences
+        # keep their tags untouched.
+        tags = np.zeros((batch, seq), dtype=np.int64)
+        tags[batch_idx, lengths - 1] = best
+        for t in range(seq - 1, 0, -1):
+            inside = t <= lengths - 1
+            best = np.where(inside, pointers[batch_idx, t, best], best)
+            tags[:, t - 1] = np.where(inside, best, tags[:, t - 1])
+        return [row[:length].tolist() for row, length in zip(tags, lengths)]
 
 
 class FuzzyCrf(LinearChainCrf):

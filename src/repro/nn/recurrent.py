@@ -69,35 +69,51 @@ class Lstm(Module):
         self.hidden_dim = hidden_dim
         self.reverse = reverse
 
-    def forward(self, x: Tensor) -> Tensor:
-        if not is_grad_enabled():
-            return Tensor(self._forward_inference(x.data))
-        return self._forward_train_fused(x)
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        """Run the recurrence over ``(batch, seq, dim)`` inputs.
 
-    def _forward_train_fused(self, x: Tensor) -> Tensor:
+        ``mask`` is an optional ``(batch, seq)`` 0/1 validity array for
+        ragged batches (padding must be a suffix).  Masked steps carry the
+        zero initial state, so each sequence's outputs match running it
+        alone at its true length — in particular the *reverse* direction
+        starts from each sequence's own last valid step instead of from the
+        shared padded end.
+        """
+        if not is_grad_enabled():
+            return Tensor(self._forward_inference(x.data, mask))
+        return self._forward_train_fused(x, mask)
+
+    def _forward_train_fused(
+        self, x: Tensor, mask: Optional[np.ndarray] = None
+    ) -> Tensor:
         """Training path as ONE autograd node with hand-written BPTT.
 
         The compositional recurrence builds ~15 graph nodes per time step;
         for 100-step resumes that dominates training time.  This runs the
         forward in raw numpy, caches per-step activations, and implements
-        backpropagation-through-time analytically.
+        backpropagation-through-time analytically.  The input projection of
+        every time step is hoisted into a single GEMM; only the hidden-state
+        projection stays inside the (inherently sequential) time loop.
         """
         data = x.data
-        batch, seq, _ = data.shape
+        batch, seq, input_dim = data.shape
         hd = self.hidden_dim
         weight = self.cell.weight
         bias = self.cell.bias
         w = weight.data
-        b = bias.data
+        w_h = w[input_dim:]
+        valid = None if mask is None else np.asarray(mask, dtype=np.float64)
 
         steps = list(range(seq - 1, -1, -1) if self.reverse else range(seq))
+        xw = data.reshape(batch * seq, input_dim) @ w[:input_dim]
+        xw = xw.reshape(batch, seq, 4 * hd) + bias.data
         h = np.zeros((batch, hd))
         c = np.zeros((batch, hd))
         outputs = np.empty((batch, seq, hd))
         cache = {}
         for t in steps:
-            combined = np.concatenate([data[:, t, :], h], axis=-1)
-            gates = combined @ w + b
+            h_prev = h
+            gates = xw[:, t] + h_prev @ w_h
             i = _sigmoid(gates[:, :hd])
             f = _sigmoid(gates[:, hd : 2 * hd])
             g = np.tanh(gates[:, 2 * hd : 3 * hd])
@@ -106,19 +122,28 @@ class Lstm(Module):
             c = f * c_prev + i * g
             tanh_c = np.tanh(c)
             h = o * tanh_c
+            if valid is not None:
+                step = valid[:, t][:, None]
+                h = h * step
+                c = c * step
             outputs[:, t, :] = h
-            cache[t] = (combined, i, f, g, o, c_prev, tanh_c)
+            cache[t] = (h_prev, i, f, g, o, c_prev, tanh_c)
 
         def backward(grad: np.ndarray) -> None:
             grad_x = np.zeros_like(data)
             grad_w = np.zeros_like(w)
-            grad_b = np.zeros_like(b)
+            grad_b = np.zeros_like(bias.data)
             dh_next = np.zeros((batch, hd))
             dc_next = np.zeros((batch, hd))
             for t in reversed(steps):
-                combined, i, f, g, o, c_prev, tanh_c = cache[t]
+                h_prev, i, f, g, o, c_prev, tanh_c = cache[t]
                 dh = grad[:, t, :] + dh_next
-                dc = dc_next + dh * o * (1.0 - tanh_c**2)
+                dc = dc_next
+                if valid is not None:
+                    step = valid[:, t][:, None]
+                    dh = dh * step
+                    dc = dc * step
+                dc = dc + dh * o * (1.0 - tanh_c**2)
                 d_gates = np.concatenate(
                     [
                         dc * g * i * (1.0 - i),
@@ -128,11 +153,12 @@ class Lstm(Module):
                     ],
                     axis=-1,
                 )
-                grad_w += combined.T @ d_gates
+                grad_w[:input_dim] += data[:, t].T @ d_gates
+                grad_w[input_dim:] += h_prev.T @ d_gates
                 grad_b += d_gates.sum(axis=0)
                 d_combined = d_gates @ w.T
-                grad_x[:, t, :] = d_combined[:, : data.shape[2]]
-                dh_next = d_combined[:, data.shape[2] :]
+                grad_x[:, t, :] = d_combined[:, :input_dim]
+                dh_next = d_combined[:, input_dim:]
                 dc_next = dc * f
             x._accumulate(grad_x)
             weight._accumulate(grad_w)
@@ -152,24 +178,39 @@ class Lstm(Module):
             outputs[t] = h
         return stack(outputs, axis=1)
 
-    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
-        """Fused numpy recurrence — no autograd dispatch on the hot path."""
-        batch, seq, _ = x.shape
+    def _forward_inference(
+        self, x: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Fused numpy recurrence — no autograd dispatch on the hot path.
+
+        The input projection for all time steps runs as one GEMM up front;
+        the per-step work is a single ``(batch, hd) @ (hd, 4hd)`` matmul
+        plus elementwise gates, so batching documents amortises the python
+        loop across the whole batch.
+        """
+        batch, seq, input_dim = x.shape
         hd = self.hidden_dim
         weight = self.cell.weight.data
-        bias = self.cell.bias.data
+        w_h = weight[input_dim:]
+        valid = None if mask is None else np.asarray(mask, dtype=np.float64)
+        xw = x.reshape(batch * seq, input_dim) @ weight[:input_dim]
+        xw = xw.reshape(batch, seq, 4 * hd) + self.cell.bias.data
         h = np.zeros((batch, hd))
         c = np.zeros((batch, hd))
         outputs = np.empty((batch, seq, hd))
         steps = range(seq - 1, -1, -1) if self.reverse else range(seq)
         for t in steps:
-            gates = np.concatenate([x[:, t, :], h], axis=-1) @ weight + bias
+            gates = xw[:, t] + h @ w_h
             i = _sigmoid(gates[:, :hd])
             f = _sigmoid(gates[:, hd : 2 * hd])
             g = np.tanh(gates[:, 2 * hd : 3 * hd])
             o = _sigmoid(gates[:, 3 * hd :])
             c = f * c + i * g
             h = o * np.tanh(c)
+            if valid is not None:
+                step = valid[:, t][:, None]
+                h = h * step
+                c = c * step
             outputs[:, t, :] = h
         return outputs
 
@@ -193,7 +234,7 @@ class BiLstm(Module):
         self.backward_lstm = Lstm(input_dim, hidden_dim, reverse=True, rng=rng)
         self.output_dim = 2 * hidden_dim
 
-    def forward(self, x: Tensor) -> Tensor:
-        fwd = self.forward_lstm(x)
-        bwd = self.backward_lstm(x)
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        fwd = self.forward_lstm(x, mask=mask)
+        bwd = self.backward_lstm(x, mask=mask)
         return concat([fwd, bwd], axis=-1)

@@ -14,30 +14,35 @@ broadcast operand are reduced back to the operand's shape by
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Inference-mode state is per-context rather than a module global: threads
+# (and asyncio tasks) serving batched inference each get their own flag, so
+# one request running under ``no_grad()`` cannot disable gradient recording
+# for a training step on another thread.
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -122,7 +127,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create a child node, recording history only when grads are on."""
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=needs)
         if needs:
             out._parents = tuple(parents)

@@ -1,0 +1,177 @@
+"""Batched inference: predict_batch must never drift from predict.
+
+The fast path (cross-document padding + batched kernels) and the reference
+path (one document at a time) must agree label-for-label; the featurization
+cache must make repeated sweeps free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockClassifier,
+    BlockTrainer,
+    Featurizer,
+    LabeledDocument,
+    collate_documents,
+)
+from repro.docmodel import BLOCK_SCHEME
+
+
+@pytest.fixture()
+def classifier(encoder, featurizer):
+    return BlockClassifier(
+        encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(9)
+    )
+
+
+class TestPredictBatch:
+    def test_smoke_single_document_equals_predict(self, classifier, tiny_docs):
+        # The tier-1 guard: the fast path can never drift from the
+        # reference path.
+        doc = tiny_docs[0]
+        assert classifier.predict_batch([doc]) == [classifier.predict(doc)]
+
+    def test_ragged_batch_equals_per_document(self, classifier, tiny_docs):
+        expected = [classifier.predict(d) for d in tiny_docs]
+        assert classifier.predict_batch(tiny_docs, batch_size=4) == expected
+
+    def test_batch_size_one_chunks_equal_full_batch(self, classifier, tiny_docs):
+        docs = tiny_docs[:3]
+        assert classifier.predict_batch(docs, batch_size=1) == (
+            classifier.predict_batch(docs, batch_size=8)
+        )
+
+    def test_rejects_bad_batch_size(self, classifier, tiny_docs):
+        with pytest.raises(ValueError):
+            classifier.predict_batch(tiny_docs, batch_size=0)
+
+    def test_emissions_batch_shape_and_equivalence(
+        self, classifier, featurizer, tiny_docs
+    ):
+        docs = tiny_docs[:3]
+        batch = collate_documents([featurizer.featurize(d) for d in docs])
+        classifier.eval()
+        from repro.nn import no_grad
+
+        with no_grad():
+            batched = classifier.emissions_batch(batch)
+            assert batched.shape == (
+                batch.batch_size,
+                batch.max_sentences,
+                BLOCK_SCHEME.num_labels,
+            )
+            for row, doc in enumerate(docs):
+                single = classifier.emissions(featurizer.featurize(doc))
+                m = batch.lengths[row]
+                np.testing.assert_allclose(
+                    batched.numpy()[row, :m], single.numpy()[0], atol=1e-10
+                )
+
+
+class TestCollate:
+    def test_masks_and_gather(self, featurizer, tiny_docs):
+        features = [featurizer.featurize(d) for d in tiny_docs[:3]]
+        batch = collate_documents(features)
+        assert batch.batch_size == 3
+        assert batch.num_sentences == sum(f.num_sentences for f in features)
+        np.testing.assert_array_equal(
+            batch.sentence_mask.sum(axis=1), batch.lengths
+        )
+        # Gathered token rows must round-trip to each document's features.
+        offset = 0
+        for row, f in enumerate(features):
+            m, t = f.num_sentences, f.max_tokens
+            np.testing.assert_array_equal(
+                batch.gather_index[row, :m], np.arange(offset, offset + m)
+            )
+            np.testing.assert_array_equal(
+                batch.token_ids[offset : offset + m, :t], f.token_ids
+            )
+            offset += m
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            collate_documents([])
+
+
+class TestFeatureCacheIntegration:
+    def test_trainer_featurizes_each_document_once(self, tokenizer, config, tiny_docs):
+        # Fresh featurizer so counters start at zero.
+        from repro.core import HierarchicalEncoder
+
+        featurizer = Featurizer(tokenizer, config)
+        encoder = HierarchicalEncoder(config, rng=np.random.default_rng(3))
+        model = BlockClassifier(
+            encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(9)
+        )
+        train = [LabeledDocument.from_gold(d) for d in tiny_docs[:3]]
+        validation = [LabeledDocument.from_gold(d) for d in tiny_docs[3:5]]
+        trainer = BlockTrainer(model, seed=0)
+        trainer.fit(train, validation=validation, epochs=2, patience=5)
+
+        info = featurizer.cache.info()
+        # Every document is computed exactly once, no matter how many
+        # epochs re-visit it for training loss or validation accuracy.
+        assert info["misses"] == len(train) + len(validation)
+        assert info["hits"] > 0
+
+    def test_repeated_predict_hits_cache(self, tokenizer, config, tiny_docs):
+        from repro.core import HierarchicalEncoder
+
+        featurizer = Featurizer(tokenizer, config)
+        encoder = HierarchicalEncoder(config, rng=np.random.default_rng(3))
+        model = BlockClassifier(
+            encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(9)
+        )
+        doc = tiny_docs[0]
+        first = model.predict(doc)
+        assert featurizer.cache.misses == 1
+        assert model.predict(doc) == first
+        assert featurizer.cache.hits >= 1
+        assert featurizer.cache.misses == 1
+
+    def test_lru_eviction_and_identity_guard(self, tokenizer, config, tiny_docs):
+        featurizer = Featurizer(tokenizer, config, cache_size=2)
+        for doc in tiny_docs[:3]:
+            featurizer.featurize(doc)
+        assert len(featurizer.cache) == 2
+        # The oldest entry was evicted; featurizing it again recomputes.
+        misses = featurizer.cache.misses
+        featurizer.featurize(tiny_docs[0])
+        assert featurizer.cache.misses == misses + 1
+
+    def test_cache_disabled(self, tokenizer, config, tiny_docs):
+        featurizer = Featurizer(tokenizer, config, cache_size=0)
+        assert featurizer.cache is None
+        features = featurizer.featurize(tiny_docs[0])
+        assert features.num_sentences > 0
+
+
+class TestNerPredictBatch:
+    def test_matches_predict(self, tokenizer):
+        from repro.corpus.datasets import NerExample
+        from repro.ner import NerConfig, NerTagger
+
+        config = NerConfig(
+            vocab_size=len(tokenizer.vocab),
+            hidden_dim=16,
+            layers=1,
+            heads=2,
+            lstm_hidden=8,
+            dropout=0.0,
+        )
+        tagger = NerTagger(config, tokenizer, rng=np.random.default_rng(4))
+        examples = [
+            NerExample(words=["john", "doe"], labels=["B-NAME", "I-NAME"], block_tag="PI"),
+            NerExample(
+                words=["python", "and", "java"], labels=["B-SKILL", "O", "B-SKILL"], block_tag="SKILL"
+            ),
+            NerExample(words=["paris"], labels=["B-LOC"], block_tag="PI"),
+        ]
+        batched = tagger.predict_batch(examples, batch_size=2)
+        assert len(batched) == len(examples)
+        for got, example in zip(batched, examples):
+            assert len(got) == len(example.words)
+        # A chunk boundary must not change predictions.
+        assert batched == tagger.predict_batch(examples, batch_size=3)

@@ -1,0 +1,161 @@
+"""Batched CRF kernels vs the per-sequence reference loop.
+
+The vectorised forward algorithm and Viterbi decode in ``repro.nn.crf`` must
+be indistinguishable from running each sequence through the textbook
+single-sequence recursions — including ragged batches with length-1
+sequences.  The reference implementations here are deliberately the naive
+per-sequence loops the kernels replaced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import LinearChainCrf, Tensor
+from repro.nn.crf import _fused_log_partition, _lse
+
+RNG = np.random.default_rng(77)
+
+
+def reference_log_partition(crf, scores, length):
+    """Single-sequence forward algorithm (the pre-vectorisation loop)."""
+    alpha = crf.start_scores.data + scores[0]
+    for t in range(1, length):
+        alpha = _lse(alpha[:, None] + crf.transitions.data, axis=0) + scores[t]
+    return _lse(alpha + crf.end_scores.data, axis=0)
+
+
+def reference_viterbi(crf, scores, length):
+    """Single-sequence Viterbi (the pre-vectorisation loop)."""
+    num_tags = crf.num_tags
+    viterbi = np.empty((length, num_tags))
+    pointers = np.empty((length, num_tags), dtype=np.int64)
+    viterbi[0] = crf.start_scores.data + scores[0]
+    for t in range(1, length):
+        candidate = viterbi[t - 1][:, None] + crf.transitions.data
+        pointers[t] = candidate.argmax(axis=0)
+        viterbi[t] = candidate.max(axis=0) + scores[t]
+    viterbi[length - 1] += crf.end_scores.data
+    best = int(viterbi[length - 1].argmax())
+    path = [best]
+    for t in range(length - 1, 0, -1):
+        best = int(pointers[t, best])
+        path.append(best)
+    path.reverse()
+    return path
+
+
+def prefix_mask(lengths, seq):
+    return (np.arange(seq)[None, :] < np.asarray(lengths)[:, None]).astype(
+        np.float64
+    )
+
+
+RAGGED_CASES = [
+    [4, 4, 4],          # rectangular
+    [5, 3, 1],          # ragged with a length-1 sequence
+    [1, 1],             # all length-1
+    [7],                # single sequence
+    [2, 6, 1, 4, 3],    # mixed
+]
+
+
+class TestBatchedForward:
+    @pytest.mark.parametrize("lengths", RAGGED_CASES)
+    def test_log_partition_matches_per_sequence(self, lengths):
+        crf = LinearChainCrf(4, rng=np.random.default_rng(40))
+        seq = max(lengths)
+        emissions = RNG.normal(size=(len(lengths), seq, 4))
+        mask = prefix_mask(lengths, seq)
+        log_z = crf._partition(Tensor(emissions), mask).numpy()
+        for b, length in enumerate(lengths):
+            assert log_z[b] == pytest.approx(
+                reference_log_partition(crf, emissions[b], length), abs=1e-10
+            )
+
+    @pytest.mark.parametrize("lengths", RAGGED_CASES)
+    def test_gradients_match_per_sequence_calls(self, lengths):
+        """Batched backward == sum of independent per-sequence backwards."""
+        crf = LinearChainCrf(3, rng=np.random.default_rng(41))
+        seq = max(lengths)
+        emissions = RNG.normal(size=(len(lengths), seq, 3))
+
+        def grads_of(run):
+            crf.zero_grad()
+            out = run()
+            out.sum().backward()
+            return (
+                crf.transitions.grad.copy(),
+                crf.start_scores.grad.copy(),
+                crf.end_scores.grad.copy(),
+            )
+
+        def batched():
+            return _fused_log_partition(
+                Tensor(emissions), crf.transitions, crf.start_scores,
+                crf.end_scores, np.asarray(lengths),
+            )
+
+        batched_grads = grads_of(batched)
+
+        crf.zero_grad()
+        emission_grads = np.zeros_like(emissions)
+        for b, length in enumerate(lengths):
+            single = Tensor(emissions[b : b + 1, :length], requires_grad=True)
+            _fused_log_partition(
+                single, crf.transitions, crf.start_scores,
+                crf.end_scores, np.asarray([length]),
+            ).sum().backward()
+            emission_grads[b, :length] = single.grad[0]
+        per_sequence_grads = (
+            crf.transitions.grad.copy(),
+            crf.start_scores.grad.copy(),
+            crf.end_scores.grad.copy(),
+        )
+
+        for got, want in zip(batched_grads, per_sequence_grads):
+            np.testing.assert_allclose(got, want, atol=1e-10)
+
+        crf.zero_grad()
+        batched_emissions = Tensor(emissions, requires_grad=True)
+        _fused_log_partition(
+            batched_emissions, crf.transitions, crf.start_scores,
+            crf.end_scores, np.asarray(lengths),
+        ).sum().backward()
+        np.testing.assert_allclose(
+            batched_emissions.grad, emission_grads, atol=1e-10
+        )
+
+
+class TestBatchedViterbi:
+    @pytest.mark.parametrize("lengths", RAGGED_CASES)
+    def test_decode_matches_per_sequence_loop(self, lengths):
+        crf = LinearChainCrf(4, rng=np.random.default_rng(42))
+        seq = max(lengths)
+        emissions = RNG.normal(size=(len(lengths), seq, 4)) * 2
+        mask = prefix_mask(lengths, seq)
+        decoded = crf.decode(Tensor(emissions), mask)
+        for b, length in enumerate(lengths):
+            assert decoded[b] == reference_viterbi(crf, emissions[b], length)
+
+    @given(
+        lengths=st.lists(st.integers(1, 7), min_size=1, max_size=6),
+        num_tags=st.integers(2, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batched_equals_reference(self, lengths, num_tags, seed):
+        rng = np.random.default_rng(seed)
+        crf = LinearChainCrf(num_tags, rng=rng)
+        seq = max(lengths)
+        emissions = rng.normal(size=(len(lengths), seq, num_tags))
+        mask = prefix_mask(lengths, seq)
+
+        decoded = crf.decode(Tensor(emissions), mask)
+        log_z = crf._partition(Tensor(emissions), mask).numpy()
+        for b, length in enumerate(lengths):
+            assert decoded[b] == reference_viterbi(crf, emissions[b], length)
+            assert log_z[b] == pytest.approx(
+                reference_log_partition(crf, emissions[b], length), abs=1e-10
+            )

@@ -1,0 +1,64 @@
+"""``no_grad()`` must be context-local, not process-global.
+
+Batched serving runs inference on worker threads while a training loop may
+be live elsewhere; a module-global flag would let one thread's ``no_grad()``
+silently disable gradient recording for every other thread.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.nn import Tensor, is_grad_enabled, no_grad
+
+
+def test_no_grad_is_isolated_between_threads():
+    # Thread A holds no_grad() open across the point where thread B builds
+    # and backprops a graph; B must be unaffected.
+    entered_no_grad = threading.Event()
+    training_done = threading.Event()
+    results = {}
+
+    def inference_thread():
+        with no_grad():
+            entered_no_grad.set()
+            assert training_done.wait(timeout=30)
+            x = Tensor(np.ones(3), requires_grad=True)
+            results["inference_mode"] = is_grad_enabled()
+            results["inference_requires_grad"] = (x * 2.0).requires_grad
+
+    def training_thread():
+        assert entered_no_grad.wait(timeout=30)
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 3.0).sum()
+        results["training_mode"] = is_grad_enabled()
+        results["training_requires_grad"] = y.requires_grad
+        y.backward()
+        results["training_grad"] = None if x.grad is None else x.grad.copy()
+        training_done.set()
+
+    threads = [
+        threading.Thread(target=inference_thread),
+        threading.Thread(target=training_thread),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+
+    assert results["training_mode"] is True
+    assert results["training_requires_grad"] is True
+    np.testing.assert_allclose(results["training_grad"], 3.0)
+    assert results["inference_mode"] is False
+    assert results["inference_requires_grad"] is False
+
+
+def test_no_grad_nesting_restores_state():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
