@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test bench bench-perf examples clean
+.PHONY: install test bench bench-perf bench-train examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,11 @@ bench: bench-perf
 # Batched-inference perf benchmark; writes BENCH_block_inference.json.
 bench-perf:
 	python -m pytest benchmarks/test_perf_inference.py -q -s
+
+# Batched-training perf benchmark; writes BENCH_training.json.
+# BENCH_TRAIN_SMOKE=1 shrinks it to a CI-sized smoke run.
+bench-train:
+	python -m pytest benchmarks/test_perf_training.py -q -s
 
 examples:
 	python examples/quickstart.py

@@ -6,14 +6,14 @@ three self-supervised objectives, a BiLSTM+MLP+CRF fine-tuning head, and
 knowledge distillation from a token-level teacher.
 """
 
-from .batching import DocumentBatch, collate_documents
+from .batching import DocumentBatch, collate_documents, collate_labels
 from .block_classifier import BlockClassifier, BlockTrainer, LabeledDocument
 from .config import ResuFormerConfig
 from .distill import pseudo_label, run_distillation
 from .document_encoder import DocumentEncoder
 from .embeddings import LayoutEmbedding, TextEmbedding
 from .featurize import LAYOUT_FEATURES, DocumentFeatures, FeatureCache, Featurizer
-from .hierarchical import EncodedDocument, HierarchicalEncoder
+from .hierarchical import EncodedBatch, EncodedDocument, HierarchicalEncoder
 from .pretrain import (
     Pretrainer,
     PretrainHeads,
@@ -21,6 +21,7 @@ from .pretrain import (
     masked_copy,
 )
 from .sentence_encoder import SentenceEncoder
+from .training import GradAccumulator, iter_minibatches
 
 __all__ = [
     "ResuFormerConfig",
@@ -29,6 +30,10 @@ __all__ = [
     "DocumentFeatures",
     "DocumentBatch",
     "collate_documents",
+    "collate_labels",
+    "GradAccumulator",
+    "iter_minibatches",
+    "EncodedBatch",
     "LAYOUT_FEATURES",
     "TextEmbedding",
     "LayoutEmbedding",

@@ -24,7 +24,7 @@ import numpy as np
 
 from .featurize import DocumentFeatures
 
-__all__ = ["DocumentBatch", "collate_documents"]
+__all__ = ["DocumentBatch", "collate_documents", "collate_labels"]
 
 
 @dataclass
@@ -109,3 +109,29 @@ def collate_documents(features: Sequence[DocumentFeatures]) -> DocumentBatch:
         sentence_segments=sentence_segments,
         lengths=lengths,
     )
+
+
+def collate_labels(
+    features: Sequence[DocumentFeatures],
+    labels: Sequence[Sequence[int]],
+    pad_value: int = 0,
+) -> np.ndarray:
+    """Pad per-document sentence label lists to ``(B, m_max)`` int64.
+
+    Labels beyond a document's featurised sentence count are truncated
+    (documents past the encoder cap), and padded slots get ``pad_value`` —
+    the batched CRF masks them out, so the value never influences the loss.
+    """
+    if len(features) != len(labels):
+        raise ValueError("features and labels must align one-to-one")
+    m_max = max(f.num_sentences for f in features)
+    out = np.full((len(features), m_max), pad_value, dtype=np.int64)
+    for row, (f, item) in enumerate(zip(features, labels)):
+        m = f.num_sentences
+        ids = np.asarray(item, dtype=np.int64)[:m]
+        if ids.shape[0] < m:
+            raise ValueError(
+                f"document {row} has {m} sentences but only {ids.shape[0]} labels"
+            )
+        out[row, :m] = ids
+    return out

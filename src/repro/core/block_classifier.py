@@ -18,11 +18,12 @@ import numpy as np
 from ..docmodel.document import ResumeDocument
 from ..docmodel.labels import BLOCK_SCHEME, IobScheme
 from ..nn import AdamW, BiLstm, LinearChainCrf, Mlp, Module, ParamGroup, Tensor
-from ..nn import clip_grad_norm, no_grad
+from ..nn import no_grad
 from ..nn import init as nn_init
-from .batching import DocumentBatch, collate_documents
+from .batching import DocumentBatch, collate_documents, collate_labels
 from .featurize import DocumentFeatures, Featurizer
 from .hierarchical import HierarchicalEncoder
+from .training import GradAccumulator, iter_minibatches
 
 __all__ = ["BlockClassifier", "BlockTrainer", "LabeledDocument"]
 
@@ -98,6 +99,19 @@ class BlockClassifier(Module):
         contextual = self.encoder.encode_batch(batch)
         hidden = self.bilstm(contextual, mask=batch.sentence_mask)
         return self.mlp(hidden)
+
+    def loss_batch(self, batch: DocumentBatch, labels: np.ndarray) -> Tensor:
+        """Masked batched CRF NLL over padded ``(B, m_max)`` label tensors.
+
+        ``labels`` comes from :func:`repro.core.collate_labels`.  The CRF
+        normalises by the batch size, so the value equals the mean of the
+        per-document :meth:`loss` values — one padded forward/backward pass
+        replaces B separate ones.
+        """
+        emissions = self.emissions_batch(batch)
+        return self.crf.neg_log_likelihood(
+            emissions, labels, mask=batch.sentence_mask
+        )
 
     def predict_batch(
         self,
@@ -197,28 +211,49 @@ class BlockTrainer:
         validation: Sequence[LabeledDocument] = (),
         epochs: int = 5,
         patience: int = 2,
+        batch_size: int = 4,
+        grad_accumulation: int = 1,
     ) -> Dict[str, List[float]]:
-        """Train; restores the best-validation parameters before returning."""
+        """Train with mini-batch optimizer steps; restores the best-validation
+        parameters before returning.
+
+        Each step collates ``batch_size`` documents into one padded
+        :class:`DocumentBatch` and backprops the masked batched CRF loss —
+        one optimizer step per mini-batch instead of per document.
+        ``grad_accumulation`` accumulates that many mini-batches before
+        stepping, so the effective batch is ``batch_size *
+        grad_accumulation`` without growing the padded forward pass.
+        """
         features = [
             (self.model.featurizer.featurize(item.document), item.labels)
             for item in train
         ]
+        # Chunks of similarly-sized documents keep the padded kernels from
+        # paying the longest document's cost on every row.
+        lengths = [f.num_sentences for f, _ in features]
+        engine = GradAccumulator(
+            self.optimizer,
+            self.model.parameters(),
+            max_grad_norm=self.max_grad_norm,
+            accumulation=grad_accumulation,
+        )
         history: Dict[str, List[float]] = {"loss": [], "val_accuracy": []}
         best_score = -np.inf
         best_state = None
         bad_epochs = 0
         for _ in range(epochs):
-            order = self.rng.permutation(len(features))
             epoch_loss = 0.0
             self.model.train()
-            for index in order:
-                doc_features, labels = features[index]
-                self.optimizer.zero_grad()
-                loss = self.model.loss(doc_features, labels)
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), self.max_grad_norm)
-                self.optimizer.step()
-                epoch_loss += float(loss.data)
+            for chunk in iter_minibatches(
+                len(features), batch_size, rng=self.rng, lengths=lengths
+            ):
+                docs = [features[i][0] for i in chunk]
+                batch = collate_documents(docs)
+                labels = collate_labels(docs, [features[i][1] for i in chunk])
+                loss = self.model.loss_batch(batch, labels)
+                engine.backward(loss, weight=len(chunk))
+                epoch_loss += float(loss.data) * len(chunk)
+            engine.flush()
             history["loss"].append(epoch_loss / max(len(features), 1))
 
             if validation:

@@ -118,11 +118,30 @@ class DocumentEncoder(Module):
         positions: np.ndarray,
         segments: np.ndarray,
         sentence_mask: np.ndarray,
+        mask_slots: Optional[np.ndarray] = None,
     ) -> Tuple[Tensor, Tensor]:
-        """Batched full pass over padded ``(B, m, …)`` inputs."""
+        """Batched full pass over padded ``(B, m, …)`` inputs.
+
+        ``mask_slots``, if given, is a boolean ``(B, m)`` array; True slots
+        enter the Transformer as the learned mask vector (the batched form
+        of dynamic sentence masking) while the returned ``fused`` targets
+        stay unmasked, exactly as in the per-document :meth:`forward`.
+        """
         fused = self.fuse(sentence_vectors, visual)
+        inputs = fused
+        if mask_slots is not None:
+            from ..nn import where
+
+            mask_slots = np.asarray(mask_slots, dtype=bool)
+            batch, m = mask_slots.shape
+            dim = self.config.document_dim
+            broadcast = np.repeat(mask_slots[:, :, None], dim, axis=2)
+            mask_matrix = self.sentence_mask_vector.reshape(1, 1, dim) + Tensor(
+                np.zeros((batch, m, dim))
+            )
+            inputs = where(broadcast, mask_matrix, fused)
         states = self.contextualize_batch(
-            fused, sentence_layout, positions, segments, sentence_mask
+            inputs, sentence_layout, positions, segments, sentence_mask
         )
         return states, fused
 

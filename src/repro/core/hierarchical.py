@@ -22,7 +22,7 @@ from .document_encoder import DocumentEncoder
 from .featurize import DocumentFeatures
 from .sentence_encoder import SentenceEncoder
 
-__all__ = ["HierarchicalEncoder", "EncodedDocument"]
+__all__ = ["HierarchicalEncoder", "EncodedDocument", "EncodedBatch"]
 
 
 @dataclass
@@ -33,6 +33,14 @@ class EncodedDocument:
     sentence_vectors: Tensor   # (m, d)      pooled sentence representations
     fused: Tensor              # (m, D)      two-modal sentence embeddings h*
     contextual: Tensor         # (m, D)      document-contextual states h'
+
+
+@dataclass
+class EncodedBatch:
+    """Batched pre-training representations for a padded document batch."""
+
+    fused: Tensor              # (B, m_max, D) unmasked two-modal embeddings
+    contextual: Tensor         # (B, m_max, D) contextual states (slots masked)
 
 
 class HierarchicalEncoder(Module):
@@ -74,38 +82,70 @@ class HierarchicalEncoder(Module):
             contextual=contextual,
         )
 
-    def _sentence_vectors_bucketed(
-        self, batch: DocumentBatch, rows_per_bucket: int = 20, max_buckets: int = 16
-    ) -> Tensor:
-        """Sentence vectors ``(n, d)`` for the flat cross-document block.
+    def iter_sentence_buckets(
+        self,
+        token_ids: np.ndarray,
+        token_mask: np.ndarray,
+        token_layout: np.ndarray,
+        token_segments: np.ndarray,
+        rows_per_bucket: int = 20,
+        max_buckets: int = 16,
+    ):
+        """Run the sentence encoder over a flat sentence block in buckets.
 
         Attention cost is quadratic in the padded token width, so encoding
-        every sentence at the chunk-global maximum wastes most of the work
-        on padding.  Rows are sorted by true token count, encoded in up to
-        ``max_buckets`` groups trimmed to each group's own maximum width,
-        and scattered back into original order.  Trailing padding is inert
-        (masked keys get exactly zero attention weight and pooling reads the
-        ``[CLS]`` slot), so the result is identical to one untrimmed pass.
+        every sentence at the block-global maximum wastes most of the work
+        on padding.  Rows are sorted by true token count and encoded in up
+        to ``max_buckets`` groups trimmed to each group's own maximum width.
+        Yields ``(rows, token_states, sentence_vectors)`` per bucket, where
+        ``rows`` indexes the original block and the states are trimmed to
+        the bucket width.  Trailing padding is inert (masked keys get
+        exactly zero attention weight and pooling reads the ``[CLS]``
+        slot), so results are identical to one untrimmed pass.
         """
-        widths = batch.token_mask.sum(axis=1).astype(np.int64)
+        widths = token_mask.sum(axis=1).astype(np.int64)
         order = np.argsort(widths, kind="stable")
         buckets = max(1, min(max_buckets, len(order) // rows_per_bucket))
-        pieces = []
         for bucket in np.array_split(order, buckets):
             if bucket.size == 0:
                 continue
             t = max(int(widths[bucket].max()), 1)
-            _, vectors = self.sentence_encoder(
-                batch.token_ids[bucket, :t],
-                batch.token_mask[bucket, :t],
-                batch.token_layout[bucket, :t],
-                batch.token_segments[bucket, :t],
+            token_states, vectors = self.sentence_encoder(
+                token_ids[bucket, :t],
+                token_mask[bucket, :t],
+                token_layout[bucket, :t],
+                token_segments[bucket, :t],
             )
+            yield bucket, token_states, vectors
+
+    def _sentence_vectors_bucketed(
+        self, batch: DocumentBatch, rows_per_bucket: int = 20, max_buckets: int = 16
+    ) -> tuple:
+        """Sentence vectors for the flat cross-document block.
+
+        Returns ``(flat, inverse)`` where ``flat`` is the ``(n, d)`` tensor
+        in *bucket* order and ``inverse[row]`` locates original block row
+        ``row`` inside it.  Callers compose ``inverse`` into their own
+        gather instead of materialising the reordered tensor — one fancy
+        index (and one scatter on the way back) instead of two.
+        """
+        pieces = []
+        orders = []
+        for bucket, _, vectors in self.iter_sentence_buckets(
+            batch.token_ids,
+            batch.token_mask,
+            batch.token_layout,
+            batch.token_segments,
+            rows_per_bucket=rows_per_bucket,
+            max_buckets=max_buckets,
+        ):
             pieces.append(vectors)
+            orders.append(bucket)
+        order = np.concatenate(orders)
         flat = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
         inverse = np.empty(len(order), dtype=np.int64)
         inverse[order] = np.arange(len(order))
-        return flat[inverse]
+        return flat, inverse
 
     def encode_batch(self, batch: DocumentBatch) -> Tensor:
         """Contextual sentence states ``(B, m_max, D)`` for a padded batch.
@@ -115,18 +155,37 @@ class HierarchicalEncoder(Module):
         fancy-index on the autograd tensor, so the path is differentiable
         end to end.
         """
-        sentence_vectors = self._sentence_vectors_bucketed(batch)
-        padded = sentence_vectors[batch.gather_index]
+        return self._encode_batch(batch).contextual
+
+    def encode_batch_pretrain(
+        self, batch: DocumentBatch, mask_slots: Optional[np.ndarray] = None
+    ) -> EncodedBatch:
+        """Batched masked encoding for the SCL/DNSP objectives.
+
+        ``mask_slots`` (boolean ``(B, m_max)``) marks the sentence slots the
+        document encoder sees as the learned mask vector; the returned
+        ``fused`` embeddings stay unmasked and serve as the contrastive
+        targets, mirroring the per-document ``forward(...,
+        sentence_mask_slots=...)`` path document for document.
+        """
+        return self._encode_batch(batch, mask_slots=mask_slots)
+
+    def _encode_batch(
+        self, batch: DocumentBatch, mask_slots: Optional[np.ndarray] = None
+    ) -> EncodedBatch:
+        flat, inverse = self._sentence_vectors_bucketed(batch)
+        padded = flat[inverse[batch.gather_index]]
         padded = padded * Tensor(batch.sentence_mask[:, :, None])
-        contextual, _ = self.document_encoder.forward_batch(
+        contextual, fused = self.document_encoder.forward_batch(
             padded,
             batch.sentence_visual,
             batch.sentence_layout,
             batch.sentence_positions,
             batch.sentence_segments,
             batch.sentence_mask,
+            mask_slots=mask_slots,
         )
-        return contextual
+        return EncodedBatch(fused=fused, contextual=contextual)
 
     def summary(self) -> str:
         """Architecture overview string (the Figure-2 bench prints this)."""

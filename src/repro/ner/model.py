@@ -147,9 +147,32 @@ class NerTagger(Module):
         return self.mlp(hidden)
 
     def loss(self, features: NerFeatures) -> Tensor:
-        """Masked cross-entropy against ``features.label_ids``."""
+        """Masked cross-entropy against ``features.label_ids``.
+
+        Token-level mean over the whole batch: every valid word weighs the
+        same regardless of which example it belongs to.
+        """
         return cross_entropy(
             self.logits(features), features.label_ids, mask=features.word_mask
+        )
+
+    def loss_batch(self, features: NerFeatures) -> Tensor:
+        """Example-mean masked cross-entropy for the mini-batch engine.
+
+        Each example contributes the mean over its own valid words, then
+        examples average — so the value equals the mean of per-example
+        :meth:`loss` calls, the invariant the batched trainers and parity
+        tests rely on (plain :meth:`loss` weighs long examples more).
+        """
+        counts = features.word_mask.sum(axis=1)
+        active = counts > 0
+        weights = np.zeros_like(features.word_mask, dtype=np.float64)
+        if active.any():
+            weights[active] = features.word_mask[active] / (
+                counts[active][:, None] * int(active.sum())
+            )
+        return cross_entropy(
+            self.logits(features), features.label_ids, mask=weights
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.training import GradAccumulator
 from ..corpus.datasets import NerExample
 from ..eval.seq_metrics import entity_prf
 from ..nn import AdamW, ParamGroup, clip_grad_norm
@@ -38,6 +39,10 @@ class SelfTrainConfig:
     teacher_patience: int = 2
     iterations: int = 12           # T of Algorithm 2
     batch_size: int = 16
+    #: Mini-batches accumulated into each teacher optimizer step; raises
+    #: the effective batch to ``batch_size * grad_accumulation`` without
+    #: growing the padded forward pass.
+    grad_accumulation: int = 1
     learning_rate: float = 1e-3
     #: Student steps use a gentler rate than supervised teacher training —
     #: KL fine-tuning against the teacher's own outputs at full rate
@@ -134,7 +139,12 @@ class SelfTrainer:
     ) -> NerTagger:
         """Step 1: supervised training on distant labels with early stopping."""
         model = self.model
-        optimizer = self._optimizer(model)
+        engine = GradAccumulator(
+            self._optimizer(model),
+            model.parameters(),
+            max_grad_norm=self.config.max_grad_norm,
+            accumulation=self.config.grad_accumulation,
+        )
         best_f1 = -1.0
         best_state = None
         bad = 0
@@ -145,13 +155,14 @@ class SelfTrainer:
             for features, _ in model.featurizer.batches(
                 train, self.config.batch_size, rng=self.rng
             ):
-                optimizer.zero_grad()
                 loss = model.loss(features)
-                loss.backward()
-                clip_grad_norm(model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
+                # Unit weight keeps grad_accumulation=1 bit-identical to the
+                # classic per-batch step; accumulated windows average the
+                # micro-batch losses evenly (they are token-means already).
+                engine.backward(loss)
                 epoch_loss += float(loss.data)
                 batches += 1
+            engine.flush()
             score = self._validation_f1(model, validation)
             self.history.append(
                 {"stage": 0.0, "epoch": float(epoch),

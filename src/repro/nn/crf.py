@@ -188,14 +188,27 @@ class LinearChainCrf(Module):
     # Training
     # ------------------------------------------------------------------
     def neg_log_likelihood(
-        self, emissions: Tensor, tags: np.ndarray, mask: Optional[np.ndarray] = None
+        self,
+        emissions: Tensor,
+        tags: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        reduction: str = "mean",
     ) -> Tensor:
+        """Batched CRF NLL.  ``reduction``: ``"mean"`` (per-sequence mean —
+        the batched-training invariant: equals the mean of single-sequence
+        losses), ``"sum"``, or ``"none"`` (per-sequence vector)."""
         tags = np.asarray(tags, dtype=np.int64)
         mask = self._prepare_mask(mask, tags.shape)
         gold = self._score_sequence(emissions, tags, mask)
         log_z = self._partition(emissions, mask)
-        batch = emissions.shape[0]
-        return (log_z - gold).sum() / float(batch)
+        nll = log_z - gold
+        if reduction == "none":
+            return nll
+        if reduction == "sum":
+            return nll.sum()
+        if reduction != "mean":
+            raise ValueError(f"unknown reduction {reduction!r}")
+        return nll.sum() / float(emissions.shape[0])
 
     def _prepare_mask(self, mask, shape) -> np.ndarray:
         if mask is None:

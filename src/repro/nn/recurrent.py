@@ -104,12 +104,15 @@ class Lstm(Module):
         w_h = w[input_dim:]
         valid = None if mask is None else np.asarray(mask, dtype=np.float64)
 
-        steps = list(range(seq - 1, -1, -1) if self.reverse else range(seq))
+        # Ragged batches: steps past the longest sequence are pure padding
+        # (masking is suffix-only), where h/c are zeroed anyway — skip them.
+        limit = seq if valid is None else int(valid.sum(axis=1).max())
+        steps = list(range(limit - 1, -1, -1) if self.reverse else range(limit))
         xw = data.reshape(batch * seq, input_dim) @ w[:input_dim]
         xw = xw.reshape(batch, seq, 4 * hd) + bias.data
         h = np.zeros((batch, hd))
         c = np.zeros((batch, hd))
-        outputs = np.empty((batch, seq, hd))
+        outputs = np.zeros((batch, seq, hd))
         cache = {}
         for t in steps:
             h_prev = h
@@ -197,8 +200,10 @@ class Lstm(Module):
         xw = xw.reshape(batch, seq, 4 * hd) + self.cell.bias.data
         h = np.zeros((batch, hd))
         c = np.zeros((batch, hd))
-        outputs = np.empty((batch, seq, hd))
-        steps = range(seq - 1, -1, -1) if self.reverse else range(seq)
+        outputs = np.zeros((batch, seq, hd))
+        # As in training: fully-padded trailing steps contribute zeros.
+        limit = seq if valid is None else int(valid.sum(axis=1).max())
+        steps = range(limit - 1, -1, -1) if self.reverse else range(limit)
         for t in steps:
             gates = xw[:, t] + h @ w_h
             i = _sigmoid(gates[:, :hd])

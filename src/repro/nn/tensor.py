@@ -427,6 +427,15 @@ class Tensor:
             if not self.requires_grad:
                 return
             full = np.zeros_like(self.data)
+            if isinstance(index, np.ndarray) and index.dtype.kind in "iu":
+                # Gathers whose rows are all distinct (inverse permutations,
+                # padded-batch scatters) don't need the slow unbuffered
+                # np.add.at — a plain fancy assignment is the same scatter.
+                flat = index.ravel()
+                if flat.size == np.unique(flat).size:
+                    full[flat] = grad.reshape((flat.size,) + full.shape[1:])
+                    self._accumulate(full)
+                    return
             np.add.at(full, index, grad)
             self._accumulate(full)
 

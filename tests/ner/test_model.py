@@ -194,3 +194,28 @@ class TestNerTagger:
         predictions = tagger.predict(examples)
         assert predictions[0][:2] == ["B-Name", "I-Name"]
         assert predictions[1][5] == "B-Date"
+
+
+class TestLossBatch:
+    def test_equals_mean_of_per_example_losses(self, tagger, corpus):
+        examples = corpus.train[:4]
+        tagger.eval()  # dropout off so both paths see identical activations
+        batched = float(tagger.loss_batch(tagger.featurizer.featurize(examples)).data)
+        singles = [
+            float(tagger.loss(tagger.featurizer.featurize([e])).data)
+            for e in examples
+        ]
+        assert batched == pytest.approx(np.mean(singles), abs=1e-6)
+
+    def test_differs_from_token_mean_on_ragged_batch(self, tagger, corpus):
+        # Ragged batches are exactly where example-mean and token-mean
+        # weighting disagree; equality would mean loss_batch is miswired.
+        examples = sorted(corpus.train[:6], key=lambda e: len(e.words))
+        ragged = [examples[0], examples[-1]]
+        if len(examples[0].words) == len(examples[-1].words):
+            pytest.skip("corpus produced uniform lengths")
+        tagger.eval()
+        features = tagger.featurizer.featurize(ragged)
+        assert float(tagger.loss_batch(features).data) != pytest.approx(
+            float(tagger.loss(features).data), abs=1e-12
+        )
