@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test bench bench-perf bench-train examples clean
+.PHONY: install test lint gradcheck bench bench-perf bench-train examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,14 @@ test:
 
 test-slow:
 	python -m pytest tests/ -m slow
+
+# Framework-invariant linter (rules RN001-RN006); must exit 0.
+lint:
+	PYTHONPATH=src python -m repro.analysis.lint src/ tests/ benchmarks/
+
+# Numerical-gradient sweep over every differentiable nn op.
+gradcheck:
+	PYTHONPATH=src python -m repro.analysis.gradcheck
 
 bench: bench-perf
 	python -m pytest benchmarks/ --benchmark-only

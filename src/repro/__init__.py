@@ -16,8 +16,8 @@ Public entry points:
 * :mod:`repro.eval` — the paper's area-based and IOB metrics.
 """
 
+# Importing the module applies the single-thread default (setdefault, so
+# user-provided env values win); an explicit count here would override them.
 from ._threads import limit_blas_threads
-
-limit_blas_threads(1)
 
 __version__ = "1.0.0"

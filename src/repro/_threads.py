@@ -15,6 +15,7 @@ applied retroactively; set ``OMP_NUM_THREADS=1`` in the environment instead
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 _ENV_VARS = (
     "OMP_NUM_THREADS",
@@ -24,10 +25,25 @@ _ENV_VARS = (
 )
 
 
-def limit_blas_threads(count: int = 1) -> None:
-    """Cap BLAS threads via environment (no-op for already-loaded BLAS)."""
+def limit_blas_threads(count: Optional[int] = None) -> None:
+    """Cap BLAS threads via environment (no-op for already-loaded BLAS).
+
+    With ``count=None`` (the default, used at ``repro`` import time) each
+    thread-count variable is only *defaulted* to 1, so values the user set
+    in the environment win.  An explicit ``count`` is a request and
+    overrides pre-set variables — callers who pass one expect it honoured.
+
+    Either way the variables only take effect for BLAS libraries loaded
+    afterwards.  If numpy is already imported, set the variables before
+    starting Python instead; the repo's root and benchmark ``conftest.py``
+    files do exactly that (``os.environ.setdefault`` before any test
+    import) as the fallback for test runs that bypass this module.
+    """
     for var in _ENV_VARS:
-        os.environ.setdefault(var, str(count))
+        if count is None:
+            os.environ.setdefault(var, "1")
+        else:
+            os.environ[var] = str(count)
 
 
-limit_blas_threads(1)
+limit_blas_threads()

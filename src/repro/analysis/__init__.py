@@ -1,0 +1,47 @@
+"""Correctness tooling for the hand-rolled autograd substrate.
+
+Three layers of defence against silent invariant violations in
+:mod:`repro.nn` and its clients:
+
+* :mod:`repro.analysis.lint` — an AST-based, repo-specific linter
+  (``python -m repro.analysis.lint src/ tests/ benchmarks/``) enforcing
+  the framework's static contracts (rules RN001–RN006).
+* :mod:`repro.analysis.gradcheck` — central-difference numerical gradient
+  checking plus a sweep harness that auto-discovers every differentiable
+  op in the substrate and checks it at broadcasting, zero-size and
+  length-masked shapes (``python -m repro.analysis.gradcheck``).
+* :mod:`repro.analysis.graph_audit` — dynamic graph-integrity checks
+  (dead parameters, stale gradients, NaN/Inf anomaly mode, cross-step
+  leak detection) usable as a context manager around a training step.
+
+Submodules are loaded lazily: the linter is pure-stdlib and must stay
+importable (and fast) without pulling numpy in, e.g. in the CI lint job.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS = {
+    "Finding": "lint",
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "GradcheckFailure": "gradcheck",
+    "GradcheckResult": "gradcheck",
+    "gradcheck": "gradcheck",
+    "run_sweep": "gradcheck",
+    "GraphAudit": "graph_audit",
+    "GraphAuditError": "graph_audit",
+    "graph_audit": "graph_audit",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

@@ -1,0 +1,250 @@
+"""Dynamic graph-integrity auditing for training steps.
+
+Wrap a training step to catch the silent failure modes of the autograd
+substrate at runtime:
+
+* **dead parameters** — parameters with ``requires_grad`` that are not
+  reachable from the loss (a detached path, a forgotten module);
+* **stale gradients** — ``.grad`` already accumulated on *non-leaf*
+  graph nodes before backward, the signature of a reused subgraph or a
+  double backward;
+* **anomaly mode** — NaN/Inf gradients after backward, attributed to the
+  op whose backward closure produced them;
+* **leak detection** — graph nodes from a previous step still alive when
+  the next step starts, observed through weak references (the same
+  weakref-guard idiom as the featurization caches), i.e. a reference
+  cycle or a stray strong reference retaining whole graphs.
+
+Usage, persistent across steps (enables leak detection)::
+
+    audit = GraphAudit(model)
+    for batch in batches:
+        with audit.step():
+            loss = compute_loss(model, batch)
+            audit.watch(loss)
+            loss.backward()
+            optimizer.step(); optimizer.zero_grad()
+
+or one-shot around a single step::
+
+    with graph_audit(model) as audit:
+        loss = compute_loss(model, batch)
+        audit.watch(loss)
+        loss.backward()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["GraphAudit", "GraphAuditError", "graph_audit"]
+
+
+class GraphAuditError(RuntimeError):
+    """A graph-integrity invariant was violated during a training step."""
+
+
+def _op_name(node: Tensor) -> str:
+    """Human-readable op name from a node's backward closure."""
+    backward = node._backward
+    if backward is None:
+        return "leaf"
+    qualname = getattr(backward, "__qualname__", "")
+    parts = qualname.split(".")
+    # Closures are named like ``Tensor.__mul__.<locals>.backward`` or
+    # ``_fused_log_partition.<locals>.backward`` — the op is the segment
+    # before ``<locals>``.
+    if len(parts) >= 3 and parts[-2] == "<locals>":
+        return parts[-3]
+    return qualname or "<unknown op>"
+
+
+def _reachable(loss: Tensor) -> Dict[int, Tensor]:
+    """All graph nodes reachable from ``loss`` through parent edges."""
+    nodes: Dict[int, Tensor] = {}
+    stack: List[Tensor] = [loss]
+    while stack:
+        node = stack.pop()
+        if id(node) in nodes:
+            continue
+        nodes[id(node)] = node
+        stack.extend(node._parents)
+    return nodes
+
+
+ParameterSource = Union[None, Iterable, object]
+
+
+def _named_parameters(parameters: ParameterSource) -> List[Tuple[str, Tensor]]:
+    if parameters is None:
+        return []
+    named = getattr(parameters, "named_parameters", None)
+    if callable(named):
+        return list(named())
+    result: List[Tuple[str, Tensor]] = []
+    for i, entry in enumerate(parameters):
+        if isinstance(entry, Tensor):
+            result.append((f"param[{i}]", entry))
+        else:
+            name, tensor = entry
+            result.append((str(name), tensor))
+    return result
+
+
+class GraphAudit:
+    """Audits training steps for graph-integrity violations.
+
+    ``parameters`` may be a module (anything with ``named_parameters()``),
+    an iterable of ``(name, Tensor)`` pairs, an iterable of tensors, or
+    None (disables the dead-parameter check).  Keep one instance across
+    steps: leak detection compares each step's graph against weak
+    references recorded at the end of the previous one.
+    """
+
+    def __init__(
+        self,
+        parameters: ParameterSource = None,
+        *,
+        check_dead_params: bool = True,
+        check_stale_grads: bool = True,
+        check_leaks: bool = True,
+        anomaly: bool = True,
+    ):
+        self._parameters = _named_parameters(parameters)
+        self.check_dead_params = check_dead_params and bool(self._parameters)
+        self.check_stale_grads = check_stale_grads
+        self.check_leaks = check_leaks
+        self.anomaly = anomaly
+        self._watched: Dict[int, Tensor] = {}
+        self._previous: List[Tuple[weakref.ref, str]] = []
+
+    # ------------------------------------------------------------------
+    def watch(self, loss: Tensor) -> Tensor:
+        """Inspect the graph under ``loss`` before backward.
+
+        Raises :class:`GraphAuditError` on dead parameters, stale
+        non-leaf gradients, or nodes leaked from the previous step.
+        Returns ``loss`` unchanged so it can wrap the loss expression.
+        """
+        nodes = _reachable(loss)
+
+        if self.check_leaks and self._previous:
+            leaked = sorted(
+                {
+                    name
+                    for ref, name in self._previous
+                    if ref() is not None and id(ref()) not in nodes
+                }
+            )
+            self._previous = []
+            if leaked:
+                raise GraphAuditError(
+                    "graph nodes from the previous step are still alive "
+                    f"(ops: {', '.join(leaked)}); a stray reference or "
+                    "cycle is retaining old computation graphs"
+                )
+        else:
+            self._previous = []
+
+        if self.check_dead_params:
+            dead = [
+                name
+                for name, parameter in self._parameters
+                if parameter.requires_grad and id(parameter) not in nodes
+            ]
+            if dead:
+                raise GraphAuditError(
+                    f"parameter(s) unreachable from the loss: {', '.join(dead)}; "
+                    "they will receive no gradient this step"
+                )
+
+        if self.check_stale_grads:
+            stale = sorted(
+                {
+                    _op_name(node)
+                    for node in nodes.values()
+                    if node._backward is not None and node.grad is not None
+                }
+            )
+            if stale:
+                raise GraphAuditError(
+                    "non-leaf node(s) already carry .grad before backward "
+                    f"(ops: {', '.join(stale)}); the graph was reused or "
+                    "backward ran twice"
+                )
+
+        self._watched = nodes
+        return loss
+
+    def finish(self) -> None:
+        """Post-backward checks; called automatically by :meth:`step`."""
+        nodes, self._watched = self._watched, {}
+
+        refs: List[Tuple[weakref.ref, str]] = []
+        if self.check_leaks:
+            for node in nodes.values():
+                if node._backward is not None:
+                    refs.append((weakref.ref(node), _op_name(node)))
+        self._previous = refs
+
+        if self.anomaly:
+            # Blame the backward closure that *wrote* the bad value: the
+            # ops of the children that accumulated into the node (falling
+            # back to the node's own op for the seed of the backward pass).
+            children: Dict[int, List[Tensor]] = {}
+            for node in nodes.values():
+                for parent in node._parents:
+                    children.setdefault(id(parent), []).append(node)
+            bad = set()
+            for node in nodes.values():
+                if node.grad is None or np.all(np.isfinite(node.grad)):
+                    continue
+                writers = children.get(id(node))
+                if writers:
+                    bad.update(_op_name(writer) for writer in writers)
+                else:
+                    bad.add(_op_name(node))
+            if bad:
+                raise GraphAuditError(
+                    f"non-finite gradient(s) produced by: {', '.join(sorted(bad))}"
+                )
+
+    def assert_released(self) -> None:
+        """Fail if any node recorded at the last :meth:`finish` survives."""
+        leaked = sorted(
+            {name for ref, name in self._previous if ref() is not None}
+        )
+        if leaked:
+            raise GraphAuditError(
+                f"graph nodes still alive after the step (ops: {', '.join(leaked)})"
+            )
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def step(self):
+        """Context manager around one training step.
+
+        Call :meth:`watch` on the loss inside the block; the post-backward
+        anomaly scan and leak bookkeeping run on exit.
+        """
+        try:
+            yield self
+        except BaseException:
+            self._watched = {}
+            raise
+        else:
+            self.finish()
+
+
+@contextlib.contextmanager
+def graph_audit(parameters: ParameterSource = None, **options):
+    """One-shot :class:`GraphAudit` around a single training step."""
+    audit = GraphAudit(parameters, **options)
+    with audit.step():
+        yield audit

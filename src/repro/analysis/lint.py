@@ -1,0 +1,684 @@
+"""Framework-invariant linter for the ``repro.nn`` autograd substrate.
+
+The hand-rolled autograd engine (:mod:`repro.nn.tensor`) makes a handful of
+contracts that nothing in Python enforces: graph tensors must not be mutated
+in place, backward closures of broadcastable ops must reduce gradients back
+to operand shapes, randomness must be injected, inference must not record
+graphs.  A violation does not raise — it silently corrupts gradients or
+leaks memory.  This module checks those contracts statically.
+
+Run it over the repo::
+
+    python -m repro.analysis.lint src/ tests/ benchmarks/
+
+Rules
+-----
+RN001  no in-place mutation of ``Tensor.data`` / ``Tensor.grad`` outside
+       backward closures, accumulation internals or ``no_grad`` blocks
+RN002  backward closures of broadcastable binary ops must route gradients
+       through ``_unbroadcast`` (or an explicit reduction)
+RN003  no unseeded / legacy / default-argument RNG inside ``src/repro``
+RN004  ``predict*`` entry points must run graph-building calls under
+       ``no_grad``
+RN005  no ``os.environ`` writes outside ``_threads.py`` / ``conftest.py``
+RN006  public ``nn`` ops must not wrap graph-derived arrays in raw
+       ``Tensor(...)`` constructors (use ``Tensor._make``) unless guarded
+       by ``is_grad_enabled``
+
+Suppression
+-----------
+Append ``# repro-lint: disable=RN001`` (comma-separated codes, or ``all``)
+to the offending line, or place it alone on the line directly above.  Every
+suppression is expected to carry a justification in the surrounding
+comment.
+
+Reporters: human-readable text (default) and ``--format json``.  Exit code
+is 0 when no findings survive suppression, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = ["Finding", "Rule", "RULES", "lint_source", "lint_paths", "main"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of codes disabled there.
+
+    A directive covers its own line; a directive on a line whose code part
+    is blank (a standalone comment) also covers the line below it.
+    """
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+        table.setdefault(number, set()).update(codes)
+        if text[: match.start()].strip() == "":
+            table.setdefault(number + 1, set()).update(codes)
+    return table
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _annotate_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def _ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    """Trailing name of a call target: ``no_grad`` for ``nn.no_grad``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _under_no_grad(node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``with no_grad():`` block."""
+    for ancestor in _ancestors(node):
+        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+            for item in ancestor.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call) and _call_name(expr.func) == "no_grad":
+                    return True
+    return False
+
+
+def _enclosing_function_names(node: ast.AST) -> List[str]:
+    return [
+        ancestor.name
+        for ancestor in _ancestors(node)
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _subtree_has(node: ast.AST, predicate) -> bool:
+    return any(predicate(child) for child in ast.walk(node))
+
+
+def _mentions_data_attr(node: ast.AST) -> bool:
+    return _subtree_has(
+        node, lambda n: isinstance(n, ast.Attribute) and n.attr in ("data", "grad")
+    )
+
+
+def _is_data_or_grad_attribute(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in ("data", "grad")
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted rendering of an attribute chain (else '')."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class FileContext:
+    """Parsed file plus the lookup tables the rules share."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        _annotate_parents(self.tree)
+        self.suppressed = _suppressions(self.lines)
+        normalized = Path(path).as_posix()
+        self.in_library = "repro/" in normalized and "/tests/" not in normalized
+        self.in_nn = "repro/nn/" in normalized
+        self.filename = Path(path).name
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressed.get(line, set())
+        return code.upper() in codes or "ALL" in codes
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """A pluggable lint rule; subclasses yield findings from a context."""
+
+    code = "RN000"
+    title = ""
+    rationale = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class InPlaceGraphMutation(Rule):
+    code = "RN001"
+    title = "in-place mutation of Tensor.data / Tensor.grad"
+    rationale = (
+        "Mutating a tensor that may be referenced by a live autograd graph "
+        "silently corrupts the cached activations its backward closures "
+        "read.  Mutations are only safe inside backward closures, the "
+        "accumulation internals, or an explicit no_grad block."
+    )
+
+    #: numpy calls that mutate their first array argument in place.
+    MUTATING_NP_CALLS = {
+        "add.at",
+        "subtract.at",
+        "multiply.at",
+        "copyto",
+        "put",
+        "put_along_axis",
+        "place",
+        "putmask",
+        "fill_diagonal",
+    }
+    #: functions whose body is allowed to mutate (autograd internals and
+    #: gradient bookkeeping that runs strictly outside graph recording).
+    ALLOWED_FUNCTIONS = {"backward", "_backward", "_accumulate", "zero_grad"}
+
+    def _allowed(self, node: ast.AST) -> bool:
+        if _under_no_grad(node):
+            return True
+        return any(
+            name in self.ALLOWED_FUNCTIONS
+            for name in _enclosing_function_names(node)
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                hit = _is_data_or_grad_attribute(target) or (
+                    isinstance(target, ast.Subscript)
+                    and _is_data_or_grad_attribute(target.value)
+                )
+                if hit and not self._allowed(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "augmented assignment mutates a graph tensor's "
+                        f"`{_dotted(target if not isinstance(target, ast.Subscript) else target.value) or 'data'}` "
+                        "in place; wrap in no_grad() or move into a "
+                        "backward closure",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and _is_data_or_grad_attribute(
+                        target.value
+                    ):
+                        if not self._allowed(node):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                "fancy assignment writes into a graph "
+                                "tensor's buffer in place; wrap in "
+                                "no_grad() or copy first",
+                            )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                tail = ".".join(name.split(".")[-2:]) if "." in name else name
+                if (
+                    tail in self.MUTATING_NP_CALLS
+                    or name.split(".")[-1] in {"copyto", "fill_diagonal", "putmask", "place", "put"}
+                ) and node.args:
+                    if _mentions_data_attr(node.args[0]) and not self._allowed(node):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"mutating numpy call `{name}` targets a graph "
+                            "tensor's buffer outside a backward closure / "
+                            "no_grad block",
+                        )
+
+
+class MissingUnbroadcast(Rule):
+    code = "RN002"
+    title = "backward closure bypasses _unbroadcast"
+    rationale = (
+        "A binary op's backward must reduce the incoming gradient back to "
+        "each operand's shape; accumulating a raw or merely elementwise-"
+        "scaled `grad` silently mis-shapes gradients whenever numpy "
+        "broadcasting widened an operand."
+    )
+
+    REDUCTIONS = {"sum", "mean", "squeeze", "reshape", "einsum", "tensordot"}
+
+    def _is_guarded(self, arg: ast.AST) -> bool:
+        def guard(n: ast.AST) -> bool:
+            if isinstance(n, ast.Call):
+                name = _call_name(n.func)
+                if name == "_unbroadcast" or name in self.REDUCTIONS:
+                    return True
+                if _dotted(n.func).endswith("add.at"):
+                    return True
+            return False
+
+        return _subtree_has(arg, guard)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef) or node.name != "backward":
+                continue
+            calls = [
+                call
+                for call in ast.walk(node)
+                if isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "_accumulate"
+                and call.args
+            ]
+            receivers = {_dotted(call.func.value) for call in calls}
+            if len(receivers) < 2:
+                continue  # unary op: output shape equals operand shape
+            for call in calls:
+                arg = call.args[0]
+                raw_passthrough = isinstance(arg, ast.Name) and arg.id == "grad"
+                unguarded_binop = (
+                    isinstance(arg, ast.BinOp)
+                    and _subtree_has(
+                        arg, lambda n: isinstance(n, ast.Name) and n.id == "grad"
+                    )
+                    and not self._is_guarded(arg)
+                )
+                if raw_passthrough or unguarded_binop:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        "gradient accumulated in a multi-operand backward "
+                        "closure without _unbroadcast or an explicit "
+                        "shape-preserving reduction",
+                    )
+
+
+class UnseededRng(Rule):
+    code = "RN003"
+    title = "unseeded or legacy RNG in library code"
+    rationale = (
+        "The batched-training parity tests replay exact RNG streams; any "
+        "np.random legacy-global call, unseeded default_rng(), or RNG "
+        "constructed in a default argument breaks replay.  Library code "
+        "must accept an injected numpy Generator."
+    )
+
+    LEGACY_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+    RANDOM_MODULE_FNS = {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "betavariate",
+        "expovariate",
+    }
+
+    def _rng_calls(self, root: ast.AST) -> Iterator[ast.Call]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                yield node
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        for node in self._rng_calls(ctx.tree):
+            name = _dotted(node.func)
+            if name.startswith("np.random.") or name.startswith("numpy.random."):
+                tail = name.split(".")[-1]
+                if tail == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "irreproducible; pass an explicit seed or accept "
+                        "an injected Generator",
+                    )
+                elif tail not in self.LEGACY_OK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-state RNG `{name}` in library code; "
+                        "use an injected np.random.Generator",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in self.RANDOM_MODULE_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`random.{node.func.attr}` uses the process-global "
+                    "RNG; use an injected np.random.Generator",
+                )
+        # RNGs in default arguments are evaluated once at def time and
+        # shared by every call — seeded or not, they alias state.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _subtree_has(
+                    default,
+                    lambda n: isinstance(n, ast.Call)
+                    and _call_name(n.func) == "default_rng",
+                ):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "RNG constructed in a default argument is shared "
+                        "across calls; default to None and construct in "
+                        "the body",
+                    )
+
+
+class PredictWithoutNoGrad(Rule):
+    code = "RN004"
+    title = "predict path builds a graph"
+    rationale = (
+        "Inference entry points that run forward passes outside no_grad "
+        "record autograd history for every batch: memory grows with "
+        "traffic and a stray .backward() corrupts parameters mid-serving."
+    )
+
+    #: methods that run a graph-building forward pass.
+    GRAPH_CALLS = {
+        "emissions",
+        "emissions_batch",
+        "logits",
+        "word_states",
+        "_states",
+        "boundary_logits",
+        "encode_batch",
+        "encode_batch_pretrain",
+        "forward",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("predict"):
+                continue
+            for call in ast.walk(node):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in self.GRAPH_CALLS
+                    and not _under_no_grad(call)
+                ):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"`{node.name}` calls graph-building "
+                        f"`{call.func.attr}` outside a no_grad() block",
+                    )
+
+
+class EnvWriteOutsideThreads(Rule):
+    code = "RN005"
+    title = "os.environ write outside _threads.py"
+    rationale = (
+        "Thread-count environment variables only act before numpy loads; "
+        "scattered os.environ writes race the import order and silently "
+        "do nothing.  All environment policy lives in repro._threads "
+        "(with conftest.py as the documented test-session fallback)."
+    )
+
+    ALLOWED_FILES = {"_threads.py", "conftest.py"}
+    WRITE_METHODS = {"setdefault", "update", "pop", "clear", "popitem"}
+
+    def _is_environ(self, node: ast.AST) -> bool:
+        return _dotted(node) in ("os.environ", "environ")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.filename in self.ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            flagged = False
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                flagged = any(
+                    isinstance(t, ast.Subscript) and self._is_environ(t.value)
+                    for t in targets
+                )
+            elif isinstance(node, ast.Delete):
+                flagged = any(
+                    isinstance(t, ast.Subscript) and self._is_environ(t.value)
+                    for t in node.targets
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                flagged = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self.WRITE_METHODS
+                    and self._is_environ(func.value)
+                ) or _dotted(func) in ("os.putenv", "os.unsetenv")
+            if flagged:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "environment mutated outside repro._threads / "
+                    "conftest.py; route thread policy through "
+                    "limit_blas_threads",
+                )
+
+
+class RawTensorInNnOp(Rule):
+    code = "RN006"
+    title = "raw Tensor() wraps graph-derived data in an nn op"
+    rationale = (
+        "Constructing `Tensor(x.data ...)` inside a public nn op severs "
+        "the result from the graph and drops requires_grad propagation; "
+        "children must be created through `Tensor._make` (or guarded by "
+        "`is_grad_enabled` on a dedicated inference path)."
+    )
+
+    def _grad_guarded(self, node: ast.AST) -> bool:
+        for ancestor in _ancestors(node):
+            if isinstance(ancestor, ast.If) and _subtree_has(
+                ancestor.test,
+                lambda n: (isinstance(n, ast.Name) and n.id == "is_grad_enabled")
+                or (isinstance(n, ast.Attribute) and n.attr == "is_grad_enabled"),
+            ):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_nn:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "Tensor"
+                and node.args
+            ):
+                continue
+            names = _enclosing_function_names(node)
+            if not names or names[0].startswith("_") or names[0] == "backward":
+                continue
+            if not _mentions_data_attr(node.args[0]):
+                continue
+            if self._grad_guarded(node) or _under_no_grad(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"public op `{names[0]}` wraps graph-derived data in a raw "
+                "Tensor(); route through Tensor._make or guard with "
+                "is_grad_enabled",
+            )
+
+
+RULES: List[Rule] = [
+    InPlaceGraphMutation(),
+    MissingUnbroadcast(),
+    UnseededRng(),
+    PredictWithoutNoGrad(),
+    EnvWriteOutsideThreads(),
+    RawTensorInNnOp(),
+]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one source string; returns surviving (unsuppressed) findings."""
+    ctx = FileContext(path, source)
+    findings: List[Finding] = []
+    for rule in rules or RULES:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and candidate.suffix == ".py":
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(
+                Finding(str(file_path), 1, 1, "RN000", f"unreadable file: {error}")
+            )
+            continue
+        try:
+            findings.extend(lint_source(source, str(file_path), rules))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    str(file_path),
+                    error.lineno or 1,
+                    (error.offset or 0) + 1,
+                    "RN000",
+                    f"syntax error: {error.msg}",
+                )
+            )
+    return findings
+
+
+def _render_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: no findings"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {
+            "findings": [asdict(finding) for finding in findings],
+            "count": len(findings),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Framework-invariant linter for the repro.nn substrate.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/"], help="files or dirs")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    findings = lint_paths(args.paths)
+    renderer = _render_json if args.format == "json" else _render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

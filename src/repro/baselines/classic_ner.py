@@ -124,10 +124,10 @@ class Word2VecBiLstmCrf(Module):
         return losses
 
     def predict(self, examples: Sequence[NerExample]) -> List[List[str]]:
-        ids, _, mask = self.encode_batch(examples)
-        mask[:, 0] = 1.0
         self.eval()
         with no_grad():
+            ids, _, mask = self.encode_batch(examples)
+            mask[:, 0] = 1.0
             emissions = self.emissions(ids)
         paths = self.crf.decode(emissions, mask)
         out: List[List[str]] = []

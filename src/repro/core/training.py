@@ -20,7 +20,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..nn import clip_grad_norm
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 
 __all__ = ["GradAccumulator", "iter_minibatches"]
 
@@ -79,9 +79,10 @@ class GradAccumulator:
     def _apply(self) -> None:
         if self._weight != 1.0:
             scale = 1.0 / self._weight
-            for parameter in self.parameters:
-                if parameter.grad is not None:
-                    parameter.grad *= scale
+            with no_grad():
+                for parameter in self.parameters:
+                    if parameter.grad is not None:
+                        parameter.grad *= scale
         if self.max_grad_norm is not None:
             clip_grad_norm(self.parameters, self.max_grad_norm)
         self.optimizer.step()

@@ -9,7 +9,7 @@ import numpy as np
 from . import init
 from .functional import gelu
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "Mlp"]
 
@@ -55,7 +55,8 @@ class Embedding(Module):
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng))
         self.padding_idx = padding_idx
         if padding_idx is not None:
-            self.weight.data[padding_idx] = 0.0
+            with no_grad():
+                self.weight.data[padding_idx] = 0.0
 
     def forward(self, ids) -> Tensor:
         ids = np.asarray(ids, dtype=np.int64)

@@ -8,6 +8,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from .module import Parameter
+from .tensor import no_grad
 
 __all__ = [
     "Sgd",
@@ -70,17 +71,18 @@ class Sgd(_Optimizer):
         self._snapshot_lrs()
 
     def step(self) -> None:
-        for group, velocities in zip(self.groups, self._velocity):
-            for param, velocity in zip(group.params, velocities):
-                if param.grad is None:
-                    continue
-                if self.momentum:
-                    velocity *= self.momentum
-                    velocity += param.grad
-                    update = velocity
-                else:
-                    update = param.grad
-                param.data -= group.lr * update
+        with no_grad():
+            for group, velocities in zip(self.groups, self._velocity):
+                for param, velocity in zip(group.params, velocities):
+                    if param.grad is None:
+                        continue
+                    if self.momentum:
+                        velocity *= self.momentum
+                        velocity += param.grad
+                        update = velocity
+                    else:
+                        update = param.grad
+                    param.data -= group.lr * update
 
 
 class Adam(_Optimizer):
@@ -106,25 +108,26 @@ class Adam(_Optimizer):
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for gi, group in enumerate(self.groups):
-            for pi, param in enumerate(group.params):
-                if param.grad is None:
-                    continue
-                grad = param.grad
-                if self.weight_decay and not self._decoupled():
-                    grad = grad + self.weight_decay * param.data
-                m = self._m[gi][pi]
-                v = self._v[gi][pi]
-                m *= self.beta1
-                m += (1.0 - self.beta1) * grad
-                v *= self.beta2
-                v += (1.0 - self.beta2) * grad**2
-                m_hat = m / bias1
-                v_hat = v / bias2
-                update = m_hat / (np.sqrt(v_hat) + self.eps)
-                if self.weight_decay and self._decoupled():
-                    update = update + self.weight_decay * param.data
-                param.data -= group.lr * update
+        with no_grad():
+            for gi, group in enumerate(self.groups):
+                for pi, param in enumerate(group.params):
+                    if param.grad is None:
+                        continue
+                    grad = param.grad
+                    if self.weight_decay and not self._decoupled():
+                        grad = grad + self.weight_decay * param.data
+                    m = self._m[gi][pi]
+                    v = self._v[gi][pi]
+                    m *= self.beta1
+                    m += (1.0 - self.beta1) * grad
+                    v *= self.beta2
+                    v += (1.0 - self.beta2) * grad**2
+                    m_hat = m / bias1
+                    v_hat = v / bias2
+                    update = m_hat / (np.sqrt(v_hat) + self.eps)
+                    if self.weight_decay and self._decoupled():
+                        update = update + self.weight_decay * param.data
+                    param.data -= group.lr * update
 
     def _decoupled(self) -> bool:
         return False
@@ -146,8 +149,9 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
-        for param in params:
-            param.grad *= scale
+        with no_grad():
+            for param in params:
+                param.grad *= scale
     return total
 
 

@@ -73,7 +73,9 @@ def as_tensor(value: ArrayLike, requires_grad: bool = False) -> "Tensor":
 class Tensor:
     """A numpy array with an optional gradient and autograd history."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    # __weakref__ lets diagnostics (repro.analysis.graph_audit) observe
+    # graph-node lifetimes without keeping them alive.
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "__weakref__")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -108,7 +110,8 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data)
+        # Severing requires_grad propagation is the entire point here.
+        return Tensor(self.data)  # repro-lint: disable=RN006
 
     def __len__(self) -> int:
         return len(self.data)
@@ -254,8 +257,10 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:
-                self._accumulate(grad * b)
-                other._accumulate(grad * a)
+                # 1-D dot product: grad is a scalar and both operand
+                # shapes are exact, so no broadcast reduction can apply.
+                self._accumulate(grad * b)  # repro-lint: disable=RN002
+                other._accumulate(grad * a)  # repro-lint: disable=RN002
                 return
             if a.ndim == 1:
                 # (k,) @ (..., k, n) -> (..., n)

@@ -1,0 +1,130 @@
+"""Gradcheck: the sweep must pass on the real substrate, coverage must be
+enforced for new ops, and a deliberately broken backward must be caught."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gradcheck import (
+    MAX_TOLERANCE,
+    SPECS,
+    _register_all_specs,
+    discover_ops,
+    gradcheck,
+    run_sweep,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestGradcheckCore:
+    def test_correct_op_passes(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        result = gradcheck(lambda x, y: x * y, [a, b], name="mul-broadcast")
+        assert result.ok, result.render()
+        assert result.checked == 9
+
+    def test_broken_backward_fails(self):
+        """The seeded mutation: a backward closure with the wrong operand
+        must produce failures, proving the checker has teeth."""
+        rng = np.random.default_rng(1)
+
+        def broken_mul(a, b):
+            out = a.data * b.data
+
+            def backward(grad):
+                # Deliberately wrong backward — the subject under test.
+                # repro-lint: disable=RN002
+                a._accumulate(grad * b.data)
+                b._accumulate(grad * b.data)  # repro-lint: disable=RN002
+
+            return a._make(out, (a, b), backward)
+
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        result = gradcheck(broken_mul, [a, b], name="broken-mul")
+        assert not result.ok
+        assert result.failures
+        assert all(f.tensor == "input[1]" for f in result.failures)
+
+    def test_missing_unbroadcast_fails(self):
+        """Dropping the broadcast reduction (the RN002 mutation) shows up
+        numerically too: the accumulated shape error raises, which the
+        checker should surface as a failure rather than crash the suite."""
+        rng = np.random.default_rng(2)
+
+        def broken_add(a, b):
+            out = a.data + b.data
+
+            def backward(grad):
+                # Deliberately missing _unbroadcast — the subject under test.
+                # repro-lint: disable=RN002
+                a._accumulate(grad)
+                b._accumulate(grad)  # repro-lint: disable=RN002
+
+            return a._make(out, (a, b), backward)
+
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            gradcheck(broken_add, [a, b], name="broken-add")
+
+    def test_tolerances_capped(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x, [Tensor([1.0])], atol=1e-3)
+        with pytest.raises(ValueError):
+            gradcheck(lambda x: x, [Tensor([1.0])], rtol=1e-2)
+
+    def test_inputs_restored_after_check(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.standard_normal((2, 2)), requires_grad=True)
+        before = a.data.copy()
+        gradcheck(lambda x: x * x, [a])
+        np.testing.assert_array_equal(a.data, before)
+
+
+class TestSweep:
+    def test_discovery_covers_all_swept_modules(self):
+        ops = discover_ops()
+        for expected in ("softmax", "Linear", "MultiHeadSelfAttention",
+                         "Lstm", "LinearChainCrf"):
+            assert expected in ops
+
+    def test_every_discovered_op_has_a_spec(self):
+        _register_all_specs()
+        from repro.analysis.gradcheck import NON_DIFFERENTIABLE
+
+        for op_name in discover_ops():
+            assert op_name in SPECS or op_name in NON_DIFFERENTIABLE, (
+                f"{op_name} is exported but has no gradcheck spec"
+            )
+
+    def test_unregistered_op_fails_sweep(self, monkeypatch):
+        _register_all_specs()
+        monkeypatch.delitem(SPECS, "softmax")
+        results = run_sweep(only=["softmax"])
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "no gradcheck spec" in results[0].error
+
+    def test_unknown_selected_op_fails_loudly(self):
+        # A typo'd --ops name must not silently select nothing.
+        results = run_sweep(only=["lstm"])  # spec is keyed "Lstm"
+        assert len(results) == 1
+        assert not results[0].ok
+        assert "not a discovered op" in results[0].error
+
+    def test_full_sweep_passes(self):
+        """The CI gate: every op, every registered shape case, float64,
+        tolerance <= 1e-4."""
+        results = run_sweep()
+        failed = [result for result in results if not result.ok]
+        assert not failed, "\n".join(result.render() for result in failed)
+        # Broadcasting, zero-size and masked cases are all represented.
+        labels = " ".join(result.name for result in results)
+        assert "zero-size" in labels
+        assert "masked" in labels
+        assert "broadcast" in labels
+
+    def test_max_tolerance_is_the_required_gate(self):
+        assert MAX_TOLERANCE <= 1e-4

@@ -1,0 +1,140 @@
+"""Graph audit: dead params, stale grads, anomaly mode, leak detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.graph_audit import GraphAudit, GraphAuditError, graph_audit
+from repro.nn import Linear, ParamGroup, Sgd
+from repro.nn.tensor import Tensor
+
+
+def make_model(seed=0):
+    return Linear(3, 2, rng=np.random.default_rng(seed))
+
+
+def loss_of(model, x):
+    return (model(x) * model(x)).sum()
+
+
+class TestDeadParams:
+    def test_clean_step_passes(self):
+        model = make_model()
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        with graph_audit(model) as audit:
+            loss = loss_of(model, x)
+            audit.watch(loss)
+            loss.backward()
+
+    def test_unreachable_parameter_detected(self):
+        model = make_model()
+        head = make_model(seed=2)  # never used in the loss
+        x = Tensor(np.random.default_rng(3).standard_normal((4, 3)))
+        named = list(model.named_parameters()) + [
+            ("head." + name, p) for name, p in head.named_parameters()
+        ]
+        audit = GraphAudit(named)
+        loss = loss_of(model, x)
+        with pytest.raises(GraphAuditError, match="head\\."):
+            audit.watch(loss)
+
+    def test_frozen_parameter_not_reported(self):
+        model = make_model()
+        head = make_model(seed=4)
+        for parameter in head.parameters():
+            parameter.requires_grad = False
+        x = Tensor(np.random.default_rng(5).standard_normal((2, 3)))
+        named = list(model.named_parameters()) + list(head.named_parameters())
+        GraphAudit(named).watch(loss_of(model, x))
+
+
+class TestStaleGrads:
+    def test_reused_subgraph_detected(self):
+        model = make_model()
+        x = Tensor(np.random.default_rng(6).standard_normal((2, 3)))
+        hidden = model(x)
+        first = hidden.sum()
+        first.backward()
+        # Re-deriving a loss from the already-backpropagated subgraph
+        # would double-count gradients silently.
+        second = (hidden * hidden).sum()
+        with pytest.raises(GraphAuditError, match="before backward"):
+            GraphAudit(model, check_leaks=False).watch(second)
+
+    def test_leaf_grads_are_expected(self):
+        # Accumulated *leaf* gradients (params between zero_grad calls)
+        # are normal and must not trip the check.
+        model = make_model()
+        x = Tensor(np.random.default_rng(7).standard_normal((2, 3)))
+        loss_of(model, x).backward()
+        fresh = loss_of(model, x)
+        GraphAudit(model, check_leaks=False).watch(fresh)
+
+
+class TestAnomalyMode:
+    def test_nan_gradient_blames_producing_op(self):
+        x = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        shifted = x + 0.0
+        with pytest.raises(GraphAuditError, match="log"):
+            with graph_audit() as audit:
+                loss = shifted.log().exp().sum()
+                audit.watch(loss)
+                loss.backward()  # d log(0) = inf flows into `shifted`
+
+    def test_finite_gradients_pass(self):
+        model = make_model()
+        x = Tensor(np.random.default_rng(8).standard_normal((2, 3)))
+        with graph_audit(model) as audit:
+            loss = loss_of(model, x)
+            audit.watch(loss)
+            loss.backward()
+
+    def test_anomaly_can_be_disabled(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        shifted = x + 0.0
+        with graph_audit(anomaly=False) as audit:
+            loss = shifted.log().sum()
+            audit.watch(loss)
+            loss.backward()
+
+
+class TestLeakDetection:
+    def test_released_graph_passes_across_steps(self):
+        model = make_model()
+        optimizer = Sgd([ParamGroup(model.parameters(), 0.1)])
+        audit = GraphAudit(model)
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            x = Tensor(rng.standard_normal((2, 3)))
+            with audit.step():
+                loss = loss_of(model, x)
+                audit.watch(loss)
+                loss.backward()
+                optimizer.step()
+                optimizer.zero_grad()
+            del loss
+        audit.assert_released()
+
+    def test_retained_graph_detected_at_next_step(self):
+        model = make_model()
+        audit = GraphAudit(model)
+        rng = np.random.default_rng(10)
+        hoard = []
+        with audit.step():
+            loss = loss_of(model, Tensor(rng.standard_normal((2, 3))))
+            audit.watch(loss)
+            loss.backward()
+            hoard.append(loss)  # a stray strong reference
+        fresh = loss_of(model, Tensor(rng.standard_normal((2, 3))))
+        with pytest.raises(GraphAuditError, match="still alive"):
+            audit.watch(fresh)
+
+    def test_assert_released_reports_survivors(self):
+        model = make_model()
+        audit = GraphAudit(model)
+        x = Tensor(np.random.default_rng(11).standard_normal((2, 3)))
+        with audit.step():
+            loss = loss_of(model, x)
+            audit.watch(loss)
+            loss.backward()
+        with pytest.raises(GraphAuditError, match="still alive"):
+            audit.assert_released()  # `loss` is still in scope here

@@ -1,0 +1,293 @@
+"""The repo linter: every rule must fire on a violation, stay quiet on the
+idiomatic pattern, honour suppressions — and report the real repo clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import Finding, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+NN_PATH = "src/repro/nn/example.py"
+LIB_PATH = "src/repro/example.py"
+
+
+def codes(findings):
+    return sorted({finding.code for finding in findings})
+
+
+# ----------------------------------------------------------------------
+# RN001 — in-place mutation of Tensor.data / Tensor.grad
+# ----------------------------------------------------------------------
+class TestRN001:
+    def test_augmented_assignment_flagged(self):
+        source = "def update(param):\n    param.data += 1.0\n"
+        assert codes(lint_source(source)) == ["RN001"]
+
+    def test_fancy_assignment_flagged(self):
+        source = "def reset(t):\n    t.data[0] = 0.0\n"
+        assert codes(lint_source(source)) == ["RN001"]
+
+    def test_mutating_numpy_call_flagged(self):
+        source = "def scatter(t, idx, g):\n    np.add.at(t.grad, idx, g)\n"
+        assert codes(lint_source(source)) == ["RN001"]
+
+    def test_no_grad_block_allowed(self):
+        source = (
+            "def update(param):\n"
+            "    with no_grad():\n"
+            "        param.data += 1.0\n"
+        )
+        assert lint_source(source) == []
+
+    def test_backward_closure_allowed(self):
+        source = (
+            "def op(t):\n"
+            "    def backward(grad):\n"
+            "        t.grad += grad\n"
+            "    return backward\n"
+        )
+        assert lint_source(source) == []
+
+    def test_rebinding_data_not_flagged(self):
+        # Rebinding the attribute is a fresh array, not a graph mutation.
+        source = "def load(t, value):\n    t.data = value.copy()\n"
+        assert lint_source(source) == []
+
+
+# ----------------------------------------------------------------------
+# RN002 — backward closures must _unbroadcast
+# ----------------------------------------------------------------------
+RN002_BAD = """
+def add(self, other):
+    def backward(grad):
+        self._accumulate(grad)
+        other._accumulate(_unbroadcast(grad, other.data.shape))
+    return self._make(self.data + other.data, (self, other), backward)
+"""
+
+RN002_SCALED = """
+def mul(self, other):
+    def backward(grad):
+        self._accumulate(grad * other.data)
+        other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+    return self._make(self.data * other.data, (self, other), backward)
+"""
+
+RN002_GOOD = """
+def add(self, other):
+    def backward(grad):
+        self._accumulate(_unbroadcast(grad, self.data.shape))
+        other._accumulate(_unbroadcast(grad, other.data.shape))
+    return self._make(self.data + other.data, (self, other), backward)
+"""
+
+RN002_UNARY = """
+def neg(self):
+    def backward(grad):
+        self._accumulate(-grad)
+    return self._make(-self.data, (self,), backward)
+"""
+
+
+class TestRN002:
+    def test_raw_grad_passthrough_flagged(self):
+        assert codes(lint_source(RN002_BAD)) == ["RN002"]
+
+    def test_elementwise_scaled_grad_flagged(self):
+        assert codes(lint_source(RN002_SCALED)) == ["RN002"]
+
+    def test_unbroadcast_on_both_operands_clean(self):
+        assert lint_source(RN002_GOOD) == []
+
+    def test_unary_closure_exempt(self):
+        # Single-operand ops have output shape == operand shape.
+        assert lint_source(RN002_UNARY) == []
+
+    def test_mutated_tensor_module_fails(self):
+        """The seeded mutation: delete an _unbroadcast from the real
+        engine source and the rule must catch it."""
+        source = (REPO_ROOT / "src/repro/nn/tensor.py").read_text()
+        target = "self._accumulate(_unbroadcast(grad, self.data.shape))"
+        assert target in source
+        mutated = source.replace(target, "self._accumulate(grad)", 1)
+        findings = lint_source(mutated, path="src/repro/nn/tensor.py")
+        assert "RN002" in codes(findings)
+
+
+# ----------------------------------------------------------------------
+# RN003 — no unseeded / global RNG in library code
+# ----------------------------------------------------------------------
+class TestRN003:
+    def test_unseeded_default_rng_flagged(self):
+        source = "def sample():\n    return np.random.default_rng().random(3)\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN003"]
+
+    def test_legacy_global_rng_flagged(self):
+        source = "def sample():\n    return np.random.rand(3)\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN003"]
+
+    def test_stdlib_random_flagged(self):
+        source = "def pick(items):\n    return random.choice(items)\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN003"]
+
+    def test_rng_in_default_argument_flagged(self):
+        """The seeded-mutation case: even a *seeded* Generator in a default
+        argument is one shared stream across all calls."""
+        source = "def f(rng=np.random.default_rng(0)):\n    return rng.random()\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN003"]
+
+    def test_seeded_default_rng_clean(self):
+        source = "def make(seed):\n    return np.random.default_rng(seed)\n"
+        assert lint_source(source, path=LIB_PATH) == []
+
+    def test_tests_out_of_scope(self):
+        source = "def sample():\n    return np.random.rand(3)\n"
+        assert lint_source(source, path="tests/test_example.py") == []
+
+
+# ----------------------------------------------------------------------
+# RN004 — predict paths must run under no_grad
+# ----------------------------------------------------------------------
+class TestRN004:
+    def test_graph_call_outside_no_grad_flagged(self):
+        source = (
+            "def predict(self, docs):\n"
+            "    return self.emissions(docs)\n"
+        )
+        assert codes(lint_source(source)) == ["RN004"]
+
+    def test_graph_call_under_no_grad_clean(self):
+        source = (
+            "def predict(self, docs):\n"
+            "    with no_grad():\n"
+            "        return self.emissions(docs)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_compound_with_item_recognised(self):
+        # ``with stage("encode"), no_grad():`` — the predict_batch idiom.
+        source = (
+            "def predict_batch(self, docs):\n"
+            "    with stage('encode'), no_grad():\n"
+            "        return self.emissions_batch(docs)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_non_predict_function_out_of_scope(self):
+        source = "def fit(self, docs):\n    return self.emissions(docs)\n"
+        assert lint_source(source) == []
+
+
+# ----------------------------------------------------------------------
+# RN005 — os.environ writes live in _threads.py / conftest.py
+# ----------------------------------------------------------------------
+class TestRN005:
+    def test_environ_write_flagged(self):
+        source = "import os\nos.environ['OMP_NUM_THREADS'] = '4'\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN005"]
+
+    def test_environ_setdefault_flagged(self):
+        source = "import os\nos.environ.setdefault('OMP_NUM_THREADS', '1')\n"
+        assert codes(lint_source(source, path=LIB_PATH)) == ["RN005"]
+
+    def test_threads_module_allowed(self):
+        source = "import os\nos.environ['OMP_NUM_THREADS'] = '1'\n"
+        assert lint_source(source, path="src/repro/_threads.py") == []
+
+    def test_conftest_allowed(self):
+        source = "import os\nos.environ.setdefault('OMP_NUM_THREADS', '1')\n"
+        assert lint_source(source, path="conftest.py") == []
+
+    def test_environ_read_clean(self):
+        source = "import os\nthreads = os.environ.get('OMP_NUM_THREADS')\n"
+        assert lint_source(source, path=LIB_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# RN006 — nn ops must route children through Tensor._make
+# ----------------------------------------------------------------------
+class TestRN006:
+    def test_raw_tensor_on_graph_data_flagged(self):
+        source = (
+            "def scale(x):\n"
+            "    return Tensor(x.data * 2.0)\n"
+        )
+        assert codes(lint_source(source, path=NN_PATH)) == ["RN006"]
+
+    def test_is_grad_enabled_guard_allowed(self):
+        # The Lstm inference-path idiom.
+        source = (
+            "def forward(self, x):\n"
+            "    if not is_grad_enabled():\n"
+            "        return Tensor(self._forward_inference(x.data))\n"
+            "    return self._forward_train(x)\n"
+        )
+        assert lint_source(source, path=NN_PATH) == []
+
+    def test_fresh_data_clean(self):
+        source = "def zeros(shape):\n    return Tensor(np.zeros(shape))\n"
+        assert lint_source(source, path=NN_PATH) == []
+
+    def test_outside_nn_out_of_scope(self):
+        source = "def scale(x):\n    return Tensor(x.data * 2.0)\n"
+        assert lint_source(source, path="src/repro/core/example.py") == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions, reporters, and the repo itself
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_same_line_directive(self):
+        source = "def f(t):\n    t.data += 1.0  # repro-lint: disable=RN001\n"
+        assert lint_source(source) == []
+
+    def test_preceding_line_directive(self):
+        source = (
+            "def f(t):\n"
+            "    # repro-lint: disable=RN001  (t is freshly constructed)\n"
+            "    t.data += 1.0\n"
+        )
+        assert lint_source(source) == []
+
+    def test_comma_separated_codes(self):
+        source = "def f(t):\n    t.data += 1.0  # repro-lint: disable=RN001,RN002\n"
+        assert lint_source(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "def f(t):\n    t.data += 1.0  # repro-lint: disable=RN002\n"
+        assert codes(lint_source(source)) == ["RN001"]
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([str(bad)])
+        assert [finding.code for finding in findings] == ["RN000"]
+
+    def test_finding_render_is_clickable(self):
+        finding = Finding("src/x.py", 3, 7, "RN001", "message")
+        assert finding.render() == "src/x.py:3:7: RN001 message"
+
+    def test_repo_is_clean(self):
+        """The CI gate: the linter must exit 0 on the whole repo."""
+        findings = lint_paths(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ]
+        )
+        assert findings == [], "\n".join(finding.render() for finding in findings)
+
+    def test_cli_json_reporter(self, capsys):
+        import json
+
+        from repro.analysis.lint import main
+
+        source_dir = REPO_ROOT / "src" / "repro" / "analysis"
+        assert main([str(source_dir), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"findings": [], "count": 0}

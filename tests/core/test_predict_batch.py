@@ -46,6 +46,24 @@ class TestPredictBatch:
         with pytest.raises(ValueError):
             classifier.predict_batch(tiny_docs, batch_size=0)
 
+    def test_predict_batch_runs_under_no_grad(
+        self, classifier, tiny_docs, monkeypatch
+    ):
+        # Regression guard: every graph-building call inside predict_batch
+        # must see gradients disabled, or serving leaks autograd history.
+        from repro.nn.tensor import is_grad_enabled
+
+        seen = []
+        original = BlockClassifier.emissions_batch
+
+        def spy(self, batch):
+            seen.append(is_grad_enabled())
+            return original(self, batch)
+
+        monkeypatch.setattr(BlockClassifier, "emissions_batch", spy)
+        classifier.predict_batch(tiny_docs[:2])
+        assert seen and not any(seen)
+
     def test_emissions_batch_shape_and_equivalence(
         self, classifier, featurizer, tiny_docs
     ):

@@ -6,6 +6,7 @@ import pytest
 from repro.corpus import NerExample, build_ner_corpus
 from repro.docmodel import ENTITY_SCHEME
 from repro.ner import NerConfig, NerFeaturizer, NerTagger
+from repro.nn import no_grad
 from repro.text import WordPieceTokenizer
 
 
@@ -147,6 +148,21 @@ class TestNerTagger:
             assert len(labels) == len(example.words)
             assert all(l in ENTITY_SCHEME.labels for l in labels)
 
+    def test_predict_batch_runs_under_no_grad(self, tagger, corpus, monkeypatch):
+        # Regression guard: batched decoding must never record graphs.
+        from repro.nn.tensor import is_grad_enabled
+
+        seen = []
+        original = NerTagger.logits
+
+        def spy(self, features):
+            seen.append(is_grad_enabled())
+            return original(self, features)
+
+        monkeypatch.setattr(NerTagger, "logits", spy)
+        tagger.predict_batch(corpus.test[:3], batch_size=2)
+        assert seen and not any(seen)
+
     def test_predict_probs_normalised(self, tagger, corpus):
         probs = tagger.predict_probs(corpus.test[:2])
         sums = probs.sum(axis=-1)
@@ -159,7 +175,8 @@ class TestNerTagger:
         ):
             assert name_a == name_b
             np.testing.assert_allclose(a.data, b.data)
-        twin.mlp.layers[0].weight.data += 1.0
+        with no_grad():
+            twin.mlp.layers[0].weight.data += 1.0
         assert not np.allclose(
             tagger.mlp.layers[0].weight.data, twin.mlp.layers[0].weight.data
         )

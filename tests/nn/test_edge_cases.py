@@ -27,7 +27,8 @@ class TestModuleExtras:
         b.copy_from(a)
         np.testing.assert_allclose(a.weight.data, b.weight.data)
         # Copies, not aliases.
-        b.weight.data += 1.0
+        with no_grad():
+            b.weight.data += 1.0
         assert not np.allclose(a.weight.data, b.weight.data)
 
     def test_sequential_forward(self):

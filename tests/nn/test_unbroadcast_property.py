@@ -1,0 +1,90 @@
+"""_unbroadcast edge cases, property-checked against an einsum reference.
+
+``_unbroadcast`` is the single function every broadcastable backward
+closure relies on; a shape bug there corrupts gradients everywhere.  The
+reference implementation here reduces through a completely independent
+path — an einsum contraction that drops broadcast axes — so the two can
+only agree if both are right.
+"""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import _unbroadcast
+
+
+def einsum_reference(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` via an einsum contraction."""
+    extra = grad.ndim - len(shape)
+    labels = string.ascii_lowercase[: grad.ndim]
+    kept = [
+        labels[extra + i]
+        for i, size in enumerate(shape)
+        if not (size == 1 and grad.shape[extra + i] != 1)
+    ]
+    reduced = np.einsum(f"{labels}->{''.join(kept)}", grad)
+    return reduced.reshape(shape)
+
+
+@st.composite
+def broadcast_pairs(draw):
+    """A target shape plus a gradient legally broadcast *up* from it."""
+    shape = tuple(draw(st.lists(st.integers(0, 4), max_size=3)))
+    extra = tuple(draw(st.lists(st.integers(0, 3), max_size=2)))
+    grad_shape = extra + tuple(
+        draw(st.integers(0, 4)) if size == 1 else size for size in shape
+    )
+    seed = draw(st.integers(0, 2**16))
+    grad = np.random.default_rng(seed).standard_normal(grad_shape)
+    return grad, shape
+
+
+@settings(max_examples=100, deadline=None)
+@given(broadcast_pairs())
+def test_matches_einsum_reference(pair):
+    grad, shape = pair
+    result = _unbroadcast(grad, shape)
+    assert result.shape == shape
+    np.testing.assert_allclose(result, einsum_reference(grad, shape), atol=1e-12)
+
+
+class TestEdgeCases:
+    def test_scalar_to_ndim(self):
+        grad = np.arange(12.0).reshape(3, 4)
+        result = _unbroadcast(grad, ())
+        assert result.shape == ()
+        assert result == grad.sum()
+
+    def test_zero_size_axis_preserved(self):
+        grad = np.zeros((2, 0, 3))
+        result = _unbroadcast(grad, (0, 3))
+        assert result.shape == (0, 3)
+
+    def test_size_one_axis_broadcast_to_zero(self):
+        # (1, 3) broadcast against a (0, 3) operand: the gradient coming
+        # back is empty; the sum over the empty axis must be exact zeros.
+        grad = np.zeros((0, 3))
+        result = _unbroadcast(grad, (1, 3))
+        assert result.shape == (1, 3)
+        np.testing.assert_array_equal(result, np.zeros((1, 3)))
+
+    def test_keepdims_interaction(self):
+        # Interior size-1 axes reduce with keepdims and must land back in
+        # place, not collapse: (2, 1, 3) from (2, 5, 3).
+        grad = np.arange(30.0).reshape(2, 5, 3)
+        result = _unbroadcast(grad, (2, 1, 3))
+        np.testing.assert_allclose(result, grad.sum(axis=1, keepdims=True))
+
+    def test_prepended_and_interior_axes_together(self):
+        grad = np.arange(24.0).reshape(2, 3, 4)
+        result = _unbroadcast(grad, (3, 1))
+        np.testing.assert_allclose(
+            result, grad.sum(axis=(0, 2))[:, None]
+        )
+
+    def test_identity_when_shapes_match(self):
+        grad = np.arange(6.0).reshape(2, 3)
+        assert _unbroadcast(grad, (2, 3)) is grad

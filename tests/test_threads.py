@@ -1,0 +1,27 @@
+"""limit_blas_threads: defaulting vs explicit-override semantics."""
+
+import os
+
+from repro._threads import _ENV_VARS, limit_blas_threads
+
+
+def test_default_fills_unset_variables(monkeypatch):
+    for var in _ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    limit_blas_threads()
+    for var in _ENV_VARS:
+        assert os.environ[var] == "1"
+
+
+def test_default_respects_preset_environment(monkeypatch):
+    monkeypatch.setenv("OMP_NUM_THREADS", "8")
+    limit_blas_threads()
+    assert os.environ["OMP_NUM_THREADS"] == "8"
+
+
+def test_explicit_count_overrides_preset_environment(monkeypatch):
+    for var in _ENV_VARS:
+        monkeypatch.setenv(var, "8")
+    limit_blas_threads(2)
+    for var in _ENV_VARS:
+        assert os.environ[var] == "2"
