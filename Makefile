@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint gradcheck bench bench-perf bench-train examples clean
+.PHONY: install test lint gradcheck bench bench-perf bench-train examples report clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -38,6 +38,15 @@ examples:
 	python examples/talent_screening.py
 	python examples/error_analysis.py
 
+# Instrumented training run + human-readable summary of its JSONL log.
+# Override the log path with RUN=path/to/run.jsonl (skips the training
+# step when the file already exists).
+RUN ?= run_telemetry.jsonl
+report:
+	@test -f $(RUN) || PYTHONPATH=src python examples/telemetry_run.py $(RUN)
+	PYTHONPATH=src python -m repro.obs.report $(RUN)
+
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
+	rm -f run_telemetry.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -26,13 +26,13 @@ Run via ``make bench-train`` (or ``pytest benchmarks/test_perf_training.py``).
 from __future__ import annotations
 
 import gc
-import json
 import os
 import time
 
 import numpy as np
 
 import repro  # noqa: F401  (pins BLAS threads)
+from repro import obs
 from repro.core import (
     BlockClassifier,
     Featurizer,
@@ -149,6 +149,11 @@ def test_batched_training_speedup():
     single_samples = []
     single_rounds = []
     batched_rounds = []
+    # The batched rounds run under a telemetry session so optimizer-step
+    # timings and grad-norm gauges land in the report; the per-document
+    # reference rounds stay outside it, so instrumentation cost can only
+    # ever count *against* the batched path it is reported for.
+    session = obs.Telemetry()
     for _ in range(ROUNDS):
         gc.collect()
         started_round = time.perf_counter()
@@ -160,8 +165,9 @@ def test_batched_training_speedup():
 
         gc.collect()
         started_round = time.perf_counter()
-        for chunk, labels in zip(chunk_features, chunk_labels):
-            batched_step(chunk, labels)
+        with obs.use_telemetry(session):
+            for chunk, labels in zip(chunk_features, chunk_labels):
+                batched_step(chunk, labels)
         batched_rounds.append(time.perf_counter() - started_round)
 
     single = LatencyStats.from_samples(single_samples)
@@ -185,7 +191,8 @@ def test_batched_training_speedup():
         pre_single_rounds.append(time.perf_counter() - started)
         gc.collect()
         started = time.perf_counter()
-        losses = pretrainer.pretrain_step(features[:BATCH_SIZE])
+        with obs.use_telemetry(session):
+            losses = pretrainer.pretrain_step(features[:BATCH_SIZE])
         pre_batched_rounds.append(time.perf_counter() - started)
     pretrain_speedup = min(pre_single_rounds) / min(pre_batched_rounds)
 
@@ -279,10 +286,9 @@ def test_batched_training_speedup():
             },
             "speedup_per_example": ner_speedup,
         },
+        "telemetry": session.summary(),
     }
-    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    obs.write_json(REPORT_PATH, report)
     print(
         f"\nblock training: per-doc p50={single.p50 * 1e3:.1f}ms/doc, batched "
         f"p50={batched.p50 * 1e3:.1f}ms/doc | speedup {speedup:.2f}x | "

@@ -41,9 +41,22 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..nn.tensor import Tensor
 
 __all__ = ["GraphAudit", "GraphAuditError", "graph_audit"]
+
+
+def _count_finding(kind: str, amount: int = 1) -> None:
+    """Publish one audit finding to the active telemetry session.
+
+    Findings are counted *before* the corresponding :class:`GraphAuditError`
+    is raised, so run logs record what the auditor saw even when the step
+    aborts.
+    """
+    telemetry = obs.get_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter("graph_audit.findings").inc(amount, kind=kind)
 
 
 class GraphAuditError(RuntimeError):
@@ -133,6 +146,10 @@ class GraphAudit:
         Returns ``loss`` unchanged so it can wrap the loss expression.
         """
         nodes = _reachable(loss)
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("graph_audit.watches").inc()
+            telemetry.metrics.gauge("graph_audit.graph_nodes").set(len(nodes))
 
         if self.check_leaks and self._previous:
             leaked = sorted(
@@ -144,6 +161,7 @@ class GraphAudit:
             )
             self._previous = []
             if leaked:
+                _count_finding("leaked_nodes", len(leaked))
                 raise GraphAuditError(
                     "graph nodes from the previous step are still alive "
                     f"(ops: {', '.join(leaked)}); a stray reference or "
@@ -159,6 +177,7 @@ class GraphAudit:
                 if parameter.requires_grad and id(parameter) not in nodes
             ]
             if dead:
+                _count_finding("dead_params", len(dead))
                 raise GraphAuditError(
                     f"parameter(s) unreachable from the loss: {', '.join(dead)}; "
                     "they will receive no gradient this step"
@@ -173,6 +192,7 @@ class GraphAudit:
                 }
             )
             if stale:
+                _count_finding("stale_grads", len(stale))
                 raise GraphAuditError(
                     "non-leaf node(s) already carry .grad before backward "
                     f"(ops: {', '.join(stale)}); the graph was reused or "
@@ -211,6 +231,7 @@ class GraphAudit:
                 else:
                     bad.add(_op_name(node))
             if bad:
+                _count_finding("anomalies", len(bad))
                 raise GraphAuditError(
                     f"non-finite gradient(s) produced by: {', '.join(sorted(bad))}"
                 )
@@ -221,6 +242,7 @@ class GraphAudit:
             {name for ref, name in self._previous if ref() is not None}
         )
         if leaked:
+            _count_finding("leaked_nodes", len(leaked))
             raise GraphAuditError(
                 f"graph nodes still alive after the step (ops: {', '.join(leaked)})"
             )

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..docmodel.document import ResumeDocument
 from ..docmodel.labels import BLOCK_SCHEME, IobScheme
 from ..nn import AdamW, BiLstm, LinearChainCrf, Mlp, Module, ParamGroup, Tensor
@@ -26,6 +27,11 @@ from .hierarchical import HierarchicalEncoder
 from .training import GradAccumulator, iter_minibatches
 
 __all__ = ["BlockClassifier", "BlockTrainer", "LabeledDocument"]
+
+#: Histogram boundaries for ratio-valued metrics (padding waste).
+_RATIO_BUCKETS = tuple(i / 10 for i in range(1, 11))
+#: Histogram boundaries for batch sizes.
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass
@@ -130,7 +136,9 @@ class BlockClassifier(Module):
         ``profile``, if given, is a :class:`repro.eval.timing.StageProfile`
         (or any object with a ``stage(name)`` context manager) that
         accumulates per-stage wall time under the keys ``featurize``,
-        ``encode`` and ``decode``.
+        ``encode`` and ``decode``.  Independently, an active
+        :mod:`repro.obs` telemetry session records the same stages as
+        nested spans plus batch-size and padding-waste histograms.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -141,25 +149,40 @@ class BlockClassifier(Module):
             return profile.stage(name)
 
         self.eval()
+        telemetry = obs.get_telemetry()
         # Chunk documents in ascending sentence-count order so each padded
         # batch is near-homogeneous (results land back in input order; each
         # document's labels are invariant to its batch-mates).
         order = sorted(range(len(documents)), key=lambda i: documents[i].num_sentences)
         results: List[Optional[List[str]]] = [None] * len(documents)
-        for start in range(0, len(order), batch_size):
-            indices = order[start : start + batch_size]
-            chunk = [documents[i] for i in indices]
-            with stage("featurize"):
-                features = [self.featurizer.featurize(d) for d in chunk]
-                batch = collate_documents(features)
-            with stage("encode"), no_grad():
-                emissions = self.emissions_batch(batch)
-            with stage("decode"):
-                paths = self.crf.decode(emissions, batch.sentence_mask)
-            for index, document, path in zip(indices, chunk, paths):
-                labels = self.scheme.decode(path)
-                labels += ["O"] * (document.num_sentences - len(labels))
-                results[index] = labels
+        with obs.trace("predict_batch", documents=len(documents),
+                       batch_size=batch_size):
+            for start in range(0, len(order), batch_size):
+                indices = order[start : start + batch_size]
+                chunk = [documents[i] for i in indices]
+                with stage("featurize"), obs.trace("featurize", batch=len(chunk)):
+                    features = [self.featurizer.featurize(d) for d in chunk]
+                    batch = collate_documents(features)
+                if telemetry is not None:
+                    # Fraction of padded sentence slots that are wasted on
+                    # padding — the price of ragged batching.
+                    slots = batch.sentence_mask.size
+                    waste = 1.0 - float(batch.lengths.sum()) / slots if slots else 0.0
+                    telemetry.metrics.histogram(
+                        "inference.padding_waste", buckets=_RATIO_BUCKETS
+                    ).observe(waste)
+                    telemetry.metrics.histogram(
+                        "inference.batch_size", buckets=_BATCH_BUCKETS
+                    ).observe(len(chunk))
+                    telemetry.metrics.counter("inference.documents").inc(len(chunk))
+                with stage("encode"), obs.trace("encode", batch=len(chunk)), no_grad():
+                    emissions = self.emissions_batch(batch)
+                with stage("decode"), obs.trace("decode", batch=len(chunk)):
+                    paths = self.crf.decode(emissions, batch.sentence_mask)
+                for index, document, path in zip(indices, chunk, paths):
+                    labels = self.scheme.decode(path)
+                    labels += ["O"] * (document.num_sentences - len(labels))
+                    results[index] = labels
         return results
 
     def predict_block_tags(self, document: ResumeDocument) -> List[str]:
@@ -241,24 +264,53 @@ class BlockTrainer:
         best_score = -np.inf
         best_state = None
         bad_epochs = 0
-        for _ in range(epochs):
+        telemetry = obs.get_telemetry()
+        step_index = 0
+        for epoch_index in range(epochs):
             epoch_loss = 0.0
             self.model.train()
-            for chunk in iter_minibatches(
-                len(features), batch_size, rng=self.rng, lengths=lengths
-            ):
-                docs = [features[i][0] for i in chunk]
-                batch = collate_documents(docs)
-                labels = collate_labels(docs, [features[i][1] for i in chunk])
-                loss = self.model.loss_batch(batch, labels)
-                engine.backward(loss, weight=len(chunk))
-                epoch_loss += float(loss.data) * len(chunk)
-            engine.flush()
+            with obs.trace("block_train.epoch", epoch=epoch_index):
+                for chunk in iter_minibatches(
+                    len(features), batch_size, rng=self.rng, lengths=lengths
+                ):
+                    docs = [features[i][0] for i in chunk]
+                    batch = collate_documents(docs)
+                    labels = collate_labels(docs, [features[i][1] for i in chunk])
+                    loss = self.model.loss_batch(batch, labels)
+                    stepped = engine.backward(loss, weight=len(chunk))
+                    epoch_loss += float(loss.data) * len(chunk)
+                    if telemetry is not None:
+                        step_index += 1
+                        telemetry.metrics.counter("train.documents").inc(len(chunk))
+                        telemetry.event(
+                            "step",
+                            phase="block_train",
+                            step=step_index,
+                            epoch=epoch_index,
+                            losses={"crf": float(loss.data)},
+                            documents=len(chunk),
+                            grad_norm=engine.last_grad_norm if stepped else None,
+                        )
+                engine.flush()
             history["loss"].append(epoch_loss / max(len(features), 1))
+            if telemetry is not None:
+                telemetry.event(
+                    "epoch",
+                    phase="block_train",
+                    epoch=epoch_index,
+                    loss=history["loss"][-1],
+                )
 
             if validation:
                 score = self.sentence_accuracy(validation)
                 history["val_accuracy"].append(score)
+                if telemetry is not None:
+                    telemetry.event(
+                        "eval",
+                        phase="block_train",
+                        epoch=epoch_index,
+                        val_accuracy=score,
+                    )
                 if score > best_score:
                     best_score, bad_epochs = score, 0
                     best_state = self.model.state_dict()

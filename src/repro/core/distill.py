@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Protocol, Sequence
 
+from .. import obs
 from ..docmodel.document import ResumeDocument
 from ..docmodel.labels import BLOCK_SCHEME, IobScheme
 from .block_classifier import BlockTrainer, LabeledDocument
@@ -37,13 +38,17 @@ def pseudo_label(
     convert to sentence labels by majority vote (footnote 3 of the paper).
     """
     labeled: List[LabeledDocument] = []
-    for document in documents:
-        labels = teacher.predict(document)
-        ids = [
-            scheme.label_id(label) if label in scheme.labels else scheme.outside_id
-            for label in labels
-        ]
-        labeled.append(LabeledDocument(document, ids))
+    with obs.trace("distill.pseudo_label", documents=len(documents)):
+        for document in documents:
+            labels = teacher.predict(document)
+            ids = [
+                scheme.label_id(label) if label in scheme.labels else scheme.outside_id
+                for label in labels
+            ]
+            labeled.append(LabeledDocument(document, ids))
+    telemetry = obs.get_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter("distill.pseudo_documents").inc(len(labeled))
     return labeled
 
 
@@ -62,17 +67,20 @@ def run_distillation(
     """
     history: Dict[str, List[float]] = {"loss": [], "val_accuracy": []}
     if pseudo:
-        stage1 = trainer.fit(
-            list(pseudo) + list(labeled),
-            validation=validation,
-            epochs=pseudo_epochs,
-            patience=max(pseudo_epochs, 1),
-        )
+        with obs.trace("distill.pseudo_train",
+                       documents=len(pseudo) + len(labeled)):
+            stage1 = trainer.fit(
+                list(pseudo) + list(labeled),
+                validation=validation,
+                epochs=pseudo_epochs,
+                patience=max(pseudo_epochs, 1),
+            )
         for key in history:
             history[key].extend(stage1.get(key, []))
-    stage2 = trainer.fit(
-        labeled, validation=validation, epochs=finetune_epochs, patience=patience
-    )
+    with obs.trace("distill.finetune", documents=len(labeled)):
+        stage2 = trainer.fit(
+            labeled, validation=validation, epochs=finetune_epochs, patience=patience
+        )
     for key in history:
         history[key].extend(stage2.get(key, []))
     return history

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..corpus.render import VISUAL_DIM, sentence_visual_features
 from ..docmodel.document import ResumeDocument, Sentence
 from ..docmodel.geometry import BBox
@@ -61,6 +62,12 @@ class FeatureCache:
     Features are deterministic for a given document object, so repeated
     ``predict`` calls and per-epoch validation sweeps hit instead of
     re-running WordPiece tokenisation and layout bucketing.
+
+    When a :mod:`repro.obs` telemetry session is active, every hit, miss
+    and LRU eviction also increments the session counters
+    ``feature_cache.hits`` / ``feature_cache.misses`` /
+    ``feature_cache.evictions``, so run logs carry cache effectiveness
+    without any polling.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -69,12 +76,19 @@ class FeatureCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: "OrderedDict[int, Tuple[weakref.ref, DocumentFeatures]]" = (
             OrderedDict()
         )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def lookup(self, document: ResumeDocument) -> Optional[DocumentFeatures]:
         """Return cached features for ``document``, or None (counts a miss)."""
@@ -84,9 +98,15 @@ class FeatureCache:
             if ref() is document:
                 self._entries.move_to_end(id(document))
                 self.hits += 1
+                telemetry = obs.get_telemetry()
+                if telemetry is not None:
+                    telemetry.metrics.counter("feature_cache.hits").inc()
                 return features
             del self._entries[id(document)]
         self.misses += 1
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("feature_cache.misses").inc()
         return None
 
     def store(self, document: ResumeDocument, features: DocumentFeatures) -> None:
@@ -94,20 +114,44 @@ class FeatureCache:
         self._entries.move_to_end(id(document))
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry = obs.get_telemetry()
+            if telemetry is not None:
+                telemetry.metrics.counter("feature_cache.evictions").inc()
 
-    def clear(self) -> None:
+    def clear(self, preserve_stats: bool = False) -> None:
+        """Drop every entry; ``preserve_stats=True`` keeps the cumulative
+        hit/miss/eviction counters (long-running services clear entries to
+        release memory without losing their lifetime totals)."""
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        if not preserve_stats:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def info(self) -> Dict[str, int]:
         """Counters for tests and the profiling report."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
             "size": len(self._entries),
             "maxsize": self.maxsize,
         }
+
+    def export_metrics(self, registry) -> None:
+        """Publish the cumulative counters as gauges on ``registry``.
+
+        The incremental counters above only cover lookups made while a
+        session was active; this pushes the lifetime totals (e.g. at
+        snapshot time) for caches that predate the session.
+        """
+        registry.gauge("feature_cache.size").set(len(self._entries))
+        registry.gauge("feature_cache.hit_rate").set(self.hit_rate)
+        registry.gauge("feature_cache.total_hits").set(self.hits)
+        registry.gauge("feature_cache.total_misses").set(self.misses)
+        registry.gauge("feature_cache.total_evictions").set(self.evictions)
 
 
 class Featurizer:

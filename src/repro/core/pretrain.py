@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..docmodel.document import ResumeDocument
 from ..nn import AdamW, Linear, Module, Parameter, ParamGroup, Tensor
 from ..nn import clip_grad_norm
@@ -197,6 +198,8 @@ class Pretrainer:
             [ParamGroup(params, learning_rate)], weight_decay=weight_decay
         )
         self.max_grad_norm = max_grad_norm
+        #: Steps published to the telemetry run log (never reset).
+        self._steps_emitted = 0
 
     # ------------------------------------------------------------------
     # Individual objectives — per-document reference implementations
@@ -511,20 +514,60 @@ class Pretrainer:
             )
         return losses, total
 
+    def _lambda_weighted(self, losses: Dict[str, float]) -> Dict[str, float]:
+        """Eq. 7's λ-weighted per-objective contributions."""
+        weights = {
+            "wp": self.config.lambda_wp,
+            "cl": self.config.lambda_cl,
+            "ns": self.config.lambda_ns,
+        }
+        return {
+            name: value * weights[name]
+            for name, value in losses.items()
+            if name in weights
+        }
+
+    def _emit_step(
+        self, telemetry, step: int, losses: Dict[str, float],
+        documents: int, grad_norm: Optional[float] = None,
+    ) -> None:
+        """Publish one pre-training step: raw and λ-weighted loss series."""
+        for name, value in losses.items():
+            telemetry.metrics.gauge("pretrain.loss").set(value, objective=name)
+        telemetry.metrics.counter("pretrain.steps").inc()
+        telemetry.metrics.counter("pretrain.documents").inc(documents)
+        telemetry.event(
+            "step",
+            phase="pretrain",
+            step=step,
+            losses=dict(losses),
+            weighted_losses=self._lambda_weighted(losses),
+            documents=documents,
+            grad_norm=grad_norm,
+        )
+
     def pretrain_step(
         self, batch: Sequence[DocumentFeatures]
     ) -> Dict[str, float]:
         """One optimiser step over a batch of documents; returns losses."""
-        losses, total = self.pretrain_losses(batch)
-        if total is None:
-            return losses
-        self.optimizer.zero_grad()
-        total.backward()
-        clip_grad_norm(
-            self.encoder.parameters() + self.heads.parameters(), self.max_grad_norm
-        )
-        self.optimizer.step()
+        with obs.trace("pretrain.step", documents=len(batch)):
+            losses, total = self.pretrain_losses(batch)
+            if total is None:
+                return losses
+            self.optimizer.zero_grad()
+            total.backward()
+            grad_norm = clip_grad_norm(
+                self.encoder.parameters() + self.heads.parameters(),
+                self.max_grad_norm,
+            )
+            self.optimizer.step()
         losses["total"] = float(total.data)
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            self._steps_emitted += 1
+            self._emit_step(
+                telemetry, self._steps_emitted, losses, len(batch), grad_norm
+            )
         return losses
 
     def fit(
@@ -550,16 +593,31 @@ class Pretrainer:
         )
         lengths = [f.num_sentences for f in features]
         history: List[Dict[str, float]] = []
-        for _ in range(epochs):
-            for chunk in iter_minibatches(
-                len(features), batch_size, rng=self.rng, lengths=lengths
-            ):
-                batch = [features[i] for i in chunk]
-                self.encoder.train()
-                losses, total = self.pretrain_losses(batch)
-                if total is not None:
-                    engine.backward(total, weight=len(batch))
-                    losses["total"] = float(total.data)
-                history.append(losses)
-            engine.flush()
+        telemetry = obs.get_telemetry()
+        for epoch_index in range(epochs):
+            with obs.trace("pretrain.epoch", epoch=epoch_index):
+                for chunk in iter_minibatches(
+                    len(features), batch_size, rng=self.rng, lengths=lengths
+                ):
+                    batch = [features[i] for i in chunk]
+                    self.encoder.train()
+                    with obs.trace("pretrain.step", documents=len(batch)):
+                        losses, total = self.pretrain_losses(batch)
+                        stepped = False
+                        if total is not None:
+                            stepped = engine.backward(total, weight=len(batch))
+                            losses["total"] = float(total.data)
+                    history.append(losses)
+                    if telemetry is not None:
+                        self._steps_emitted += 1
+                        self._emit_step(
+                            telemetry,
+                            self._steps_emitted,
+                            losses,
+                            len(batch),
+                            engine.last_grad_norm if stepped else None,
+                        )
+                engine.flush()
+            if telemetry is not None:
+                telemetry.event("epoch", phase="pretrain", epoch=epoch_index)
         return history

@@ -19,6 +19,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..nn import clip_grad_norm
 from ..nn.tensor import Tensor, no_grad
 
@@ -51,6 +52,9 @@ class GradAccumulator:
         self.max_grad_norm = max_grad_norm
         self.accumulation = accumulation
         self.steps = 0
+        #: Pre-clip global gradient norm of the most recent optimizer step
+        #: (None until the first step, or when clipping is disabled).
+        self.last_grad_norm: Optional[float] = None
         self._pending = 0
         self._weight = 0.0
 
@@ -77,16 +81,24 @@ class GradAccumulator:
         return True
 
     def _apply(self) -> None:
-        if self._weight != 1.0:
-            scale = 1.0 / self._weight
-            with no_grad():
-                for parameter in self.parameters:
-                    if parameter.grad is not None:
-                        parameter.grad *= scale
-        if self.max_grad_norm is not None:
-            clip_grad_norm(self.parameters, self.max_grad_norm)
-        self.optimizer.step()
+        with obs.trace("train.apply_step"):
+            if self._weight != 1.0:
+                scale = 1.0 / self._weight
+                with no_grad():
+                    for parameter in self.parameters:
+                        if parameter.grad is not None:
+                            parameter.grad *= scale
+            if self.max_grad_norm is not None:
+                self.last_grad_norm = clip_grad_norm(
+                    self.parameters, self.max_grad_norm
+                )
+            self.optimizer.step()
         self.steps += 1
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("train.optimizer_steps").inc()
+            if self.last_grad_norm is not None:
+                telemetry.metrics.gauge("train.grad_norm").set(self.last_grad_norm)
         self._pending = 0
         self._weight = 0.0
 

@@ -8,7 +8,8 @@ Three layers of measurement:
 * :class:`StageProfile` — wall-time breakdown across named pipeline stages
   (``featurize`` / ``encode`` / ``decode``), fed to
   :meth:`repro.core.BlockClassifier.predict_batch` via its ``profile``
-  argument.
+  argument.  Since the :mod:`repro.obs` telemetry layer landed this is a
+  deprecated shim over :class:`repro.obs.Tracer`.
 """
 
 from __future__ import annotations
@@ -107,6 +108,15 @@ class LatencyStats:
 class StageProfile:
     """Accumulates wall time per named pipeline stage.
 
+    .. deprecated::
+        ``StageProfile`` is now a thin shim over :class:`repro.obs.Tracer`
+        — there is one tracing implementation in the codebase.  New code
+        should use :func:`repro.obs.trace` (or a :class:`repro.obs.Tracer`
+        directly), which additionally records span nesting, attributes and
+        exception status.  The shim keeps the historical surface
+        (``stage()`` / ``seconds`` / ``calls`` / ``total_seconds`` /
+        ``breakdown()``) for existing callers.
+
     Any code can wrap a region with ``with profile.stage("encode"): ...``;
     repeated entries into the same stage accumulate.  The object satisfies
     the duck-typed ``profile`` argument of
@@ -114,18 +124,22 @@ class StageProfile:
     """
 
     def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {}
-        self.calls: Dict[str, int] = {}
+        from ..obs import Tracer
+
+        self._tracer = Tracer()
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        started = time.perf_counter()
-        try:
+        with self._tracer.span(name):
             yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def seconds(self) -> Dict[str, float]:
+        return self._tracer.seconds_by_name()
+
+    @property
+    def calls(self) -> Dict[str, int]:
+        return self._tracer.calls_by_name()
 
     @property
     def total_seconds(self) -> float:
@@ -133,15 +147,7 @@ class StageProfile:
 
     def breakdown(self) -> Dict[str, Dict[str, float]]:
         """Per-stage seconds, call counts, and share of the total."""
-        total = self.total_seconds
-        return {
-            name: {
-                "seconds": seconds,
-                "calls": self.calls[name],
-                "fraction": seconds / total if total > 0 else 0.0,
-            }
-            for name, seconds in self.seconds.items()
-        }
+        return self._tracer.breakdown()
 
 
 def measure_latency(

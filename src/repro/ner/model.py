@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..corpus.datasets import NerExample
 from ..docmodel.labels import ENTITY_SCHEME, IobScheme
 from ..nn import BiLstm, Dropout, Mlp, Module, Tensor, TransformerEncoder, no_grad
@@ -187,16 +188,23 @@ class NerTagger(Module):
     def predict(self, examples: Sequence[NerExample]) -> List[List[str]]:
         """IOB label strings per example (argmax decoding)."""
         features = self.featurizer.featurize(examples)
+        return self._decode_features(features, examples)
+
+    def _decode_features(
+        self, features: NerFeatures, examples: Sequence[NerExample]
+    ) -> List[List[str]]:
+        """Encode featurised examples and argmax-decode label strings."""
         self.eval()
-        with no_grad():
+        with obs.trace("encode", batch=features.batch_size), no_grad():
             scores = self.logits(features).numpy()
         predictions: List[List[str]] = []
-        for row, example in enumerate(examples):
-            n = len(example.words)
-            ids = scores[row, : min(n, features.max_words)].argmax(axis=-1)
-            labels = self.scheme.decode(list(ids))
-            labels += ["O"] * (n - len(labels))
-            predictions.append(labels)
+        with obs.trace("decode", batch=features.batch_size):
+            for row, example in enumerate(examples):
+                n = len(example.words)
+                ids = scores[row, : min(n, features.max_words)].argmax(axis=-1)
+                labels = self.scheme.decode(list(ids))
+                labels += ["O"] * (n - len(labels))
+                predictions.append(labels)
         return predictions
 
     def predict_batch(
@@ -208,12 +216,35 @@ class NerTagger(Module):
         padding is trimmed per chunk, which keeps the quadratic attention
         cost bounded by each chunk's longest block instead of the corpus
         maximum.  Equivalent to concatenating per-chunk :meth:`predict`.
+        An active :mod:`repro.obs` session records per-stage spans
+        (``featurize`` / ``encode+decode``) plus batch-size and
+        padding-waste histograms.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        telemetry = obs.get_telemetry()
         predictions: List[List[str]] = []
-        for start in range(0, len(examples), batch_size):
-            predictions.extend(self.predict(examples[start : start + batch_size]))
+        with obs.trace("ner.predict_batch", examples=len(examples),
+                       batch_size=batch_size):
+            for start in range(0, len(examples), batch_size):
+                chunk = examples[start : start + batch_size]
+                with obs.trace("featurize", batch=len(chunk)):
+                    features = self.featurizer.featurize(chunk)
+                if telemetry is not None:
+                    slots = features.word_mask.size
+                    waste = (
+                        1.0 - float(features.word_mask.sum()) / slots
+                        if slots else 0.0
+                    )
+                    telemetry.metrics.histogram(
+                        "ner.padding_waste",
+                        buckets=tuple(i / 10 for i in range(1, 11)),
+                    ).observe(waste)
+                    telemetry.metrics.histogram(
+                        "ner.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+                    ).observe(len(chunk))
+                    telemetry.metrics.counter("ner.examples").inc(len(chunk))
+                predictions.extend(self._decode_features(features, chunk))
         return predictions
 
     def clone(self) -> "NerTagger":

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.training import GradAccumulator
 from ..corpus.datasets import NerExample
 from ..eval.seq_metrics import entity_prf
@@ -168,6 +169,15 @@ class SelfTrainer:
                 {"stage": 0.0, "epoch": float(epoch),
                  "loss": epoch_loss / max(batches, 1), "val_f1": score}
             )
+            telemetry = obs.get_telemetry()
+            if telemetry is not None:
+                telemetry.event(
+                    "epoch", phase="ner_teacher", epoch=epoch,
+                    loss=epoch_loss / max(batches, 1),
+                )
+                telemetry.event(
+                    "eval", phase="ner_teacher", epoch=epoch, val_f1=score
+                )
             if score > best_f1:
                 best_f1, bad = score, 0
                 best_state = model.state_dict()
@@ -219,48 +229,82 @@ class SelfTrainer:
         )
         best_f1 = self._validation_f1(student, validation)
         frequency = None  # Eq. 9's corpus-level p_c; refreshed with the teacher
+        telemetry = obs.get_telemetry()
         for iteration in range(1, self.config.iterations + 1):
-            batch_idx = self.rng.choice(
-                len(train), size=min(self.config.batch_size, len(train)), replace=False
-            )
-            batch = [train[i] for i in batch_idx]
-            features = student.featurizer.featurize(batch)
+            with obs.trace("self_train.iteration", iteration=iteration):
+                batch_idx = self.rng.choice(
+                    len(train), size=min(self.config.batch_size, len(train)),
+                    replace=False,
+                )
+                batch = [train[i] for i in batch_idx]
+                features = student.featurizer.featurize(batch)
 
-            probs = teacher.predict_probs(batch)
-            if frequency is None:
-                frequency = self._class_frequency(teacher, train)
-            soft = soft_pseudo_labels(probs, features.word_mask, frequency)
-            if self.config.use_soft_labels:
-                targets = soft
-            else:
-                targets = hard_to_onehot(probs)
-            mask = features.word_mask
-            if self.config.use_confidence_selection:
-                selected = confidence_mask(soft, mask, self.config.gamma)
-                if selected.sum() == 0:
-                    # Early in training no token may clear γ; fall back to
-                    # the most confident half so the student still learns.
-                    selected = self._top_half_mask(soft, mask)
-                mask = selected
+                probs = teacher.predict_probs(batch)
+                if frequency is None:
+                    frequency = self._class_frequency(teacher, train)
+                soft = soft_pseudo_labels(probs, features.word_mask, frequency)
+                if self.config.use_soft_labels:
+                    targets = soft
+                else:
+                    targets = hard_to_onehot(probs)
+                mask = features.word_mask
+                valid_tokens = float(features.word_mask.sum())
+                selection_rate = 1.0
+                if self.config.use_confidence_selection:
+                    selected = confidence_mask(soft, mask, self.config.gamma)
+                    if selected.sum() == 0:
+                        # Early in training no token may clear γ; fall back to
+                        # the most confident half so the student still learns.
+                        selected = self._top_half_mask(soft, mask)
+                    # Eq. 11–12: share of valid tokens that cleared the
+                    # confidence threshold and feed the KL loss.
+                    selection_rate = (
+                        float(selected.sum()) / valid_tokens if valid_tokens else 0.0
+                    )
+                    mask = selected
 
-            student.train()
-            optimizer.zero_grad()
-            loss = kl_div_loss(student.logits(features), targets, mask=mask)
-            loss.backward()
-            clip_grad_norm(student.parameters(), self.config.max_grad_norm)
-            optimizer.step()
+                student.train()
+                optimizer.zero_grad()
+                loss = kl_div_loss(student.logits(features), targets, mask=mask)
+                loss.backward()
+                clip_grad_norm(student.parameters(), self.config.max_grad_norm)
+                optimizer.step()
 
             record = {"stage": 1.0, "epoch": float(iteration),
                       "loss": float(loss.data), "val_f1": best_f1}
+            teacher_refreshed = False
             if iteration % self.config.eval_every == 0:
                 score = self._validation_f1(student, validation)
                 record["val_f1"] = score
+                if telemetry is not None:
+                    telemetry.event(
+                        "eval", phase="self_train", iteration=iteration,
+                        val_f1=score,
+                    )
                 if score > best_f1:
                     # The improved student re-initialises the teacher.
                     best_f1 = score
                     teacher.load_state_dict(student.state_dict())
                     frequency = None  # p_c must track the new teacher
+                    teacher_refreshed = True
             self.history.append(record)
+            if telemetry is not None:
+                telemetry.metrics.gauge("self_train.selection_rate").set(
+                    selection_rate
+                )
+                telemetry.metrics.counter("self_train.iterations").inc()
+                if teacher_refreshed:
+                    telemetry.metrics.counter("self_train.teacher_refreshes").inc()
+                telemetry.event(
+                    "step",
+                    phase="self_train",
+                    step=iteration,
+                    losses={"kl": float(loss.data)},
+                    selection_rate=selection_rate,
+                    selected_tokens=float(mask.sum()),
+                    valid_tokens=valid_tokens,
+                    teacher_refreshed=teacher_refreshed,
+                )
         return student
 
     def _class_frequency(

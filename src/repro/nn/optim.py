@@ -7,6 +7,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from .. import obs
 from .module import Parameter
 from .tensor import no_grad
 
@@ -48,6 +49,16 @@ class _Optimizer:
                 param.zero_grad()
 
     def step(self) -> None:
+        """Apply one update; timed into ``nn.optimizer_step_seconds`` when
+        a :mod:`repro.obs` telemetry session is active."""
+        telemetry = obs.get_telemetry()
+        if telemetry is None:
+            return self._step()
+        timer = telemetry.metrics.timer("nn.optimizer_step_seconds")
+        with timer.time(optimizer=type(self).__name__):
+            return self._step()
+
+    def _step(self) -> None:
         raise NotImplementedError
 
     def set_lr_scale(self, scale: float) -> None:
@@ -70,7 +81,7 @@ class Sgd(_Optimizer):
         ]
         self._snapshot_lrs()
 
-    def step(self) -> None:
+    def _step(self) -> None:
         with no_grad():
             for group, velocities in zip(self.groups, self._velocity):
                 for param, velocity in zip(group.params, velocities):
@@ -104,7 +115,7 @@ class Adam(_Optimizer):
         self._v = [[np.zeros_like(p.data) for p in g.params] for g in self.groups]
         self._snapshot_lrs()
 
-    def step(self) -> None:
+    def _step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
@@ -144,9 +155,19 @@ class AdamW(Adam):
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
-    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm.
+
+    When a :mod:`repro.obs` telemetry session is active, the pre-clip norm
+    is published to the ``nn.grad_norm`` gauge and ``nn.grad_clips``
+    counts how often the clip actually fired.
+    """
     params = [p for p in params if p.grad is not None]
     total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    telemetry = obs.get_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.gauge("nn.grad_norm").set(total)
+        if total > max_norm:
+            telemetry.metrics.counter("nn.grad_clips").inc()
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         with no_grad():

@@ -1,0 +1,280 @@
+"""Render a run-log JSONL file as a human-readable summary.
+
+Usage::
+
+    python -m repro.obs.report run.jsonl
+
+Sections: run header (id, status, wall time, config/seeds), step
+throughput, loss curves as text sparklines (one per loss series, grouped
+by phase), the aggregated span breakdown sorted by total time, the
+slowest individual spans, and the final metric snapshot.
+
+Everything here reads plain dicts produced by
+:func:`repro.obs.read_run_log` — the module never imports the model
+stack, so it can render logs from any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runlog import read_run_log
+
+__all__ = ["sparkline", "summarize", "main"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """Compress a numeric series into a one-line block-character chart.
+
+    Longer series are bucket-averaged down to ``width`` columns; constant
+    series render as a flat mid-height line.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Average each bucket so long runs keep their envelope shape.
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max((i + 1) * len(values) // width, lo + 1)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    low, high = min(values), max(values)
+    if high - low < 1e-12:
+        return _BLOCKS[3] * len(values)
+    scale = (len(_BLOCKS) - 1) / (high - low)
+    return "".join(_BLOCKS[int((v - low) * scale + 0.5)] for v in values)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _table(rows: List[Sequence[str]], header: Sequence[str]) -> List[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def _loss_series(steps: List[Dict]) -> Dict[Tuple[str, str], List[float]]:
+    """``{(phase, loss_name): [values in step order]}``."""
+    series: Dict[Tuple[str, str], List[float]] = {}
+    for event in steps:
+        phase = str(event.get("phase", ""))
+        for name, value in (event.get("losses") or {}).items():
+            if isinstance(value, (int, float)):
+                series.setdefault((phase, name), []).append(float(value))
+    return series
+
+
+def summarize(events: List[Dict], width: int = 48) -> str:
+    """Build the full multi-section text summary for a run's events."""
+    by_kind: Dict[str, List[Dict]] = {}
+    for event in events:
+        by_kind.setdefault(str(event.get("event", "?")), []).append(event)
+
+    lines: List[str] = []
+
+    # -- run header -----------------------------------------------------
+    start = by_kind.get("run_start", [{}])[0]
+    end = by_kind.get("run_end", [{}])[-1] if "run_end" in by_kind else {}
+    run_id = start.get("run_id") or end.get("run_id") or "<unknown>"
+    lines.append(f"run {run_id}  status={end.get('status', 'in-flight')}")
+    if end.get("total_seconds") is not None:
+        lines.append(f"wall time: {_format_seconds(float(end['total_seconds']))}")
+    if start.get("seeds"):
+        seeds = ", ".join(f"{k}={v}" for k, v in sorted(start["seeds"].items()))
+        lines.append(f"seeds: {seeds}")
+    if start.get("config"):
+        config = start["config"]
+        shown = ", ".join(f"{k}={config[k]}" for k in sorted(config)[:8])
+        more = f" (+{len(config) - 8} more)" if len(config) > 8 else ""
+        lines.append(f"config: {shown}{more}")
+
+    # -- steps & throughput ---------------------------------------------
+    steps = by_kind.get("step", [])
+    if steps:
+        lines.append("")
+        lines.append(f"steps: {len(steps)}")
+        elapsed = [float(e["elapsed"]) for e in steps if "elapsed" in e]
+        if len(elapsed) >= 2 and elapsed[-1] > elapsed[0]:
+            rate = (len(elapsed) - 1) / (elapsed[-1] - elapsed[0])
+            lines.append(f"throughput: {rate:.2f} steps/s")
+        documents = sum(int(e.get("documents", 0)) for e in steps)
+        if documents and len(elapsed) >= 2 and elapsed[-1] > elapsed[0]:
+            lines.append(
+                f"            {documents / (elapsed[-1] - elapsed[0]):.2f} docs/s"
+                f" ({documents} documents)"
+            )
+        grad_norms = [
+            float(e["grad_norm"]) for e in steps
+            if isinstance(e.get("grad_norm"), (int, float))
+        ]
+        if grad_norms:
+            lines.append(
+                f"grad norm: last={grad_norms[-1]:.4f} "
+                f"max={max(grad_norms):.4f}"
+            )
+
+        series = _loss_series(steps)
+        if series:
+            lines.append("")
+            lines.append("loss curves:")
+            for (phase, name), values in sorted(series.items()):
+                label = f"{phase}/{name}" if phase else name
+                lines.append(
+                    f"  {label:<24} {sparkline(values, width)}  "
+                    f"first={values[0]:.4f} last={values[-1]:.4f}"
+                )
+
+    # -- epochs / evals -------------------------------------------------
+    evals = by_kind.get("eval", []) + [
+        e for e in by_kind.get("epoch", []) if any(
+            k for k in e if k.startswith("val_")
+        )
+    ]
+    scores = [
+        (k, float(v))
+        for e in evals
+        for k, v in e.items()
+        if k.startswith("val_") and isinstance(v, (int, float))
+    ]
+    if scores:
+        lines.append("")
+        best: Dict[str, float] = {}
+        last: Dict[str, float] = {}
+        for key, value in scores:
+            best[key] = max(best.get(key, float("-inf")), value)
+            last[key] = value
+        parts = [f"{k} last={last[k]:.4f} best={best[k]:.4f}" for k in sorted(best)]
+        lines.append("validation: " + "; ".join(parts))
+
+    # -- span breakdown -------------------------------------------------
+    spans = by_kind.get("span", [])
+    if spans:
+        totals: Dict[str, Tuple[float, int]] = {}
+        for span in spans:
+            duration = float(span.get("duration") or 0.0)
+            seconds, calls = totals.get(str(span.get("name")), (0.0, 0))
+            totals[str(span.get("name"))] = (seconds + duration, calls + 1)
+        grand = sum(seconds for seconds, _ in totals.values())
+        rows = [
+            (
+                name,
+                str(calls),
+                _format_seconds(seconds),
+                _format_seconds(seconds / calls if calls else 0.0),
+                f"{100.0 * seconds / grand:.1f}%" if grand > 0 else "-",
+            )
+            for name, (seconds, calls) in sorted(
+                totals.items(), key=lambda item: -item[1][0]
+            )
+        ]
+        lines.append("")
+        lines.append("span breakdown:")
+        lines.extend(
+            "  " + line
+            for line in _table(rows, ("name", "calls", "total", "mean", "share"))
+        )
+
+        slowest = sorted(
+            spans, key=lambda s: -float(s.get("duration") or 0.0)
+        )[:5]
+        lines.append("")
+        lines.append("slowest spans:")
+        for span in slowest:
+            status = "" if span.get("status") == "ok" else f"  [{span.get('status')}]"
+            lines.append(
+                f"  {_format_seconds(float(span.get('duration') or 0.0)):>9}  "
+                f"{span.get('name')}{status}"
+            )
+
+    # -- metrics --------------------------------------------------------
+    snapshots = by_kind.get("metric_snapshot", [])
+    if snapshots:
+        metrics = snapshots[-1].get("metrics", {})
+        rows = []
+        for name in sorted(metrics):
+            dump = metrics[name]
+            for entry in dump.get("series", []):
+                labels = entry.get("labels") or {}
+                label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                value = entry.get("value")
+                if isinstance(value, dict):  # histogram/timer series
+                    # Only timers are known to hold seconds; plain
+                    # histograms may count anything (batch sizes, ratios).
+                    if dump.get("kind") == "timer":
+                        mean = _format_seconds(float(value.get("mean", 0.0)))
+                        peak = _format_seconds(float(value.get("max", 0.0)))
+                    else:
+                        mean = f"{float(value.get('mean', 0.0)):.4g}"
+                        peak = f"{float(value.get('max', 0.0)):.4g}"
+                    text = f"count={value.get('count')} mean={mean} max={peak}"
+                elif isinstance(value, float) and value != int(value):
+                    text = f"{value:.4f}"
+                else:
+                    text = str(int(value)) if isinstance(value, float) else str(value)
+                rows.append(
+                    (f"{name}{{{label_text}}}" if label_text else name,
+                     dump.get("kind", "?"), text)
+                )
+        if rows:
+            lines.append("")
+            lines.append("metrics (final snapshot):")
+            lines.extend(
+                "  " + line for line in _table(rows, ("metric", "kind", "value"))
+            )
+
+    lines.append("")
+    lines.append(f"events: {len(events)} total "
+                 + " ".join(f"{k}={len(v)}" for k, v in sorted(by_kind.items())))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.obs.report run.jsonl``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize a repro.obs run-log JSONL file.",
+    )
+    parser.add_argument("path", help="path to the run log (JSONL)")
+    parser.add_argument(
+        "--width", type=int, default=48, help="sparkline width in columns"
+    )
+    options = parser.parse_args(argv)
+    try:
+        events = read_run_log(options.path)
+    except OSError as error:
+        print(f"error: cannot read {options.path}: {error}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"error: {options.path} holds no events", file=sys.stderr)
+        return 1
+    try:
+        print(summarize(events, width=options.width))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""End-to-end: a tiny instrumented run produces a complete, renderable log.
+
+Trains the block classifier and the pre-training objectives on a tiny
+corpus under one telemetry session, runs batched inference, and then
+checks the JSONL run log carries everything the issue promises: monotone
+step numbers, all three pre-training loss series (wp/cl/ns), gradient
+norms, per-stage spans, and cache hit/miss metrics — and that the report
+CLI renders it without error.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import BlockClassifier, BlockTrainer, LabeledDocument, Pretrainer
+from repro.obs import read_run_log
+from repro.obs.report import main as report_main
+from repro.obs.report import summarize
+
+
+@pytest.fixture(scope="module")
+def run_events(tmp_path_factory):
+    # Build the world inline (module scope) so the whole e2e run happens
+    # once; assertions below all read the same event list.
+    from repro.core import Featurizer, HierarchicalEncoder, ResuFormerConfig
+    from repro.corpus import ContentConfig, ResumeGenerator
+    from repro.text import WordPieceTokenizer
+
+    documents = ResumeGenerator(
+        seed=11, content_config=ContentConfig.tiny()
+    ).batch(4)
+    tokenizer = WordPieceTokenizer.train(
+        [s.text for d in documents for s in d.sentences],
+        vocab_size=400,
+        min_frequency=1,
+    )
+    config = ResuFormerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        sentence_layers=1,
+        sentence_heads=2,
+        document_layers=1,
+        document_heads=2,
+        visual_proj_dim=8,
+        dropout=0.0,
+    )
+    featurizer = Featurizer(tokenizer, config)
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(11))
+    model = BlockClassifier(
+        encoder, featurizer, lstm_hidden=16, rng=np.random.default_rng(12)
+    )
+    labeled = [LabeledDocument.from_gold(d) for d in documents]
+
+    path = str(tmp_path_factory.mktemp("obs") / "run.jsonl")
+    with obs.telemetry(
+        run_log=path,
+        config={"epochs": 2, "batch_size": 2},
+        seeds={"generator": 11, "encoder": 11, "classifier": 12},
+    ):
+        Pretrainer(encoder, featurizer, seed=11).fit(
+            documents, epochs=1, batch_size=2
+        )
+        BlockTrainer(model, seed=11).fit(
+            labeled, validation=labeled[:2], epochs=2, batch_size=2
+        )
+        model.predict_batch(documents, batch_size=2)
+        featurizer.cache.export_metrics(obs.get_telemetry().metrics)
+    return path, read_run_log(path)
+
+
+class TestRunLog:
+    def test_lifecycle_brackets_the_run(self, run_events):
+        _, events = run_events
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "ok"
+        assert events[0]["seeds"]["generator"] == 11
+        assert events[0]["config"]["epochs"] == 2
+
+    def test_step_numbers_are_monotone_per_phase(self, run_events):
+        _, events = run_events
+        steps = [e for e in events if e["event"] == "step"]
+        assert steps, "no step events recorded"
+        by_phase = {}
+        for event in steps:
+            by_phase.setdefault(event["phase"], []).append(event["step"])
+        assert set(by_phase) == {"pretrain", "block_train"}
+        for phase, numbers in by_phase.items():
+            assert numbers == sorted(numbers), f"{phase} steps not monotone"
+            assert len(set(numbers)) == len(numbers), f"{phase} steps repeat"
+
+    def test_all_three_pretrain_loss_series(self, run_events):
+        _, events = run_events
+        pretrain_steps = [
+            e for e in events
+            if e["event"] == "step" and e["phase"] == "pretrain"
+        ]
+        for objective in ("wp", "cl", "ns"):
+            values = [
+                e["losses"][objective]
+                for e in pretrain_steps
+                if objective in e["losses"]
+            ]
+            assert values, f"no {objective} loss series in the run log"
+            assert all(np.isfinite(v) for v in values)
+        # λ-weighted contributions ride along (Eq. 7).
+        assert any(e.get("weighted_losses") for e in pretrain_steps)
+
+    def test_grad_norms_recorded(self, run_events):
+        _, events = run_events
+        norms = [
+            e["grad_norm"] for e in events
+            if e["event"] == "step" and e.get("grad_norm") is not None
+        ]
+        assert norms, "no gradient norms in the run log"
+        assert all(np.isfinite(n) and n >= 0 for n in norms)
+
+    def test_per_stage_spans_present(self, run_events):
+        _, events = run_events
+        names = {e["name"] for e in events if e["event"] == "span"}
+        for expected in (
+            "featurize", "encode", "decode", "predict_batch",
+            "pretrain.step", "block_train.epoch", "train.apply_step",
+        ):
+            assert expected in names, f"span {expected!r} missing"
+        # decode spans nest under predict_batch through parent links.
+        spans = [e for e in events if e["event"] == "span"]
+        by_id = {e["span_id"]: e for e in spans}
+        decode = next(e for e in spans if e["name"] == "decode")
+        assert by_id[decode["parent_id"]]["name"] == "predict_batch"
+
+    def test_eval_events_carry_validation_scores(self, run_events):
+        _, events = run_events
+        scores = [
+            e["val_accuracy"] for e in events
+            if e["event"] == "eval" and "val_accuracy" in e
+        ]
+        assert scores and all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_cache_metrics_in_final_snapshot(self, run_events):
+        _, events = run_events
+        snapshot = [e for e in events if e["event"] == "metric_snapshot"][-1]
+        metrics = snapshot["metrics"]
+        assert metrics["feature_cache.hits"]["series"][0]["value"] > 0
+        assert "feature_cache.misses" in metrics
+        assert metrics["feature_cache.hit_rate"]["series"][0]["value"] > 0
+        assert metrics["train.documents"]["series"][0]["value"] > 0
+        assert "inference.padding_waste" in metrics
+        assert "nn.optimizer_step_seconds" in metrics
+        loss_series = metrics["pretrain.loss"]["series"]
+        objectives = {s["labels"]["objective"] for s in loss_series}
+        assert {"wp", "cl", "ns", "total"} <= objectives
+
+
+class TestReport:
+    def test_summarize_renders_every_section(self, run_events):
+        _, events = run_events
+        text = summarize(events)
+        for needle in (
+            "run run-", "steps:", "loss curves:", "pretrain/wp",
+            "block_train/crf", "validation:", "span breakdown:",
+            "slowest spans:", "metrics (final snapshot):", "events:",
+        ):
+            assert needle in text, f"report lacks {needle!r}\n{text}"
+
+    def test_cli_exits_zero(self, run_events, capsys):
+        path, _ = run_events
+        assert report_main([path]) == 0
+        assert "span breakdown:" in capsys.readouterr().out
+
+    def test_cli_rejects_missing_file(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err

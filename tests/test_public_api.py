@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.ner",
     "repro.baselines",
     "repro.eval",
+    "repro.obs",
     "repro.pipeline",
     "repro.persistence",
     "repro.tools",
