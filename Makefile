@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint gradcheck bench bench-perf bench-train examples report clean
+.PHONY: install test lint gradcheck bench bench-perf bench-train examples report compare baseline clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,7 +46,23 @@ report:
 	@test -f $(RUN) || PYTHONPATH=src python examples/telemetry_run.py $(RUN)
 	PYTHONPATH=src python -m repro.obs.report $(RUN)
 
+# Regression gate: diff a fresh instrumented run against the committed
+# baseline log.  --no-timing because the baseline ran on another machine;
+# exits non-zero on a loss or validation regression (this is the CI
+# obs-gate).  Override the candidate with RUN=..., the baseline with
+# BASELINE=...
+BASELINE ?= baselines/run_telemetry_baseline.jsonl
+compare:
+	@test -f $(RUN) || PYTHONPATH=src python examples/telemetry_run.py $(RUN)
+	PYTHONPATH=src python -m repro.obs.compare $(BASELINE) $(RUN) \
+		--no-timing --require-complete --json-out obs_gate_diff.json
+
+# Refresh the committed baseline after an intentional training change.
+baseline:
+	PYTHONPATH=src python examples/telemetry_run.py $(BASELINE)
+	PYTHONPATH=src python -m repro.obs.report $(BASELINE)
+
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
-	rm -f run_telemetry.jsonl
+	rm -f run_telemetry.jsonl obs_gate_diff.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,16 +1,19 @@
 """Instrumented training run: every step, span and metric in one JSONL.
 
 Trains a small ResuFormer (pre-training + block-classifier fine-tuning +
-batched inference) inside a :func:`repro.obs.telemetry` session.  The
-session streams a structured run log — ``run_start`` with config and
-seeds, per-step losses and gradient norms, per-stage spans (featurize /
-encode / decode), cache hit/miss metrics, a final metric snapshot,
-``run_end`` — to the path given on the command line (default
-``run_telemetry.jsonl``).
+batched inference) inside a :func:`repro.obs.telemetry` session with the
+default alert rules armed.  The session streams a structured run log —
+``run_start`` with config and seeds, per-step losses and gradient norms,
+per-stage spans (featurize / encode / decode), cache hit/miss metrics,
+drift checks against a reference captured from the trained model's own
+predictions, a final metric snapshot, ``run_end`` — to the path given on
+the command line (default ``run_telemetry.jsonl``).
 
-Render the log afterwards with::
+Render or gate the log afterwards with::
 
     python -m repro.obs.report run_telemetry.jsonl
+    python -m repro.obs.compare baselines/run_telemetry_baseline.jsonl \
+        run_telemetry.jsonl --no-timing
 
 ``--epochs`` shrinks or grows the fine-tuning run (CI uses 2).
 """
@@ -21,6 +24,7 @@ import numpy as np
 
 import repro  # noqa: F401  (pins BLAS threads)
 from repro import obs
+from repro.obs.drift import ReferenceProfile
 from repro.core import (
     BlockClassifier,
     BlockTrainer,
@@ -74,6 +78,7 @@ def main():
             "hidden_dim": config.hidden_dim,
         },
         seeds={"corpus": SEED, "encoder": SEED, "classifier": SEED + 1},
+        alerts=True,
     ) as tel:
         Pretrainer(encoder, featurizer, seed=SEED).fit(
             documents, epochs=options.pretrain_epochs, batch_size=4
@@ -81,10 +86,29 @@ def main():
         BlockTrainer(classifier, seed=SEED).fit(
             train, validation=validation, epochs=options.epochs, batch_size=4
         )
+
+        # Capture a drift reference from the trained model's own serving
+        # behaviour, then monitor an identical pass against it — the
+        # healthy-path demo of the DriftMonitor flow (a real deployment
+        # would commit the captured profile and monitor fresh traffic).
+        tracked = (
+            "sentence_length", "sentences_per_doc", "bbox_height",
+            "bbox_y_center", "token_oov_rate", "block_label",
+            "crf_confidence",
+        )
+        capture = obs.DriftMonitor(
+            ReferenceProfile.template(tracked), check_every=10**9
+        )
+        tel.drift = capture
         classifier.predict_batch(documents, batch_size=4)
+        tel.drift = obs.DriftMonitor(capture.current_profile(), check_every=64)
+        classifier.predict_batch(documents, batch_size=4)
+
         featurizer.cache.export_metrics(tel.metrics)
+        alerts_fired = tel.alerts.count()
 
     print(f"run log written to {options.run_log}")
+    print(f"alerts fired: {alerts_fired}")
     print(f"render it with: python -m repro.obs.report {options.run_log}")
 
 

@@ -179,11 +179,50 @@ class BlockClassifier(Module):
                     emissions = self.emissions_batch(batch)
                 with stage("decode"), obs.trace("decode", batch=len(chunk)):
                     paths = self.crf.decode(emissions, batch.sentence_mask)
+                chunk_labels: List[List[str]] = []
                 for index, document, path in zip(indices, chunk, paths):
                     labels = self.scheme.decode(path)
                     labels += ["O"] * (document.num_sentences - len(labels))
                     results[index] = labels
+                    chunk_labels.append(labels)
+                if telemetry is not None and telemetry.drift is not None:
+                    self._observe_drift(
+                        telemetry.drift, chunk, features, batch, emissions,
+                        chunk_labels,
+                    )
         return results
+
+    def _observe_drift(
+        self, monitor, chunk, features, batch, emissions, predictions
+    ) -> None:
+        """Feed one decoded chunk to the session's drift monitor.
+
+        CRF confidences come from forward-backward marginals — an extra
+        pass over the emissions — so they are computed only when the
+        reference profile actually tracks ``crf_confidence``.
+        """
+        from ..obs import drift as obs_drift
+
+        confidences = None
+        if monitor.wants("crf_confidence"):
+            with obs.trace("drift.crf_marginals", batch=len(chunk)):
+                marginals = self.crf.marginals(emissions, batch.sentence_mask)
+            best = marginals.max(axis=2)
+            lengths = batch.sentence_mask.sum(axis=1).astype(np.int64)
+            confidences = [
+                float(value)
+                for row, length in zip(best, lengths)
+                for value in row[:length]
+            ]
+        monitor.observe(
+            obs_drift.document_observations(
+                chunk,
+                features=features,
+                unk_id=self.featurizer.tokenizer.vocab.unk_id,
+                predictions=predictions,
+                confidences=confidences,
+            )
+        )
 
     def predict_block_tags(self, document: ResumeDocument) -> List[str]:
         """Bare block tag per sentence ('O' outside any block)."""

@@ -66,8 +66,9 @@ class FeatureCache:
     When a :mod:`repro.obs` telemetry session is active, every hit, miss
     and LRU eviction also increments the session counters
     ``feature_cache.hits`` / ``feature_cache.misses`` /
-    ``feature_cache.evictions``, so run logs carry cache effectiveness
-    without any polling.
+    ``feature_cache.evictions``, and each lookup refreshes the live
+    ``feature_cache.hit_rate`` gauge — alert rules can watch the rate
+    mid-run instead of waiting for :meth:`export_metrics`.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -101,12 +102,16 @@ class FeatureCache:
                 telemetry = obs.get_telemetry()
                 if telemetry is not None:
                     telemetry.metrics.counter("feature_cache.hits").inc()
+                    telemetry.metrics.gauge("feature_cache.hit_rate").set(
+                        self.hit_rate
+                    )
                 return features
             del self._entries[id(document)]
         self.misses += 1
         telemetry = obs.get_telemetry()
         if telemetry is not None:
             telemetry.metrics.counter("feature_cache.misses").inc()
+            telemetry.metrics.gauge("feature_cache.hit_rate").set(self.hit_rate)
         return None
 
     def store(self, document: ResumeDocument, features: DocumentFeatures) -> None:

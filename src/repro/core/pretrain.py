@@ -531,7 +531,15 @@ class Pretrainer:
         self, telemetry, step: int, losses: Dict[str, float],
         documents: int, grad_norm: Optional[float] = None,
     ) -> None:
-        """Publish one pre-training step: raw and λ-weighted loss series."""
+        """Publish one pre-training step: raw and λ-weighted loss series.
+
+        An attached :class:`repro.obs.AlertEngine` derives the
+        ``pretrain.losses.{wp,cl,ns,total}`` series from these events —
+        the default ``nan-loss`` / ``loss-spike`` rules watch all of
+        them, and ``scl-collapse`` / ``dnsp-collapse`` specifically watch
+        the Eq. 7 contrastive and next-sentence objectives for degenerate
+        solutions.
+        """
         for name, value in losses.items():
             telemetry.metrics.gauge("pretrain.loss").set(value, objective=name)
         telemetry.metrics.counter("pretrain.steps").inc()

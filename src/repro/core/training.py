@@ -15,6 +15,7 @@ including ragged final windows where the last micro-batch is smaller.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -81,6 +82,7 @@ class GradAccumulator:
         return True
 
     def _apply(self) -> None:
+        started = time.perf_counter()
         with obs.trace("train.apply_step"):
             if self._weight != 1.0:
                 scale = 1.0 / self._weight
@@ -97,6 +99,9 @@ class GradAccumulator:
         telemetry = obs.get_telemetry()
         if telemetry is not None:
             telemetry.metrics.counter("train.optimizer_steps").inc()
+            telemetry.metrics.timer("train.apply_step_seconds").observe(
+                time.perf_counter() - started
+            )
             if self.last_grad_norm is not None:
                 telemetry.metrics.gauge("train.grad_norm").set(self.last_grad_norm)
         self._pending = 0

@@ -194,6 +194,12 @@ class NerTagger(Module):
         self, features: NerFeatures, examples: Sequence[NerExample]
     ) -> List[List[str]]:
         """Encode featurised examples and argmax-decode label strings."""
+        return self._decode_with_scores(features, examples)[0]
+
+    def _decode_with_scores(
+        self, features: NerFeatures, examples: Sequence[NerExample]
+    ):
+        """Decoded labels plus the raw ``(b, w, num_labels)`` scores."""
         self.eval()
         with obs.trace("encode", batch=features.batch_size), no_grad():
             scores = self.logits(features).numpy()
@@ -205,7 +211,7 @@ class NerTagger(Module):
                 labels = self.scheme.decode(list(ids))
                 labels += ["O"] * (n - len(labels))
                 predictions.append(labels)
-        return predictions
+        return predictions, scores
 
     def predict_batch(
         self, examples: Sequence[NerExample], batch_size: int = 32
@@ -244,8 +250,43 @@ class NerTagger(Module):
                         "ner.batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128)
                     ).observe(len(chunk))
                     telemetry.metrics.counter("ner.examples").inc(len(chunk))
-                predictions.extend(self._decode_features(features, chunk))
+                chunk_predictions, scores = self._decode_with_scores(
+                    features, chunk
+                )
+                predictions.extend(chunk_predictions)
+                if telemetry is not None and telemetry.drift is not None:
+                    self._observe_drift(
+                        telemetry.drift, chunk, features, scores,
+                        chunk_predictions,
+                    )
         return predictions
+
+    def _observe_drift(
+        self, monitor, chunk, features, scores, predictions
+    ) -> None:
+        """Feed one decoded chunk to the session's drift monitor.
+
+        Softmax confidences are derived from the scores the decode already
+        produced, and only when the reference tracks ``ner_confidence``.
+        """
+        from ..obs import drift as obs_drift
+
+        confidences = None
+        if monitor.wants("ner_confidence"):
+            shifted = scores - scores.max(axis=-1, keepdims=True)
+            probs = np.exp(shifted)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            best = probs.max(axis=-1)
+            confidences = [
+                float(value)
+                for row, example in zip(best, chunk)
+                for value in row[: min(len(example.words), features.max_words)]
+            ]
+        monitor.observe(
+            obs_drift.ner_observations(
+                chunk, predictions=predictions, confidences=confidences
+            )
+        )
 
     def clone(self) -> "NerTagger":
         """A parameter-identical copy (used by the teacher-student loop)."""

@@ -221,6 +221,12 @@ class SelfTrainer:
 
         The caller's teacher is cloned, never mutated, so one teacher can
         seed several student runs (ablations, threshold sweeps).
+
+        Each iteration emits a ``step`` event (phase ``self_train``) whose
+        ``selection_rate`` field becomes the ``self_train.selection_rate``
+        alert series — a custom ``Rule("low-selection",
+        "self_train.selection_rate", below(0.05))`` catches a collapsing
+        Eq. 11–12 confidence selection long before validation F1 moves.
         """
         teacher = initial_teacher.clone()
         student = teacher.clone()

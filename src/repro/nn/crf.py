@@ -323,6 +323,56 @@ class LinearChainCrf(Module):
             tags[:, t - 1] = np.where(inside, best, tags[:, t - 1])
         return [row[:length].tolist() for row, length in zip(tags, lengths)]
 
+    def marginals(
+        self, emissions: Tensor, mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Unary marginals ``p(tag_t = k | x)`` via forward-backward.
+
+        Pure-numpy inference twin of the recursion inside
+        :func:`_fused_log_partition` — no autograd graph is built.  Returns
+        ``(batch, seq, num_tags)`` probabilities, zeroed in the padding;
+        ``marginals.max(axis=2)`` is the per-position confidence signal the
+        drift monitor consumes.  Requires prefix masks (contiguous valid
+        positions), like batched decoding.
+        """
+        scores = emissions.data if isinstance(emissions, Tensor) else emissions
+        batch, seq, num_tags = scores.shape
+        mask = self._prepare_mask(mask, (batch, seq))
+        if not self._is_prefix_mask(mask):
+            raise ValueError("marginals requires prefix masks")
+        lengths = mask.sum(axis=1).astype(np.int64)
+        trans = self.transitions.data
+        start = self.start_scores.data
+        end = self.end_scores.data
+
+        alphas = np.empty((batch, seq, num_tags))
+        alpha = start + scores[:, 0]
+        alphas[:, 0] = alpha
+        for t in range(1, seq):
+            advanced = _lse(alpha[:, :, None] + trans[None], axis=1)
+            advanced = advanced + scores[:, t]
+            step = (t < lengths)[:, None]
+            alpha = np.where(step, advanced, alpha)
+            alphas[:, t] = alpha
+        log_z = _lse(alpha + end, axis=1)
+
+        betas = np.empty((batch, seq, num_tags))
+        beta = np.broadcast_to(end, (batch, num_tags))
+        betas[:, seq - 1] = beta
+        for t in range(seq - 2, -1, -1):
+            stepped = _lse(
+                trans[None] + scores[:, t + 1][:, None, :] + beta[:, None, :],
+                axis=2,
+            )
+            is_last = (t == lengths - 1)[:, None]
+            inside = (t < lengths - 1)[:, None]
+            beta = np.where(is_last, end[None, :], np.where(inside, stepped, beta))
+            betas[:, t] = beta
+
+        valid = (np.arange(seq)[None, :] < lengths[:, None]).astype(np.float64)
+        marginals = np.exp(alphas + betas - log_z[:, None, None])
+        return marginals * valid[:, :, None]
+
 
 class FuzzyCrf(LinearChainCrf):
     """Fuzzy CRF: likelihood marginalised over label sets per position.

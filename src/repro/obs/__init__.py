@@ -44,6 +44,14 @@ import contextlib
 import contextvars
 from typing import Dict, Iterator, Optional, Union
 
+from .alerts import Alert, AlertEngine, AlertError, Rule, default_rules
+from .drift import (
+    DriftMonitor,
+    DriftReport,
+    ReferenceProfile,
+    profile_documents,
+    profile_ner_examples,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -68,6 +76,16 @@ __all__ = [
     "RunLogger",
     "read_run_log",
     "write_json",
+    "Alert",
+    "AlertEngine",
+    "AlertError",
+    "Rule",
+    "default_rules",
+    "DriftMonitor",
+    "DriftReport",
+    "ReferenceProfile",
+    "profile_documents",
+    "profile_ner_examples",
     "Telemetry",
     "telemetry",
     "use_telemetry",
@@ -78,40 +96,90 @@ __all__ = [
 ]
 
 
+def _resolve_alerts(alerts) -> Optional[AlertEngine]:
+    """Normalize the ``alerts`` argument of a session.
+
+    ``None``/``False`` → no engine, ``True`` → the default rules, a list
+    of :class:`Rule` → a fresh engine over them, an :class:`AlertEngine`
+    → used as-is.
+    """
+    if alerts is None or alerts is False:
+        return None
+    if alerts is True:
+        return AlertEngine()
+    if isinstance(alerts, AlertEngine):
+        return alerts
+    return AlertEngine(rules=list(alerts))
+
+
 class Telemetry:
     """One observability session: a registry, a tracer, an optional run log.
 
     The tracer streams every finished span into the run logger (when one
     is attached), so a single JSONL file carries the full story of a run.
+
+    ``alerts`` attaches an :class:`AlertEngine` (``True`` for the default
+    rules) that watches the event/span stream; firings are logged as
+    ``alert`` events, counted under ``alerts.fired{severity=...}``, and
+    raised as :class:`AlertError` when their severity is in the engine's
+    ``raise_on`` set.  ``drift`` attaches a :class:`DriftMonitor` that the
+    instrumented predict paths feed automatically.
     """
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         run_logger: Optional[RunLogger] = None,
+        alerts: Union[bool, AlertEngine, None] = None,
+        drift: Optional[DriftMonitor] = None,
     ):
         self.metrics = registry or MetricsRegistry()
         self.run_logger = run_logger
+        self.alerts = _resolve_alerts(alerts)
+        if self.alerts is not None:
+            self.alerts.bind(self.metrics)
+        self.drift = drift
         self.tracer = Tracer(on_finish=self._on_span)
 
     def _on_span(self, span: Span) -> None:
         if self.run_logger is not None:
             self.run_logger.span(span)
+        if self.alerts is not None:
+            self._handle_alerts(self.alerts.observe_span(span))
 
     def event(self, kind: str, **fields) -> None:
-        """Forward an event to the run logger, if one is attached."""
+        """Forward an event to the run logger and the alert engine."""
         if self.run_logger is not None:
             self.run_logger.event(kind, **fields)
+        if self.alerts is not None and kind != "alert":
+            self._handle_alerts(self.alerts.observe_event(kind, fields))
+
+    def _handle_alerts(self, fired) -> None:
+        """Log, count, and (per ``raise_on``) escalate fired alerts.
+
+        The alert event and counter land *before* any raise, so an
+        aborted run's log still carries the evidence.
+        """
+        for alert in fired:
+            if self.run_logger is not None:
+                self.run_logger.event("alert", **alert.to_fields())
+            self.metrics.counter("alerts.fired").inc(severity=alert.severity)
+        for alert in fired:
+            if alert.severity in self.alerts.raise_on:
+                raise AlertError(alert)
 
     def summary(self) -> Dict[str, object]:
         """JSON-ready session summary: span breakdown + metric snapshot.
 
         The benchmark suites embed this in their ``BENCH_*.json`` reports.
         """
-        return {
+        summary: Dict[str, object] = {
             "spans": self.tracer.breakdown(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.alerts is not None:
+            summary["alerts"] = [a.to_fields() for a in self.alerts.alerts]
+        return summary
 
 
 #: The active telemetry session of the current execution context.  Default
@@ -153,6 +221,8 @@ def telemetry(
     config: Optional[Dict[str, object]] = None,
     seeds: Optional[Dict[str, object]] = None,
     registry: Optional[MetricsRegistry] = None,
+    alerts: Union[bool, AlertEngine, None] = None,
+    drift: Optional[DriftMonitor] = None,
 ) -> Iterator[Telemetry]:
     """Create and install a telemetry session for the duration of the block.
 
@@ -161,10 +231,17 @@ def telemetry(
     ``metric_snapshot`` + ``run_end``) or an already-open logger (left open
     on exit, snapshot still written).  Without ``run_log`` the session
     collects metrics and spans in memory only.
+
+    ``alerts=True`` watches the run with :func:`default_rules`; pass an
+    :class:`AlertEngine` for custom rules or ``raise_on`` severities.
+    ``drift`` attaches a :class:`DriftMonitor` fed by the instrumented
+    ``predict_batch`` paths.
     """
     owns_logger = isinstance(run_log, str)
     logger = RunLogger(run_log, config=config, seeds=seeds) if owns_logger else run_log
-    session = Telemetry(registry=registry, run_logger=logger)
+    session = Telemetry(
+        registry=registry, run_logger=logger, alerts=alerts, drift=drift
+    )
     if owns_logger:
         logger.run_start()
     status = "ok"

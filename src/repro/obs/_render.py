@@ -1,0 +1,31 @@
+"""Small text-rendering helpers shared by the report and compare CLIs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_seconds", "table"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: ``1.23s`` / ``4.5ms`` / ``678µs``."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def table(rows: List[Sequence[str]], header: Sequence[str]) -> List[str]:
+    """Left-aligned text table with a dashed underline."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines

@@ -1,0 +1,619 @@
+"""Input/prediction drift detection against committed reference profiles.
+
+A serving path that quietly starts seeing different resumes — longer
+sentences, unfamiliar vocabulary, a new layout — degrades long before
+anyone re-runs an evaluation.  This module captures a
+:class:`ReferenceProfile` (a set of named distributions) from a trusted
+corpus or run, then scores fresh batches against it with PSI and KL
+divergence.
+
+Profiles hold two kinds of feature distribution:
+
+* **histogram** — fixed bin edges with an overflow bin (sentence lengths,
+  normalised bbox geometry, per-sentence OOV rates, CRF/softmax
+  confidences).  Candidates are binned with the *reference's* edges so
+  the two distributions stay comparable.
+* **categorical** — label frequencies (predicted block tags, NER tags).
+
+Scores follow the standard PSI reading: under ``0.1`` stable, ``0.1`` to
+``0.25`` moderate shift, above ``0.25`` drifted.  Empty references score
+as ``no-reference`` and empty candidates as ``no-data`` — never a
+division by zero; disjoint distributions produce a large finite PSI via
+proportion smoothing.  Features where either side holds fewer than
+``min_samples`` observations score ``low-data`` (PSI still reported but
+never flagged) — a four-document histogram is noise, not evidence.
+
+Live monitoring::
+
+    reference = profile_documents(train_docs, featurizer=featurizer)
+    monitor = DriftMonitor(reference, check_every=64)
+    with obs.telemetry(run_log="serve.jsonl", drift=monitor):
+        classifier.predict_batch(incoming)   # feeds the monitor
+
+Both ``predict_batch`` paths feed an installed monitor automatically;
+every ``check_every`` observations the monitor scores its rolling window,
+emits a ``drift`` event into the run log, and updates the
+``drift.psi{feature=...}`` gauges so alert rules can watch them.
+
+One-shot checking::
+
+    report = check(reference, {"sentence_length": lengths})
+    if not report.ok:
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "DEFAULT_MIN_SAMPLES",
+    "DriftMonitor",
+    "DriftReport",
+    "FeatureProfile",
+    "ReferenceProfile",
+    "check",
+    "document_observations",
+    "ner_observations",
+    "profile_documents",
+    "profile_ner_examples",
+    "psi",
+    "kl_divergence",
+]
+
+#: Smallest proportion a bin may take when scoring — keeps PSI/KL finite
+#: on disjoint distributions.
+_EPSILON = 1e-4
+
+#: PSI thresholds: ``(moderate, drifted)``.
+DEFAULT_THRESHOLDS = (0.1, 0.25)
+
+#: Below this many observations on either side a feature scores
+#: ``low-data`` instead of being judged — PSI over a handful of points
+#: flags noise as drift.
+DEFAULT_MIN_SAMPLES = 20
+
+#: Default bin edges per histogram feature (values beyond the last edge
+#: land in the overflow bin).
+DEFAULT_EDGES: Dict[str, Tuple[float, ...]] = {
+    "sentence_length": (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48),
+    "sentences_per_doc": (2, 4, 8, 12, 16, 24, 32, 48, 64),
+    "word_count": (4, 8, 16, 32, 64, 96, 128, 192),
+    "bbox_height": tuple(i / 20 for i in range(1, 11)),
+    "bbox_y_center": tuple(i / 10 for i in range(1, 11)),
+    "token_oov_rate": tuple(i / 10 for i in range(1, 11)),
+    "crf_confidence": tuple(i / 10 for i in range(1, 11)),
+    "ner_confidence": tuple(i / 10 for i in range(1, 11)),
+}
+
+
+@dataclass
+class FeatureProfile:
+    """One feature's distribution: histogram bins or categorical counts."""
+
+    kind: str  # "histogram" | "categorical"
+    edges: Tuple[float, ...] = ()
+    counts: List[float] = field(default_factory=list)
+    categories: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        if self.kind == "histogram":
+            return float(sum(self.counts))
+        return float(sum(self.categories.values()))
+
+    def to_dict(self) -> Dict[str, object]:
+        if self.kind == "histogram":
+            return {
+                "kind": self.kind,
+                "edges": list(self.edges),
+                "counts": list(self.counts),
+            }
+        return {"kind": self.kind, "categories": dict(self.categories)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FeatureProfile":
+        kind = str(payload.get("kind", "histogram"))
+        if kind == "histogram":
+            return cls(
+                kind="histogram",
+                edges=tuple(float(e) for e in payload.get("edges", ())),
+                counts=[float(c) for c in payload.get("counts", [])],
+            )
+        return cls(
+            kind="categorical",
+            categories={
+                str(k): float(v)
+                for k, v in dict(payload.get("categories", {})).items()
+            },
+        )
+
+    # -- building -------------------------------------------------------
+    @classmethod
+    def histogram(
+        cls, edges: Sequence[float], values: Sequence[float] = ()
+    ) -> "FeatureProfile":
+        profile = cls(
+            kind="histogram",
+            edges=tuple(float(e) for e in edges),
+            counts=[0.0] * (len(edges) + 1),
+        )
+        profile.extend(values)
+        return profile
+
+    @classmethod
+    def categorical(cls, labels: Sequence[str] = ()) -> "FeatureProfile":
+        profile = cls(kind="categorical")
+        profile.extend(labels)
+        return profile
+
+    def extend(self, values: Sequence) -> None:
+        """Accumulate observations (numbers or labels, matching ``kind``)."""
+        if self.kind == "histogram":
+            for value in values:
+                value = float(value)
+                if not math.isfinite(value):
+                    continue
+                index = len(self.edges)
+                for i, edge in enumerate(self.edges):
+                    if value <= edge:
+                        index = i
+                        break
+                self.counts[index] += 1.0
+        else:
+            for label in values:
+                label = str(label)
+                self.categories[label] = self.categories.get(label, 0.0) + 1.0
+
+    def proportions(
+        self, align_with: Optional["FeatureProfile"] = None
+    ) -> Tuple[List[float], List[str]]:
+        """Smoothed proportion vector (and its bin names).
+
+        For categoricals ``align_with`` fixes the category order so two
+        profiles produce comparable vectors (union of both key sets).
+        """
+        if self.kind == "histogram":
+            names = [str(e) for e in self.edges] + ["+Inf"]
+            raw = list(self.counts)
+        else:
+            keys = set(self.categories)
+            if align_with is not None:
+                keys |= set(align_with.categories)
+            names = sorted(keys)
+            raw = [self.categories.get(k, 0.0) for k in names]
+        total = sum(raw)
+        if total <= 0:
+            return [], names
+        floored = [max(c / total, _EPSILON) for c in raw]
+        norm = sum(floored)
+        return [p / norm for p in floored], names
+
+
+class ReferenceProfile:
+    """A named set of :class:`FeatureProfile` distributions.
+
+    Serializable (:meth:`to_dict`/:meth:`save`) so a trusted profile can
+    live in the repository next to the baseline run log.
+    """
+
+    def __init__(
+        self,
+        features: Optional[Dict[str, FeatureProfile]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ):
+        self.features: Dict[str, FeatureProfile] = dict(features or {})
+        self.meta: Dict[str, object] = dict(meta or {})
+
+    def __contains__(self, feature: str) -> bool:
+        return feature in self.features
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def names(self) -> List[str]:
+        return sorted(self.features)
+
+    # -- persistence ----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "meta": dict(self.meta),
+            "features": {
+                name: profile.to_dict()
+                for name, profile in sorted(self.features.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ReferenceProfile":
+        features = {
+            str(name): FeatureProfile.from_dict(spec)
+            for name, spec in dict(payload.get("features", {})).items()
+        }
+        return cls(features, meta=dict(payload.get("meta", {})))
+
+    @classmethod
+    def template(
+        cls,
+        features: Sequence[str],
+        categorical: Sequence[str] = ("block_label", "ner_label"),
+    ) -> "ReferenceProfile":
+        """An empty profile tracking ``features`` — the capture template.
+
+        Attach a :class:`DriftMonitor` over a template to a session, run
+        trusted traffic through the instrumented predict paths (which
+        only feed features the monitor :meth:`~DriftMonitor.wants`), and
+        harvest :meth:`DriftMonitor.current_profile` as the real
+        reference.
+        """
+        profiles: Dict[str, FeatureProfile] = {}
+        for name in features:
+            if name in categorical:
+                profiles[name] = FeatureProfile.categorical()
+            else:
+                edges = DEFAULT_EDGES.get(name, DEFAULT_EDGES["sentence_length"])
+                profiles[name] = FeatureProfile.histogram(edges)
+        return cls(profiles, meta={"source": "template"})
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ReferenceProfile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Scores
+# ----------------------------------------------------------------------
+def psi(reference: FeatureProfile, candidate: FeatureProfile) -> Optional[float]:
+    """Population stability index between two aligned distributions.
+
+    ``None`` when either side holds no observations (callers report the
+    missing side instead of pretending stability)."""
+    p, _ = reference.proportions(align_with=candidate)
+    q, _ = candidate.proportions(align_with=reference)
+    if not p or not q or len(p) != len(q):
+        return None
+    return float(sum((a - b) * math.log(a / b) for a, b in zip(p, q)))
+
+
+def kl_divergence(
+    reference: FeatureProfile, candidate: FeatureProfile
+) -> Optional[float]:
+    """``KL(candidate || reference)`` over the aligned, smoothed bins."""
+    p, _ = reference.proportions(align_with=candidate)
+    q, _ = candidate.proportions(align_with=reference)
+    if not p or not q or len(p) != len(q):
+        return None
+    return float(sum(b * math.log(b / a) for a, b in zip(p, q)))
+
+
+@dataclass
+class DriftReport:
+    """Per-feature drift scores plus the overall verdict."""
+
+    scores: Dict[str, Dict[str, object]]
+    thresholds: Tuple[float, float] = DEFAULT_THRESHOLDS
+
+    @property
+    def drifted(self) -> List[str]:
+        return sorted(
+            name for name, entry in self.scores.items()
+            if entry.get("status") == "drifted"
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def to_fields(self) -> Dict[str, object]:
+        """Event payload for the run log."""
+        return {
+            "ok": self.ok,
+            "drifted": self.drifted,
+            "thresholds": list(self.thresholds),
+            "scores": self.scores,
+        }
+
+
+def check(
+    reference: ReferenceProfile,
+    observations: Union[Dict[str, Sequence], ReferenceProfile],
+    thresholds: Tuple[float, float] = DEFAULT_THRESHOLDS,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+) -> DriftReport:
+    """Score a batch of observations against a reference profile.
+
+    ``observations`` maps feature names to raw values (binned with the
+    reference's edges), or is itself a profile.  Features absent from the
+    reference are ignored; reference features with no fresh observations
+    score ``no-data``; features where either side has fewer than
+    ``min_samples`` observations score ``low-data``.
+    """
+    if isinstance(observations, ReferenceProfile):
+        candidates = observations.features
+    else:
+        candidates = {}
+        for name, values in observations.items():
+            spec = reference.features.get(name)
+            if spec is None:
+                continue
+            if spec.kind == "histogram":
+                candidates[name] = FeatureProfile.histogram(spec.edges, values)
+            else:
+                candidates[name] = FeatureProfile.categorical(
+                    [str(v) for v in values]
+                )
+    moderate, drifted = thresholds
+    scores: Dict[str, Dict[str, object]] = {}
+    for name, spec in reference.features.items():
+        candidate = candidates.get(name)
+        entry: Dict[str, object] = {
+            "n_reference": spec.total,
+            "n_candidate": candidate.total if candidate is not None else 0.0,
+        }
+        if spec.total <= 0:
+            entry["status"] = "no-reference"
+        elif candidate is None or candidate.total <= 0:
+            entry["status"] = "no-data"
+        else:
+            score = psi(spec, candidate)
+            entry["psi"] = score
+            entry["kl"] = kl_divergence(spec, candidate)
+            if score is None:
+                entry["status"] = "no-data"
+            elif spec.total < min_samples or candidate.total < min_samples:
+                entry["status"] = "low-data"
+            elif score > drifted:
+                entry["status"] = "drifted"
+            elif score > moderate:
+                entry["status"] = "moderate"
+            else:
+                entry["status"] = "ok"
+        scores[name] = entry
+    return DriftReport(scores=scores, thresholds=thresholds)
+
+
+# ----------------------------------------------------------------------
+# Observation extraction (shared by profile builders and live hooks)
+# ----------------------------------------------------------------------
+def document_observations(
+    documents: Sequence,
+    features: Optional[Sequence] = None,
+    unk_id: Optional[int] = None,
+    predictions: Optional[Sequence[Sequence[str]]] = None,
+    confidences: Optional[Sequence[float]] = None,
+) -> Dict[str, List]:
+    """Raw drift observations from resume documents (+ optional extras).
+
+    ``features`` are the aligned :class:`~repro.core.DocumentFeatures`
+    (enables ``token_oov_rate`` when ``unk_id`` is given); ``predictions``
+    are sentence-level IOB labels (their bare tags feed ``block_label``);
+    ``confidences`` is a flat sequence of per-position CRF confidences.
+    """
+    observations: Dict[str, List] = {
+        "sentence_length": [],
+        "sentences_per_doc": [],
+        "bbox_height": [],
+        "bbox_y_center": [],
+    }
+    for document in documents:
+        observations["sentences_per_doc"].append(document.num_sentences)
+        for sentence in document.sentences:
+            observations["sentence_length"].append(len(sentence.tokens))
+            page = document.page(sentence.page)
+            box = sentence.bbox.normalized(page.width, page.height)
+            x0, y0, x1, y1 = box.to_tuple()
+            observations["bbox_height"].append((y1 - y0) / 1000.0)
+            observations["bbox_y_center"].append((y0 + y1) / 2000.0)
+    if features is not None and unk_id is not None:
+        rates: List[float] = []
+        for bundle in features:
+            mask = bundle.token_mask > 0
+            for row in range(bundle.token_ids.shape[0]):
+                valid = mask[row]
+                count = int(valid.sum())
+                if count:
+                    unk = int((bundle.token_ids[row][valid] == unk_id).sum())
+                    rates.append(unk / count)
+        observations["token_oov_rate"] = rates
+    if predictions is not None:
+        observations["block_label"] = [
+            label if label == "O" else label[2:]
+            for labels in predictions
+            for label in labels
+        ]
+    if confidences is not None:
+        observations["crf_confidence"] = [float(c) for c in confidences]
+    return observations
+
+
+def ner_observations(
+    examples: Sequence,
+    predictions: Optional[Sequence[Sequence[str]]] = None,
+    confidences: Optional[Sequence[float]] = None,
+) -> Dict[str, List]:
+    """Raw drift observations from NER examples (word counts, labels)."""
+    observations: Dict[str, List] = {
+        "word_count": [len(example.words) for example in examples],
+    }
+    if predictions is not None:
+        observations["ner_label"] = [
+            label if label == "O" else label[2:]
+            for labels in predictions
+            for label in labels
+        ]
+    if confidences is not None:
+        observations["ner_confidence"] = [float(c) for c in confidences]
+    return observations
+
+
+def _build_profile(
+    observations: Dict[str, Sequence],
+    meta: Dict[str, object],
+    categorical: Sequence[str] = ("block_label", "ner_label"),
+) -> ReferenceProfile:
+    features: Dict[str, FeatureProfile] = {}
+    for name, values in observations.items():
+        if name in categorical:
+            features[name] = FeatureProfile.categorical([str(v) for v in values])
+        else:
+            edges = DEFAULT_EDGES.get(name, DEFAULT_EDGES["sentence_length"])
+            features[name] = FeatureProfile.histogram(edges, values)
+    return ReferenceProfile(features, meta=meta)
+
+
+def profile_documents(
+    documents: Sequence,
+    featurizer=None,
+    predictions: Optional[Sequence[Sequence[str]]] = None,
+    confidences: Optional[Sequence[float]] = None,
+) -> ReferenceProfile:
+    """Capture a reference profile from a trusted document corpus.
+
+    ``featurizer`` (a :class:`repro.core.Featurizer`) enables the
+    ``token_oov_rate`` feature; ``predictions``/``confidences`` fold the
+    model's own output distributions in, so serving-time prediction drift
+    is detectable too.
+    """
+    features = None
+    unk_id = None
+    if featurizer is not None:
+        features = [featurizer.featurize(d) for d in documents]
+        unk_id = featurizer.tokenizer.vocab.unk_id
+    observations = document_observations(
+        documents,
+        features=features,
+        unk_id=unk_id,
+        predictions=predictions,
+        confidences=confidences,
+    )
+    return _build_profile(
+        observations, meta={"source": "documents", "count": len(documents)}
+    )
+
+
+def profile_ner_examples(
+    examples: Sequence,
+    predictions: Optional[Sequence[Sequence[str]]] = None,
+    confidences: Optional[Sequence[float]] = None,
+) -> ReferenceProfile:
+    """Capture a reference profile from trusted NER examples."""
+    observations = ner_observations(
+        examples, predictions=predictions, confidences=confidences
+    )
+    return _build_profile(
+        observations, meta={"source": "ner_examples", "count": len(examples)}
+    )
+
+
+# ----------------------------------------------------------------------
+# Live monitor
+# ----------------------------------------------------------------------
+class DriftMonitor:
+    """Rolling-window drift watcher attached to a telemetry session.
+
+    Instrumented predict paths call :meth:`observe` with fresh raw
+    observations; every ``check_every`` observations the monitor scores
+    its window against the reference, emits a ``drift`` event through the
+    active session, and updates the ``drift.psi{feature=...}`` gauges.
+    Only features present in the reference are tracked — instrumentation
+    can probe :meth:`wants` before paying for an expensive signal (e.g.
+    CRF marginals).
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceProfile,
+        window: int = 512,
+        check_every: int = 64,
+        thresholds: Tuple[float, float] = DEFAULT_THRESHOLDS,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+    ):
+        if window <= 0 or check_every <= 0:
+            raise ValueError("window and check_every must be positive")
+        self.reference = reference
+        self.window = window
+        self.check_every = check_every
+        self.thresholds = thresholds
+        self.min_samples = min_samples
+        self.last_report: Optional[DriftReport] = None
+        self.checks = 0
+        self._values: Dict[str, Deque] = {
+            name: deque(maxlen=window) for name in reference.features
+        }
+        self._since_check = 0
+
+    def wants(self, feature: str) -> bool:
+        """Whether the reference tracks ``feature`` (skip costly signals)."""
+        return feature in self._values
+
+    # -- feeding --------------------------------------------------------
+    def observe(self, observations: Dict[str, Sequence]) -> Optional[DriftReport]:
+        """Fold fresh observations in; returns a report when a check ran."""
+        added = 0
+        for name, values in observations.items():
+            buffer = self._values.get(name)
+            if buffer is None:
+                continue
+            for value in values:
+                buffer.append(value)
+                added += 1
+        if not added:
+            return None
+        self._since_check += added
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            return self.run_check()
+        return None
+
+    # -- checking -------------------------------------------------------
+    def current_observations(self) -> Dict[str, List]:
+        """The rolling window's raw values per feature."""
+        return {name: list(buffer) for name, buffer in self._values.items()}
+
+    def current_profile(self) -> ReferenceProfile:
+        """The rolling window as a profile (capture-from-a-run path)."""
+        report = _build_profile(
+            self.current_observations(), meta={"source": "monitor"}
+        )
+        return report
+
+    def run_check(self) -> DriftReport:
+        """Score the rolling window now; publishes to the active session."""
+        report = check(
+            self.reference,
+            self.current_observations(),
+            self.thresholds,
+            min_samples=self.min_samples,
+        )
+        self.checks += 1
+        self.last_report = report
+        self._publish(report)
+        return report
+
+    def _publish(self, report: DriftReport) -> None:
+        from . import get_telemetry  # local import: obs.__init__ imports us
+
+        telemetry = get_telemetry()
+        if telemetry is None:
+            return
+        telemetry.event("drift", **report.to_fields())
+        telemetry.metrics.counter("drift.checks").inc()
+        if not report.ok:
+            telemetry.metrics.counter("drift.flags").inc(
+                amount=len(report.drifted)
+            )
+        for name, entry in report.scores.items():
+            score = entry.get("psi")
+            if isinstance(score, (int, float)):
+                telemetry.metrics.gauge("drift.psi").set(score, feature=name)

@@ -195,6 +195,41 @@ class Histogram(_Metric):
                 state = _HistogramState(len(self.buckets))
             return self._series_value(state)
 
+    def percentile(self, q: float, **labels) -> float:
+        """Bucket-interpolated percentile estimate (``q`` in [0, 100]).
+
+        Linear interpolation inside the bucket holding the target rank;
+        the first bucket's lower bound is the observed minimum and the
+        overflow bucket's upper bound the observed maximum, so estimates
+        never leave the observed range.  Empty series estimate 0.0.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be in [0, 100]")
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            if state is None:
+                return 0.0
+            return self._estimate_percentile(state, q)
+
+    def _estimate_percentile(self, state: _HistogramState, q: float) -> float:
+        if state.count == 0:
+            return 0.0
+        target = (q / 100.0) * state.count
+        cumulative = 0
+        for index, bucket_count in enumerate(state.counts):
+            if bucket_count and cumulative + bucket_count >= target:
+                lower = state.minimum if index == 0 else self.buckets[index - 1]
+                upper = (
+                    state.maximum
+                    if index == len(self.buckets)
+                    else self.buckets[index]
+                )
+                fraction = max(target - cumulative, 0.0) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, state.minimum), state.maximum)
+            cumulative += bucket_count
+        return state.maximum
+
     def _series_value(self, state: _HistogramState) -> Dict[str, object]:
         return {
             "count": state.count,
@@ -202,6 +237,9 @@ class Histogram(_Metric):
             "mean": state.total / state.count if state.count else 0.0,
             "min": state.minimum if state.count else 0.0,
             "max": state.maximum if state.count else 0.0,
+            "p50": self._estimate_percentile(state, 50.0),
+            "p95": self._estimate_percentile(state, 95.0),
+            "p99": self._estimate_percentile(state, 99.0),
             "buckets": {
                 **{str(b): c for b, c in zip(self.buckets, state.counts)},
                 "+Inf": state.counts[-1],

@@ -2,12 +2,18 @@
 
 Usage::
 
-    python -m repro.obs.report run.jsonl
+    python -m repro.obs.report run.jsonl          # text
+    python -m repro.obs.report run.jsonl --json   # machine-readable
 
 Sections: run header (id, status, wall time, config/seeds), step
 throughput, loss curves as text sparklines (one per loss series, grouped
-by phase), the aggregated span breakdown sorted by total time, the
-slowest individual spans, and the final metric snapshot.
+by phase), fired alerts and drift checks, the aggregated span breakdown
+(with bucket p50/p95 columns) sorted by total time, the slowest
+individual spans, and the final metric snapshot.
+
+``--json`` emits the same flat series summary the regression gate uses
+(:func:`repro.obs.compare.run_summary`) plus the alert and drift events,
+so dashboards and the gate read one shape.
 
 Everything here reads plain dicts produced by
 :func:`repro.obs.read_run_log` — the module never imports the model
@@ -17,12 +23,16 @@ stack, so it can render logs from any machine.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ._render import format_seconds as _format_seconds
+from ._render import table as _table
+from .compare import _percentile, run_summary
 from .runlog import read_run_log
 
-__all__ = ["sparkline", "summarize", "main"]
+__all__ = ["sparkline", "summarize", "summarize_json", "main"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -50,28 +60,6 @@ def sparkline(values: Sequence[float], width: int = 48) -> str:
         return _BLOCKS[3] * len(values)
     scale = (len(_BLOCKS) - 1) / (high - low)
     return "".join(_BLOCKS[int((v - low) * scale + 0.5)] for v in values)
-
-
-def _format_seconds(seconds: float) -> str:
-    if seconds >= 1.0:
-        return f"{seconds:.2f}s"
-    if seconds >= 1e-3:
-        return f"{seconds * 1e3:.1f}ms"
-    return f"{seconds * 1e6:.0f}µs"
-
-
-def _table(rows: List[Sequence[str]], header: Sequence[str]) -> List[str]:
-    widths = [len(h) for h in header]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = [
-        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
-    return lines
 
 
 def _loss_series(steps: List[Dict]) -> Dict[Tuple[str, str], List[float]]:
@@ -167,32 +155,59 @@ def summarize(events: List[Dict], width: int = 48) -> str:
         parts = [f"{k} last={last[k]:.4f} best={best[k]:.4f}" for k in sorted(best)]
         lines.append("validation: " + "; ".join(parts))
 
+    # -- alerts & drift -------------------------------------------------
+    alerts = by_kind.get("alert", [])
+    if alerts:
+        lines.append("")
+        lines.append(f"alerts ({len(alerts)}):")
+        for alert in alerts:
+            where = f" step {alert['step']}" if alert.get("step") is not None else ""
+            lines.append(
+                f"  [{alert.get('severity', '?')}] {alert.get('rule', '?')} on "
+                f"{alert.get('series', '?')}{where}: {alert.get('message', '')}"
+            )
+    drift_events = by_kind.get("drift", [])
+    if drift_events:
+        flagged = sorted(
+            {name for e in drift_events for name in (e.get("drifted") or ())}
+        )
+        lines.append("")
+        lines.append(
+            f"drift checks: {len(drift_events)}"
+            + (f"  drifted features: {', '.join(flagged)}" if flagged
+               else "  (all stable)")
+        )
+
     # -- span breakdown -------------------------------------------------
     spans = by_kind.get("span", [])
     if spans:
-        totals: Dict[str, Tuple[float, int]] = {}
+        durations: Dict[str, List[float]] = {}
         for span in spans:
-            duration = float(span.get("duration") or 0.0)
-            seconds, calls = totals.get(str(span.get("name")), (0.0, 0))
-            totals[str(span.get("name"))] = (seconds + duration, calls + 1)
-        grand = sum(seconds for seconds, _ in totals.values())
+            durations.setdefault(str(span.get("name")), []).append(
+                float(span.get("duration") or 0.0)
+            )
+        grand = sum(sum(values) for values in durations.values())
         rows = [
             (
                 name,
-                str(calls),
-                _format_seconds(seconds),
-                _format_seconds(seconds / calls if calls else 0.0),
-                f"{100.0 * seconds / grand:.1f}%" if grand > 0 else "-",
+                str(len(values)),
+                _format_seconds(sum(values)),
+                _format_seconds(sum(values) / len(values)),
+                _format_seconds(_percentile(values, 50)),
+                _format_seconds(_percentile(values, 95)),
+                f"{100.0 * sum(values) / grand:.1f}%" if grand > 0 else "-",
             )
-            for name, (seconds, calls) in sorted(
-                totals.items(), key=lambda item: -item[1][0]
+            for name, values in sorted(
+                durations.items(), key=lambda item: -sum(item[1])
             )
         ]
         lines.append("")
         lines.append("span breakdown:")
         lines.extend(
             "  " + line
-            for line in _table(rows, ("name", "calls", "total", "mean", "share"))
+            for line in _table(
+                rows, ("name", "calls", "total", "mean", "p50", "p95", "share")
+            )
         )
 
         slowest = sorted(
@@ -224,10 +239,15 @@ def summarize(events: List[Dict], width: int = 48) -> str:
                     if dump.get("kind") == "timer":
                         mean = _format_seconds(float(value.get("mean", 0.0)))
                         peak = _format_seconds(float(value.get("max", 0.0)))
+                        p95 = _format_seconds(float(value.get("p95", 0.0)))
                     else:
                         mean = f"{float(value.get('mean', 0.0)):.4g}"
                         peak = f"{float(value.get('max', 0.0)):.4g}"
-                    text = f"count={value.get('count')} mean={mean} max={peak}"
+                        p95 = f"{float(value.get('p95', 0.0)):.4g}"
+                    text = (
+                        f"count={value.get('count')} mean={mean} "
+                        f"p95={p95} max={peak}"
+                    )
                 elif isinstance(value, float) and value != int(value):
                     text = f"{value:.4f}"
                 else:
@@ -249,6 +269,29 @@ def summarize(events: List[Dict], width: int = 48) -> str:
     return "\n".join(lines)
 
 
+def summarize_json(events: List[Dict]) -> Dict[str, object]:
+    """Machine-readable summary sharing the regression gate's shape.
+
+    ``summary`` is exactly :func:`repro.obs.compare.run_summary`, so a
+    dashboard and ``python -m repro.obs.compare`` read the same keys;
+    ``alerts``/``drift`` carry those events verbatim.
+    """
+    starts = [e for e in events if e.get("event") == "run_start"]
+    ends = [e for e in events if e.get("event") == "run_end"]
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    return {
+        "run_id": starts[0].get("run_id") if starts else None,
+        "status": ends[-1].get("status") if ends else "in-flight",
+        "summary": run_summary(events),
+        "alerts": [e for e in events if e.get("event") == "alert"],
+        "drift": [e for e in events if e.get("event") == "drift"],
+        "event_counts": counts,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.obs.report run.jsonl``."""
     parser = argparse.ArgumentParser(
@@ -258,6 +301,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("path", help="path to the run log (JSONL)")
     parser.add_argument(
         "--width", type=int, default=48, help="sparkline width in columns"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the flat series summary (the regression gate's shape) "
+        "plus alert/drift events as JSON",
     )
     options = parser.parse_args(argv)
     try:
@@ -269,7 +317,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {options.path} holds no events", file=sys.stderr)
         return 1
     try:
-        print(summarize(events, width=options.width))
+        if options.json:
+            print(json.dumps(summarize_json(events), indent=2, sort_keys=True))
+        else:
+            print(summarize(events, width=options.width))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.
         sys.stderr.close()

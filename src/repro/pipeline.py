@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from . import obs
 from .corpus.datasets import NerExample
 from .core.block_classifier import BlockClassifier
 from .docmodel.document import ResumeDocument
@@ -90,17 +91,25 @@ class ResumeParser:
     # ------------------------------------------------------------------
     def segment(self, document: ResumeDocument) -> List[ParsedBlock]:
         """Stage 1: sentence-level block segmentation."""
-        labels = self.block_classifier.predict(document)
-        scheme = self.block_classifier.scheme
-        ids = [
-            scheme.label_id(label) if label in scheme.labels else scheme.outside_id
-            for label in labels
-        ]
-        blocks: List[ParsedBlock] = []
-        for start, stop, tag in iob_to_spans(ids, scheme):
-            indices = list(range(start, stop))
-            text = " ".join(document.sentences[i].text for i in indices)
-            blocks.append(ParsedBlock(tag=tag, sentence_indices=indices, text=text))
+        with obs.trace("pipeline.segment", sentences=document.num_sentences):
+            labels = self.block_classifier.predict(document)
+            scheme = self.block_classifier.scheme
+            ids = [
+                scheme.label_id(label) if label in scheme.labels else scheme.outside_id
+                for label in labels
+            ]
+            blocks: List[ParsedBlock] = []
+            for start, stop, tag in iob_to_spans(ids, scheme):
+                indices = list(range(start, stop))
+                text = " ".join(document.sentences[i].text for i in indices)
+                blocks.append(
+                    ParsedBlock(tag=tag, sentence_indices=indices, text=text)
+                )
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            counter = telemetry.metrics.counter("pipeline.blocks")
+            for block in blocks:
+                counter.inc(tag=block.tag)
         return blocks
 
     def extract_entities(
@@ -112,38 +121,46 @@ class ResumeParser:
         targets = [b for b in blocks if b.tag in BLOCK_ENTITIES]
         if not targets:
             return
-        examples = []
-        for block in targets:
-            words: List[str] = []
-            for index in block.sentence_indices:
-                words.extend(document.sentences[index].words)
-            examples.append(
-                NerExample(words, ["O"] * len(words), block.tag, document.doc_id)
-            )
-        predictions = self.ner_tagger.predict(examples)
-        scheme = self.ner_tagger.scheme
-        for block, example, labels in zip(targets, examples, predictions):
-            ids = [
-                scheme.label_id(l) if l in scheme.labels else scheme.outside_id
-                for l in labels
-            ]
-            allowed = set(BLOCK_ENTITIES[block.tag])
-            for start, stop, tag in iob_to_spans(ids, scheme):
-                if tag not in allowed:
-                    continue  # Table IV evaluates per-block entity types
-                block.entities.append(
-                    ParsedEntity(
-                        tag=tag,
-                        text=" ".join(example.words[start:stop]),
-                        start=start,
-                        stop=stop,
-                    )
+        with obs.trace("pipeline.extract_entities", blocks=len(targets)):
+            examples = []
+            for block in targets:
+                words: List[str] = []
+                for index in block.sentence_indices:
+                    words.extend(document.sentences[index].words)
+                examples.append(
+                    NerExample(words, ["O"] * len(words), block.tag, document.doc_id)
                 )
+            predictions = self.ner_tagger.predict(examples)
+            scheme = self.ner_tagger.scheme
+            telemetry = obs.get_telemetry()
+            for block, example, labels in zip(targets, examples, predictions):
+                ids = [
+                    scheme.label_id(l) if l in scheme.labels else scheme.outside_id
+                    for l in labels
+                ]
+                allowed = set(BLOCK_ENTITIES[block.tag])
+                for start, stop, tag in iob_to_spans(ids, scheme):
+                    if tag not in allowed:
+                        continue  # Table IV evaluates per-block entity types
+                    block.entities.append(
+                        ParsedEntity(
+                            tag=tag,
+                            text=" ".join(example.words[start:stop]),
+                            start=start,
+                            stop=stop,
+                        )
+                    )
+                    if telemetry is not None:
+                        telemetry.metrics.counter("pipeline.entities").inc(tag=tag)
 
     def parse(self, document: ResumeDocument) -> ParsedResume:
         """Run both stages and return the hierarchical structure."""
-        blocks = self.segment(document)
-        self.extract_entities(document, blocks)
+        with obs.trace("pipeline.parse", doc_id=document.doc_id):
+            blocks = self.segment(document)
+            self.extract_entities(document, blocks)
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("pipeline.documents").inc()
         return ParsedResume(doc_id=document.doc_id, blocks=blocks)
 
 

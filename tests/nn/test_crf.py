@@ -230,6 +230,64 @@ class TestViterbi:
         assert path_score(best) >= path_score(random_path) - 1e-9
 
 
+def brute_force_marginals(crf, emissions, length):
+    """Exact unary marginals by enumerating every tag path."""
+    num_tags = crf.num_tags
+    weights = np.zeros((length, num_tags))
+    for path in itertools.product(range(num_tags), repeat=length):
+        score = crf.start_scores.data[path[0]] + emissions[0, path[0]]
+        for t in range(1, length):
+            score += crf.transitions.data[path[t - 1], path[t]]
+            score += emissions[t, path[t]]
+        score += crf.end_scores.data[path[-1]]
+        for t, tag in enumerate(path):
+            weights[t, tag] += np.exp(score)
+    return weights / weights.sum(axis=1, keepdims=True)
+
+
+class TestMarginals:
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_matches_brute_force(self, length):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(11))
+        emissions = RNG.normal(size=(1, length, 3))
+        marginals = crf.marginals(Tensor(emissions))
+        expected = brute_force_marginals(crf, emissions[0], length)
+        np.testing.assert_allclose(marginals[0], expected, atol=1e-8)
+
+    def test_rows_sum_to_one_and_padding_is_zero(self):
+        crf = LinearChainCrf(4, rng=np.random.default_rng(12))
+        emissions = RNG.normal(size=(3, 6, 4))
+        mask = np.ones((3, 6))
+        mask[1, 4:] = 0
+        mask[2, 1:] = 0
+        marginals = crf.marginals(Tensor(emissions), mask)
+        sums = marginals.sum(axis=2)
+        np.testing.assert_allclose(sums[0], np.ones(6), atol=1e-8)
+        np.testing.assert_allclose(sums[1, :4], np.ones(4), atol=1e-8)
+        assert np.all(marginals[1, 4:] == 0.0)
+        np.testing.assert_allclose(sums[2, :1], np.ones(1), atol=1e-8)
+        assert np.all(marginals[2, 1:] == 0.0)
+
+    def test_single_position_reduces_to_softmax(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(13))
+        emissions = RNG.normal(size=(1, 1, 3))
+        scores = (
+            emissions[0, 0] + crf.start_scores.data + crf.end_scores.data
+        )
+        softmax = np.exp(scores - scores.max())
+        softmax /= softmax.sum()
+        np.testing.assert_allclose(
+            crf.marginals(Tensor(emissions))[0, 0], softmax, atol=1e-8
+        )
+
+    def test_non_prefix_mask_rejected(self):
+        crf = LinearChainCrf(3, rng=np.random.default_rng(14))
+        emissions = RNG.normal(size=(1, 4, 3))
+        mask = np.array([[1.0, 0.0, 1.0, 1.0]])
+        with pytest.raises(ValueError):
+            crf.marginals(Tensor(emissions), mask)
+
+
 class TestFuzzyCrf:
     def test_all_allowed_gives_zero_loss(self):
         crf = FuzzyCrf(3, rng=np.random.default_rng(10))

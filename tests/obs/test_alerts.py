@@ -1,0 +1,234 @@
+"""Unit tests for the declarative alert engine.
+
+Covers the condition factories over degenerate series (empty, constant,
+single-point — the cases that must never fire), the engine's series
+derivation from the event stream, cooldown suppression, gauge-rule
+sampling, and the session wiring (alert events, counters, raise_on).
+"""
+
+import math
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertError,
+    Rule,
+    above,
+    below,
+    collapse,
+    default_rules,
+    non_finite,
+    stalled,
+    throughput_drop,
+    zscore_above,
+)
+
+
+class TestConditions:
+    def test_non_finite_fires_on_nan_and_inf_only(self):
+        check = non_finite()
+        assert check([1.0, float("nan")]) is not None
+        assert check([float("inf")]) is not None
+        assert check([1.0, 2.0]) is None
+        assert check([]) is None
+
+    def test_zscore_fires_on_spike_not_on_drop(self):
+        check = zscore_above(z=4.0, min_points=4)
+        history = [1.0, 1.1, 0.9, 1.0, 1.05]
+        assert check(history + [50.0]) is not None
+        assert check(history + [0.0]) is None  # drops are healthy
+
+    def test_zscore_never_fires_on_constant_series(self):
+        check = zscore_above(z=1.0, min_points=3)
+        assert check([2.0] * 10) is None
+        assert check([2.0] * 9 + [2.0000001]) is None  # std ~ 0 guarded
+
+    def test_zscore_never_fires_on_short_or_single_point_series(self):
+        check = zscore_above(z=1.0, min_points=5)
+        assert check([]) is None
+        assert check([7.0]) is None
+        assert check([1.0, 100.0]) is None
+
+    def test_threshold_conditions(self):
+        assert above(10.0)([5.0, 11.0]) is not None
+        assert above(10.0)([11.0, 5.0]) is None  # only the newest counts
+        assert below(0.1)([0.05]) is not None
+        assert below(0.1, min_points=3)([0.05]) is None
+
+    def test_collapse_floor_and_crash(self):
+        check = collapse(floor=1e-4, ratio=0.05, min_points=4)
+        assert check([1.0, 1.0, 1.0, 1.0, 0.0]) is not None  # floor
+        assert check([1.0, 1.0, 1.0, 1.0, 0.01]) is not None  # 1% of median
+        # gradual convergence: each step well above 5% of the median
+        assert check([1.0, 0.8, 0.6, 0.5, 0.4]) is None
+        assert check([0.5]) is None  # single point, no history
+
+    def test_stalled_needs_floor_and_factor(self):
+        check = stalled(factor=10.0, min_points=3, floor_seconds=0.25)
+        gaps = [0.01, 0.012, 0.011]
+        assert check(gaps + [0.5]) is not None  # 45x median and > floor
+        assert check(gaps + [0.1]) is None  # 9x but under the floor
+
+    def test_throughput_drop_is_sustained(self):
+        check = throughput_drop(factor=2.0, recent=3, min_points=8)
+        steady = [0.01] * 10
+        assert check(steady) is None
+        assert check([0.01] * 7 + [0.03, 0.03, 0.03]) is not None
+        assert check([0.01] * 9 + [0.03]) is None  # one slow step only
+
+
+class TestRule:
+    def test_rejects_bad_window_and_severity(self):
+        with pytest.raises(ValueError):
+            Rule("r", "x", non_finite(), window=0)
+        with pytest.raises(ValueError):
+            Rule("r", "x", non_finite(), severity="fatal")
+
+    def test_default_rules_cover_the_issue_checklist(self):
+        names = {rule.name for rule in default_rules()}
+        assert {
+            "nan-loss", "loss-spike", "stalled-step", "throughput-drop",
+            "scl-collapse", "dnsp-collapse",
+        } <= names
+
+
+class TestEngine:
+    def test_derives_loss_and_field_series_from_step_events(self):
+        engine = AlertEngine(rules=[
+            Rule("nan", "*losses.*", non_finite(), window=1),
+            Rule("grad", "pretrain.grad_norm", above(100.0), window=4),
+        ])
+        engine.observe_event("step", {
+            "phase": "pretrain", "step": 1,
+            "losses": {"wp": 1.0, "cl": 2.0}, "grad_norm": 3.0,
+        })
+        assert set(engine.series_names()) >= {
+            "pretrain.losses.wp", "pretrain.losses.cl", "pretrain.grad_norm",
+        }
+        fired = engine.observe_event("step", {
+            "phase": "pretrain", "step": 2,
+            "losses": {"wp": float("nan")}, "grad_norm": 500.0,
+        })
+        assert {alert.rule for alert in fired} == {"nan", "grad"}
+
+    def test_non_step_events_and_non_numeric_fields_are_ignored(self):
+        engine = AlertEngine(rules=[Rule("any", "*", above(-1e9), window=1)])
+        assert engine.observe_event("eval", {"val_f1": 0.5}) == []
+        engine.observe_event("step", {
+            "phase": "t", "note": "text", "flag": True, "losses": None,
+        })
+        assert all("note" not in s and "flag" not in s
+                   for s in engine.series_names())
+
+    def test_cooldown_suppresses_alert_storms(self):
+        engine = AlertEngine(rules=[
+            Rule("high", "t.losses.x", above(0.0), window=4, cooldown=3),
+        ])
+        total = 0
+        for step in range(8):
+            total += len(engine.observe_event(
+                "step", {"phase": "t", "step": step, "losses": {"x": 1.0}}
+            ))
+        # fires at steps 0 and 4: three observations of cooldown after each
+        assert total == 2
+
+    def test_step_gap_series_feeds_the_watchdog(self):
+        engine = AlertEngine(rules=[
+            Rule("stall", "*.step_gap",
+                 stalled(factor=5.0, min_points=2, floor_seconds=0.0),
+                 window=8),
+        ])
+        for step in range(4):
+            engine.observe_event("step", {"phase": "t", "step": step})
+        time.sleep(0.02)
+        fired = engine.observe_event("step", {"phase": "t", "step": 4})
+        assert [alert.rule for alert in fired] == ["stall"]
+        assert fired[0].series == "t.step_gap"
+
+    def test_span_series(self):
+        engine = AlertEngine(rules=[
+            Rule("slow-span", "span.encode", above(1.0), window=1),
+        ])
+
+        class FakeSpan:
+            name = "encode"
+            duration = 2.5
+
+        fired = engine.observe_span(FakeSpan())
+        assert fired and fired[0].value == 2.5
+
+    def test_gauge_rules_sample_the_bound_registry(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("feature_cache.hit_rate").set(0.01)
+        engine = AlertEngine(rules=[
+            Rule("cold-cache", "gauge:feature_cache.hit_rate",
+                 below(0.5, min_points=2), window=4),
+        ])
+        engine.bind(registry)
+        engine.observe_event("step", {"phase": "t", "step": 1})
+        fired = engine.observe_event("step", {"phase": "t", "step": 2})
+        assert [alert.rule for alert in fired] == ["cold-cache"]
+
+    def test_rejects_unknown_raise_on(self):
+        with pytest.raises(ValueError):
+            AlertEngine(raise_on={"catastrophic"})
+
+    def test_count_by_severity(self):
+        engine = AlertEngine(rules=[
+            Rule("a", "t.losses.x", non_finite(), window=1,
+                 severity="critical"),
+        ])
+        engine.observe_event(
+            "step", {"phase": "t", "losses": {"x": float("nan")}}
+        )
+        assert engine.count() == 1
+        assert engine.count("critical") == 1
+        assert engine.count("info") == 0
+
+
+class TestSessionWiring:
+    def test_true_installs_default_rules(self):
+        with obs.telemetry(alerts=True) as tel:
+            assert {r.name for r in tel.alerts.rules} == {
+                r.name for r in default_rules()
+            }
+
+    def test_rule_list_builds_an_engine(self):
+        rules = [Rule("only", "t.losses.x", non_finite(), window=1)]
+        with obs.telemetry(alerts=rules) as tel:
+            assert [r.name for r in tel.alerts.rules] == ["only"]
+
+    def test_alert_logged_and_counted_before_raise(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        engine = AlertEngine(raise_on={"critical"})
+        with pytest.raises(AlertError) as excinfo:
+            with obs.telemetry(run_log=path, alerts=engine) as tel:
+                tel.event("step", phase="t", step=1,
+                          losses={"crf": float("nan")})
+        assert excinfo.value.alert.rule == "nan-loss"
+        events = obs.read_run_log(path)
+        kinds = [e["event"] for e in events]
+        assert "alert" in kinds
+        # the session closed with error status, evidence intact
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "error"
+        assert events[-1]["error"] == "AlertError"
+
+    def test_summary_carries_fired_alerts(self):
+        with obs.telemetry(alerts=True) as tel:
+            tel.event("step", phase="t", step=1, losses={"x": float("inf")})
+            summary = tel.summary()
+        assert summary["alerts"][0]["rule"] == "nan-loss"
+
+    def test_alert_fields_roundtrip(self):
+        alert = Alert(rule="r", severity="warning", series="s",
+                      message="m", value=1.0, step=3, phase="t")
+        fields = alert.to_fields()
+        assert fields["step"] == 3 and fields["phase"] == "t"
+        assert "step" not in Alert(
+            rule="r", severity="info", series="s", message="m", value=0.0
+        ).to_fields()

@@ -1,0 +1,252 @@
+"""Unit tests for drift profiles, PSI/KL scoring, and the live monitor.
+
+Covers the ISSUE edge cases directly: empty references (``no-reference``),
+empty candidates (``no-data``), tiny samples (``low-data``), and fully
+disjoint distributions (large but finite PSI via proportion smoothing).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.drift import (
+    DEFAULT_MIN_SAMPLES,
+    DriftMonitor,
+    FeatureProfile,
+    ReferenceProfile,
+    check,
+    document_observations,
+    kl_divergence,
+    ner_observations,
+    psi,
+)
+
+
+def _hist(values, edges=(1, 2, 4, 8)):
+    return FeatureProfile.histogram(edges, values)
+
+
+class TestFeatureProfile:
+    def test_histogram_binning_with_overflow(self):
+        profile = _hist([0.5, 1.0, 3.0, 100.0])
+        # bins: <=1, <=2, <=4, <=8, overflow
+        assert profile.counts == [2.0, 0.0, 1.0, 0.0, 1.0]
+        assert profile.total == 4.0
+
+    def test_non_finite_values_are_skipped(self):
+        profile = _hist([1.0, float("nan"), float("inf")])
+        assert profile.total == 1.0
+
+    def test_categorical_counts(self):
+        profile = FeatureProfile.categorical(["a", "b", "a"])
+        assert profile.categories == {"a": 2.0, "b": 1.0}
+
+    def test_categorical_alignment_unions_keys(self):
+        left = FeatureProfile.categorical(["a", "a"])
+        right = FeatureProfile.categorical(["b"])
+        p, names = left.proportions(align_with=right)
+        assert names == ["a", "b"]
+        assert len(p) == 2 and p[0] > p[1]
+
+    def test_empty_profile_proportions(self):
+        p, names = _hist([]).proportions()
+        assert p == [] and names  # bin names survive, no proportions
+
+    def test_roundtrip(self):
+        for profile in (_hist([1.0, 5.0]), FeatureProfile.categorical(["x"])):
+            clone = FeatureProfile.from_dict(profile.to_dict())
+            assert clone.to_dict() == profile.to_dict()
+
+
+class TestScores:
+    def test_identical_distributions_score_zero(self):
+        a, b = _hist([1, 2, 3, 5] * 10), _hist([1, 2, 3, 5] * 10)
+        assert psi(a, b) == pytest.approx(0.0, abs=1e-9)
+        assert kl_divergence(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_distributions_are_large_but_finite(self):
+        score = psi(_hist([0.5] * 50), _hist([100.0] * 50))
+        assert score is not None and math.isfinite(score)
+        assert score > 1.0
+
+    def test_empty_side_scores_none(self):
+        assert psi(_hist([]), _hist([1.0])) is None
+        assert psi(_hist([1.0]), _hist([])) is None
+
+    def test_psi_is_symmetric_kl_is_not(self):
+        a, b = _hist([1] * 45 + [5] * 5), _hist([1] * 25 + [5] * 25)
+        assert psi(a, b) == pytest.approx(psi(b, a))
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a))
+
+
+class TestCheck:
+    def test_statuses_cover_every_degenerate_case(self):
+        reference = ReferenceProfile({
+            "empty_ref": _hist([]),
+            "no_data": _hist([1.0] * 30),
+            "tiny": _hist([1.0] * 5),
+            "stable": _hist([1, 2, 3, 5] * 10),
+            "shifted": _hist([1.0] * 40),
+        })
+        report = check(reference, {
+            "no_data": [],
+            "tiny": [1.0] * 5,
+            "stable": [1, 2, 3, 5] * 10,
+            "shifted": [100.0] * 40,
+            "unknown_feature": [1.0],  # absent from reference: ignored
+        })
+        statuses = {k: v["status"] for k, v in report.scores.items()}
+        assert statuses == {
+            "empty_ref": "no-reference",
+            "no_data": "no-data",
+            "tiny": "low-data",
+            "stable": "ok",
+            "shifted": "drifted",
+        }
+        assert "unknown_feature" not in report.scores
+        assert report.drifted == ["shifted"]
+        assert report.ok is False
+
+    def test_low_data_never_flags_even_when_psi_is_huge(self):
+        reference = ReferenceProfile({"f": _hist([1.0] * 5)})
+        report = check(reference, {"f": [100.0] * 5})
+        entry = report.scores["f"]
+        assert entry["status"] == "low-data"
+        assert entry["psi"] > 0.25  # the raw score is still reported
+        assert report.ok is True
+
+    def test_min_samples_is_tunable(self):
+        reference = ReferenceProfile({"f": _hist([1.0] * 5)})
+        report = check(reference, {"f": [100.0] * 5}, min_samples=2)
+        assert report.scores["f"]["status"] == "drifted"
+
+    def test_moderate_band(self):
+        reference = ReferenceProfile({"f": _hist([1] * 50 + [3] * 50)})
+        report = check(reference, {"f": [1] * 70 + [3] * 30})
+        entry = report.scores["f"]
+        assert 0.1 < entry["psi"] <= 0.25
+        assert entry["status"] == "moderate"
+
+    def test_accepts_a_profile_as_candidate(self):
+        reference = ReferenceProfile({"f": _hist([1, 2, 4] * 20)})
+        candidate = ReferenceProfile({"f": _hist([1, 2, 4] * 20)})
+        report = check(reference, candidate)
+        assert report.scores["f"]["status"] == "ok"
+
+    def test_to_fields_shape(self):
+        reference = ReferenceProfile({"f": _hist([1.0] * 30)})
+        fields = check(reference, {"f": [1.0] * 30}).to_fields()
+        assert fields["ok"] is True and fields["drifted"] == []
+        assert json.dumps(fields)  # event payload must be serializable
+
+
+class TestReferenceProfile:
+    def test_template_builds_empty_tracked_features(self):
+        template = ReferenceProfile.template(
+            ("sentence_length", "block_label", "crf_confidence")
+        )
+        assert template.names() == [
+            "block_label", "crf_confidence", "sentence_length",
+        ]
+        assert template.features["block_label"].kind == "categorical"
+        assert template.features["sentence_length"].kind == "histogram"
+        assert all(p.total == 0 for p in template.features.values())
+
+    def test_save_load_roundtrip(self, tmp_path):
+        reference = ReferenceProfile(
+            {"f": _hist([1, 5]), "labels": FeatureProfile.categorical(["x"])},
+            meta={"source": "test"},
+        )
+        path = str(tmp_path / "profile.json")
+        reference.save(path)
+        loaded = ReferenceProfile.load(path)
+        assert loaded.to_dict() == reference.to_dict()
+        assert "f" in loaded and len(loaded) == 2
+
+
+class TestObservationExtraction:
+    def test_ner_observations(self):
+        class Example:
+            def __init__(self, n):
+                self.words = ["w"] * n
+
+        observations = ner_observations(
+            [Example(3), Example(5)],
+            predictions=[["B-NAME", "I-NAME", "O"]],
+            confidences=[0.9, 0.8],
+        )
+        assert observations["word_count"] == [3, 5]
+        assert observations["ner_label"] == ["NAME", "NAME", "O"]
+        assert observations["ner_confidence"] == [0.9, 0.8]
+
+    def test_document_observations_strip_iob_prefixes(self):
+        observations = document_observations(
+            [], predictions=[["B-edu", "I-edu", "O"]]
+        )
+        assert observations["block_label"] == ["edu", "edu", "O"]
+
+
+class TestDriftMonitor:
+    def _monitor(self, **kwargs):
+        reference = ReferenceProfile({"f": _hist([1, 2, 4] * 20)})
+        kwargs.setdefault("window", 64)
+        kwargs.setdefault("check_every", 8)
+        return DriftMonitor(reference, **kwargs)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            self._monitor(window=0)
+        with pytest.raises(ValueError):
+            self._monitor(check_every=0)
+
+    def test_wants_only_reference_features(self):
+        monitor = self._monitor()
+        assert monitor.wants("f") and not monitor.wants("other")
+
+    def test_check_cadence(self):
+        monitor = self._monitor(check_every=8)
+        assert monitor.observe({"f": [1.0] * 7}) is None
+        report = monitor.observe({"f": [1.0] * 1})
+        assert report is not None and monitor.checks == 1
+        assert monitor.last_report is report
+
+    def test_unknown_features_do_not_advance_the_cadence(self):
+        monitor = self._monitor(check_every=4)
+        assert monitor.observe({"other": [1.0] * 100}) is None
+        assert monitor.checks == 0
+
+    def test_window_rolls(self):
+        monitor = self._monitor(window=4, check_every=10**9)
+        monitor.observe({"f": [1, 1, 1, 1, 9, 9, 9, 9]})
+        assert monitor.current_observations()["f"] == [9, 9, 9, 9]
+
+    def test_current_profile_captures_the_window(self):
+        monitor = self._monitor(check_every=10**9)
+        monitor.observe({"f": [1, 2, 4] * 20})
+        captured = monitor.current_profile()
+        assert captured.features["f"].total == 60
+        # captured window scores clean against itself
+        assert check(captured, {"f": [1, 2, 4] * 20}).ok
+
+    def test_publishes_event_counter_and_gauges(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        monitor = self._monitor(check_every=8)
+        with obs.telemetry(run_log=path, drift=monitor) as tel:
+            monitor.observe({"f": [100.0] * 40})  # disjoint: drifts
+            checks = tel.metrics.counter("drift.checks").value()
+            flags = tel.metrics.counter("drift.flags").value()
+            score = tel.metrics.gauge("drift.psi").value(feature="f")
+        assert checks == 1 and flags >= 1
+        assert score > 0.25
+        drift_events = [
+            e for e in obs.read_run_log(path) if e["event"] == "drift"
+        ]
+        assert drift_events and drift_events[-1]["drifted"] == ["f"]
+
+    def test_run_check_outside_session_is_safe(self):
+        monitor = self._monitor()
+        monitor.observe({"f": [1.0] * 40})
+        report = monitor.run_check()  # no session: publish is a no-op
+        assert report.scores["f"]["status"] in ("ok", "moderate", "drifted")

@@ -1,11 +1,14 @@
 """End-to-end: a tiny instrumented run produces a complete, renderable log.
 
 Trains the block classifier and the pre-training objectives on a tiny
-corpus under one telemetry session, runs batched inference, and then
-checks the JSONL run log carries everything the issue promises: monotone
-step numbers, all three pre-training loss series (wp/cl/ns), gradient
-norms, per-stage spans, and cache hit/miss metrics — and that the report
-CLI renders it without error.
+corpus under one telemetry session — with the default alert rules armed
+and a drift monitor attached — runs batched inference, and then checks
+the JSONL run log carries everything the issue promises: monotone step
+numbers, all three pre-training loss series (wp/cl/ns), gradient norms,
+per-stage spans, cache hit/miss metrics, zero alerts on the healthy run,
+and drift checks against the training-corpus reference — and that the
+report CLI renders it without error.  A deliberately destabilized twin
+run shows the nan-loss and loss-spike rules firing.
 """
 
 import numpy as np
@@ -14,6 +17,7 @@ import pytest
 from repro import obs
 from repro.core import BlockClassifier, BlockTrainer, LabeledDocument, Pretrainer
 from repro.obs import read_run_log
+from repro.obs.drift import ReferenceProfile
 from repro.obs.report import main as report_main
 from repro.obs.report import summarize
 
@@ -52,16 +56,32 @@ def run_events(tmp_path_factory):
     labeled = [LabeledDocument.from_gold(d) for d in documents]
 
     path = str(tmp_path_factory.mktemp("obs") / "run.jsonl")
+    tracked = (
+        "sentence_length", "sentences_per_doc", "bbox_height",
+        "bbox_y_center", "token_oov_rate", "block_label", "crf_confidence",
+    )
     with obs.telemetry(
         run_log=path,
         config={"epochs": 2, "batch_size": 2},
         seeds={"generator": 11, "encoder": 11, "classifier": 12},
-    ):
+        alerts=True,
+    ) as tel:
         Pretrainer(encoder, featurizer, seed=11).fit(
             documents, epochs=1, batch_size=2
         )
         BlockTrainer(model, seed=11).fit(
             labeled, validation=labeled[:2], epochs=2, batch_size=2
+        )
+        # Capture the reference from the trained model's own predictions
+        # (a monitor over an empty template just accumulates), then watch
+        # a serving pass over the same corpus — which must score stable.
+        capture = obs.DriftMonitor(
+            ReferenceProfile.template(tracked), check_every=10**9
+        )
+        tel.drift = capture
+        model.predict_batch(documents, batch_size=2)
+        tel.drift = obs.DriftMonitor(
+            capture.current_profile(), check_every=16
         )
         model.predict_batch(documents, batch_size=2)
         featurizer.cache.export_metrics(obs.get_telemetry().metrics)
@@ -152,6 +172,115 @@ class TestRunLog:
         assert {"wp", "cl", "ns", "total"} <= objectives
 
 
+class TestAlerts:
+    def test_healthy_run_fires_zero_alerts(self, run_events):
+        _, events = run_events
+        alerts = [e for e in events if e["event"] == "alert"]
+        assert alerts == [], f"healthy run raised alerts: {alerts}"
+
+    def test_destabilized_run_fires_nan_and_spike(self, tmp_path):
+        # A run whose loss explodes and then goes NaN must trip both the
+        # z-score spike rule and the critical non-finite rule; the alert
+        # events land in the log with their series and step attached.
+        path = str(tmp_path / "unstable.jsonl")
+        with obs.telemetry(run_log=path, alerts=True) as tel:
+            rng = np.random.default_rng(3)
+            loss = 2.0
+            for step in range(1, 16):
+                loss = loss * 0.97 + rng.normal(0.0, 0.01)
+                tel.event(
+                    "step", phase="block_train", step=step,
+                    losses={"crf": float(loss)},
+                )
+            tel.event(  # divergence: the loss explodes...
+                "step", phase="block_train", step=16, losses={"crf": 4000.0}
+            )
+            tel.event(  # ...and the next step is NaN
+                "step", phase="block_train", step=17,
+                losses={"crf": float("nan")},
+            )
+        events = read_run_log(path)
+        alerts = [e for e in events if e["event"] == "alert"]
+        by_rule = {a["rule"]: a for a in alerts}
+        assert "loss-spike" in by_rule, alerts
+        assert "nan-loss" in by_rule, alerts
+        assert by_rule["nan-loss"]["severity"] == "critical"
+        assert by_rule["loss-spike"]["series"] == "block_train.losses.crf"
+        assert by_rule["loss-spike"]["step"] == 16
+        # the session counter saw both severities
+        snapshot = [e for e in events if e["event"] == "metric_snapshot"][-1]
+        fired = snapshot["metrics"]["alerts.fired"]["series"]
+        assert {s["labels"]["severity"] for s in fired} == {
+            "warning", "critical",
+        }
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_destabilized_real_training_run_fires_nan(self, tmp_path):
+        # Same wiring, real optimizer: an absurd learning rate drives the
+        # CRF loss non-finite within a few epochs and the nan-loss rule
+        # catches it from the live event stream.
+        from repro.core import Featurizer, HierarchicalEncoder, ResuFormerConfig
+        from repro.corpus import ContentConfig, ResumeGenerator
+        from repro.text import WordPieceTokenizer
+
+        documents = ResumeGenerator(
+            seed=5, content_config=ContentConfig.tiny()
+        ).batch(2)
+        tokenizer = WordPieceTokenizer.train(
+            [s.text for d in documents for s in d.sentences],
+            vocab_size=300, min_frequency=1,
+        )
+        config = ResuFormerConfig(
+            vocab_size=len(tokenizer.vocab), hidden_dim=16,
+            sentence_layers=1, sentence_heads=2, document_layers=1,
+            document_heads=2, visual_proj_dim=4, dropout=0.0,
+        )
+        encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+        model = BlockClassifier(
+            encoder, Featurizer(tokenizer, config), lstm_hidden=8,
+            rng=np.random.default_rng(6),
+        )
+        labeled = [LabeledDocument.from_gold(d) for d in documents]
+        path = str(tmp_path / "diverged.jsonl")
+        with obs.telemetry(run_log=path, alerts=True):
+            BlockTrainer(
+                model, encoder_lr=1e4, head_lr=1e4, max_grad_norm=None,
+                seed=5,
+            ).fit(labeled, epochs=6, batch_size=1)
+        events = read_run_log(path)
+        rules = {e["rule"] for e in events if e["event"] == "alert"}
+        assert "nan-loss" in rules, (
+            f"divergent training fired {sorted(rules)} instead"
+        )
+
+
+class TestDrift:
+    def test_drift_checks_ran_and_corpus_is_stable(self, run_events):
+        _, events = run_events
+        checks = [e for e in events if e["event"] == "drift"]
+        assert checks, "no drift events in the run log"
+        # The final window holds predictions over the very documents the
+        # reference was captured from — nothing may score as drifted.
+        assert checks[-1]["ok"] is True, checks[-1]
+        scores = checks[-1]["scores"]
+        assert "sentence_length" in scores
+        assert "block_label" in scores
+        assert "crf_confidence" in scores, (
+            "CRF-marginal confidences were not fed to the monitor"
+        )
+        assert scores["crf_confidence"]["status"] in ("ok", "moderate")
+
+    def test_drift_gauges_in_final_snapshot(self, run_events):
+        _, events = run_events
+        snapshot = [e for e in events if e["event"] == "metric_snapshot"][-1]
+        metrics = snapshot["metrics"]
+        assert metrics["drift.checks"]["series"][0]["value"] > 0
+        features = {
+            s["labels"]["feature"] for s in metrics["drift.psi"]["series"]
+        }
+        assert "sentence_length" in features
+
+
 class TestReport:
     def test_summarize_renders_every_section(self, run_events):
         _, events = run_events
@@ -160,13 +289,32 @@ class TestReport:
             "run run-", "steps:", "loss curves:", "pretrain/wp",
             "block_train/crf", "validation:", "span breakdown:",
             "slowest spans:", "metrics (final snapshot):", "events:",
+            "drift checks:",
         ):
             assert needle in text, f"report lacks {needle!r}\n{text}"
 
     def test_cli_exits_zero(self, run_events, capsys):
         path, _ = run_events
         assert report_main([path]) == 0
-        assert "span breakdown:" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "span breakdown:" in out
+        assert "p95" in out  # percentile columns in the span table
+
+    def test_cli_json_shares_the_gate_summary(self, run_events, capsys):
+        import json
+
+        from repro.obs.compare import run_summary
+
+        path, events = run_events
+        assert report_main([path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["summary"] == run_summary(events)
+        assert payload["alerts"] == []
+        assert payload["drift"], "drift events missing from the JSON report"
+        assert any(
+            key.startswith("loss.block_train.crf") for key in payload["summary"]
+        )
 
     def test_cli_rejects_missing_file(self, tmp_path, capsys):
         assert report_main([str(tmp_path / "absent.jsonl")]) == 1

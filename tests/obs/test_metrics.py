@@ -91,6 +91,59 @@ class TestHistogram:
         assert dump["min"] == 0.0
 
 
+class TestHistogramPercentiles:
+    def test_interpolates_within_a_bucket(self):
+        hist = Histogram("h", buckets=(10.0, 20.0, 30.0))
+        for value in (12.0, 14.0, 16.0, 18.0):
+            hist.observe(value)
+        # all mass in the (10, 20] bucket: p50 lands mid-bucket
+        assert hist.percentile(50) == pytest.approx(15.0)
+        assert 10.0 < hist.percentile(95) <= 20.0
+
+    def test_first_bucket_uses_observed_min_as_lower_edge(self):
+        hist = Histogram("h", buckets=(100.0,))
+        hist.observe(40.0)
+        hist.observe(60.0)
+        # naive interpolation from 0 would say 50 at p50 is below min
+        assert hist.percentile(0) >= 40.0
+        assert hist.percentile(100) == pytest.approx(60.0)
+
+    def test_overflow_bucket_is_capped_at_observed_max(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(50.0)
+        hist.observe(70.0)
+        assert hist.percentile(99) <= 70.0
+
+    def test_estimates_are_monotone_and_clamped(self):
+        hist = Histogram("h", buckets=(0.01, 0.1, 1.0, 10.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 0.5, 0.5, 5.0, 20.0):
+            hist.observe(value)
+        estimates = [hist.percentile(q) for q in (1, 25, 50, 75, 95, 99)]
+        assert estimates == sorted(estimates)
+        assert all(0.005 <= e <= 20.0 for e in estimates)
+
+    def test_empty_series_and_bad_q(self):
+        hist = Histogram("h")
+        assert hist.percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_labeled_series_are_independent(self):
+        hist = Histogram("h", buckets=(10.0,))
+        hist.observe(2.0, stage="a")
+        hist.observe(8.0, stage="b")
+        assert hist.percentile(50, stage="a") < hist.percentile(50, stage="b")
+
+    def test_snapshot_carries_percentile_keys(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        dump = hist.value()
+        assert {"p50", "p95", "p99"} <= set(dump)
+        assert 1.0 < dump["p50"] <= 1.5  # capped at the observed max
+
+
 class TestTimer:
     def test_time_context_observes_once(self):
         timer = Timer("t")

@@ -12,6 +12,8 @@ churn, lock acquisition) which would blow past it by 10-100x.
 import time
 
 from repro import obs
+from repro.obs.alerts import AlertEngine
+from repro.obs.drift import DriftMonitor, ReferenceProfile
 
 
 def _best_of(rounds, fn):
@@ -95,3 +97,31 @@ class TestNoOpPath:
         # trace() adds one ContextVar.get + a None check + a function call
         # on top of the bare null context; 20x covers interpreter jitter.
         assert instrumented_best < bare_best * 20 + 1e-3
+
+    def test_constructing_watchers_does_not_install_a_session(self):
+        """Building an alert engine or drift monitor must never activate
+        telemetry — only ``obs.telemetry(...)`` installs a session, so
+        inactive call sites keep the one-ContextVar.get fast path."""
+        AlertEngine()
+        DriftMonitor(ReferenceProfile.template(("sentence_length",)))
+        assert obs.get_telemetry() is None
+        assert obs.trace("still") is obs.trace("null")
+
+    def test_drift_guard_without_session_is_one_contextvar_get(self):
+        """The shape both predict paths use: ``telemetry.drift`` is only
+        dereferenced after the session guard, so inactive serving pays
+        the same single ``ContextVar.get`` as every other site."""
+        calls = 20_000
+
+        def guarded():
+            for _ in range(calls):
+                tel = obs.get_telemetry()
+                if tel is not None and tel.drift is not None:
+                    raise AssertionError(  # pragma: no cover - session off
+                        "session unexpectedly active"
+                    )
+
+        per_call = _best_of(5, guarded) / calls
+        assert per_call < 2e-6, (
+            f"inactive drift guard costs {per_call * 1e6:.2f}µs/call"
+        )
