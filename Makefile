@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint gradcheck bench bench-perf bench-train examples report compare baseline clean
+.PHONY: install test lint gradcheck bench bench-perf bench-train bench-quant examples report compare baseline clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,12 @@ bench-perf:
 # BENCH_TRAIN_SMOKE=1 shrinks it to a CI-sized smoke run.
 bench-train:
 	python -m pytest benchmarks/test_perf_training.py -q -s
+
+# int8-vs-float parity + latency benchmark; writes
+# BENCH_quantized_inference.json (fails on an F1 parity regression —
+# this is the CI quantization-parity gate).
+bench-quant:
+	python -m pytest benchmarks/test_perf_quantized.py -q -s
 
 examples:
 	python examples/quickstart.py

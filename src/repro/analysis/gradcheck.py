@@ -56,6 +56,7 @@ SWEPT_MODULES = (
     "repro.nn.attention",
     "repro.nn.recurrent",
     "repro.nn.crf",
+    "repro.nn.quantize",
 )
 
 
@@ -193,9 +194,18 @@ def gradcheck(
 # Sweep harness
 # ----------------------------------------------------------------------
 #: Exports that are intentionally not gradchecked, with the justification
-#: printed by ``--list``.  Currently empty: everything exported by the
-#: swept modules is differentiable.
-NON_DIFFERENTIABLE: Dict[str, str] = {}
+#: printed by ``--list``.  Only forward-only inference machinery belongs
+#: here — every differentiable op must carry a spec.
+NON_DIFFERENTIABLE: Dict[str, str] = {
+    "softmax_ndarray": "forward-only ndarray kernel (no autograd surface)",
+    "gelu_ndarray": "forward-only ndarray kernel (no autograd surface)",
+    "QuantizedLinear": "inference-only int8 layer; raises under grad",
+    "quantize_model": "structural transform, not an op",
+    "dequantize": "structural transform, not an op",
+    "calibration": "context manager toggling calibration state",
+    "set_fused_inference": "flag toggle on encoder modules",
+    "quantization_report": "telemetry summary, not an op",
+}
 
 CaseBuilder = Callable[[], dict]
 #: op name -> list of (case label, builder).  A builder returns a dict
@@ -461,7 +471,36 @@ def _register_attention() -> None:
         MultiHeadSelfAttention,
         TransformerEncoder,
         TransformerEncoderLayer,
+        fused_self_attention,
     )
+
+    def _fused_attention_case(seed: int, mask) -> dict:
+        layer = MultiHeadSelfAttention(4, 2, dropout=0.0, rng=_rng(seed))
+        return {
+            "fn": lambda x: fused_self_attention(
+                x,
+                layer.query.weight,
+                layer.query.bias,
+                layer.key.weight,
+                layer.key.bias,
+                layer.value.weight,
+                layer.value.bias,
+                layer.out.weight,
+                layer.out.bias,
+                layer.num_heads,
+                attention_mask=mask,
+            ),
+            "inputs": [_tensor(_rng(seed + 1), 2, 3, 4)],
+            "params": _params(layer),
+        }
+
+    @spec("fused_self_attention", "full attention (2,3,4)")
+    def _():
+        return _fused_attention_case(48, None)
+
+    @spec("fused_self_attention", "length-masked keys")
+    def _():
+        return _fused_attention_case(49, np.array([[1, 1, 1], [1, 1, 0]]))
 
     @spec("MultiHeadSelfAttention", "full attention (2,3,4)")
     def _():
@@ -506,8 +545,44 @@ def _register_attention() -> None:
 
 # -- recurrent ---------------------------------------------------------
 def _register_recurrent() -> None:
-    from ..nn.recurrent import BiLstm, Lstm, LstmCell
+    from ..nn.recurrent import BiLstm, Lstm, LstmCell, fused_lstm_step
     from ..nn.tensor import concat
+
+    @spec("fused_lstm_step", "one step (2,3)->(2,2), both outputs")
+    def _():
+        cell = LstmCell(3, 2, rng=_rng(72))
+
+        def fn(x, h, c):
+            h_next, c_next = fused_lstm_step(x, h, c, cell.weight, cell.bias)
+            return concat([h_next, c_next], axis=-1)
+
+        return {
+            "fn": fn,
+            "inputs": [
+                _tensor(_rng(73), 2, 3),
+                _tensor(_rng(74), 2, 2),
+                _tensor(_rng(75), 2, 2),
+            ],
+            "params": _params(cell),
+        }
+
+    @spec("fused_lstm_step", "h-only objective (c gradient path idle)")
+    def _():
+        cell = LstmCell(2, 2, rng=_rng(76))
+
+        def fn(x, h, c):
+            h_next, _ = fused_lstm_step(x, h, c, cell.weight, cell.bias)
+            return h_next
+
+        return {
+            "fn": fn,
+            "inputs": [
+                _tensor(_rng(77), 2, 2),
+                _tensor(_rng(78), 2, 2),
+                _tensor(_rng(79), 2, 2),
+            ],
+            "params": _params(cell),
+        }
 
     @spec("LstmCell", "one step (2,3)->(2,2)")
     def _():

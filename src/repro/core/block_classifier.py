@@ -20,7 +20,9 @@ from ..docmodel.document import ResumeDocument
 from ..docmodel.labels import BLOCK_SCHEME, IobScheme
 from ..nn import AdamW, BiLstm, LinearChainCrf, Mlp, Module, ParamGroup, Tensor
 from ..nn import no_grad
+from ..nn.tensor import is_grad_enabled
 from ..nn import init as nn_init
+from ..nn import quantize as nn_quantize
 from .batching import DocumentBatch, collate_documents, collate_labels
 from .featurize import DocumentFeatures, Featurizer
 from .hierarchical import HierarchicalEncoder
@@ -70,6 +72,58 @@ class BlockClassifier(Module):
             [2 * lstm_hidden, lstm_hidden, scheme.num_labels], rng=rng
         )
         self.crf = LinearChainCrf(scheme.num_labels, rng=rng)
+        self._quantized = False
+
+    # ------------------------------------------------------------------
+    # Inference precision (see ResuFormerConfig.inference_precision)
+    # ------------------------------------------------------------------
+    def quantize_for_inference(
+        self, calibration_documents: Sequence[ResumeDocument] = ()
+    ) -> int:
+        """Swap the model's Linears for int8 kernels and calibrate.
+
+        The calibration pass pushes held-out documents through the
+        quantized stack while it records activation ranges, freezing a
+        per-layer activation scale so serving results are independent of
+        batch composition.  Returns the number of quantized layers;
+        idempotent.  Training requires :meth:`dequantize` first.
+        """
+        count = nn_quantize.quantize_model(self)
+        self._quantized = True
+        if calibration_documents:
+            self.eval()
+            features = [
+                self.featurizer.featurize(d) for d in calibration_documents
+            ]
+            with nn_quantize.calibration(self), no_grad():
+                self.emissions_batch(collate_documents(features))
+        return count
+
+    def dequantize(self) -> int:
+        """Restore the float layers swapped out by :meth:`quantize_for_inference`."""
+        self._quantized = False
+        return nn_quantize.dequantize(self)
+
+    def _ensure_inference_precision(
+        self, documents: Sequence[ResumeDocument]
+    ) -> str:
+        """Lazily apply the configured serving precision; returns it.
+
+        ``int8`` quantizes on first use, calibrating on a slice of the
+        incoming documents; ``float32`` flips the fused encoder kernels
+        to single precision; the default ``float64`` is a no-op (the
+        fused kernels already serve at full precision).
+        """
+        precision = getattr(
+            self.encoder.config, "inference_precision", "float64"
+        )
+        if precision == "int8" and not self._quantized:
+            self.quantize_for_inference(documents[:8])
+        elif precision == "float32" and not self._quantized:
+            for module in self.modules():
+                if hasattr(module, "inference_dtype"):
+                    module.inference_dtype = np.float32
+        return precision
 
     # ------------------------------------------------------------------
     def emissions(self, features: DocumentFeatures) -> Tensor:
@@ -88,8 +142,16 @@ class BlockClassifier(Module):
         return self.crf.neg_log_likelihood(emissions, labels[None, :])
 
     # ------------------------------------------------------------------
+    def _fused_inference_active(self) -> bool:
+        """Whether every encoder stack routes no-grad calls to fused kernels."""
+        from ..nn import TransformerEncoder
+
+        stacks = [m for m in self.modules() if isinstance(m, TransformerEncoder)]
+        return bool(stacks) and all(m.fused_inference for m in stacks)
+
     def predict(self, document: ResumeDocument) -> List[str]:
         """Sentence-level IOB labels for one document (Viterbi decode)."""
+        self._ensure_inference_precision([document])
         features = self.featurizer.featurize(document)
         self.eval()
         with no_grad():
@@ -101,7 +163,18 @@ class BlockClassifier(Module):
         return labels
 
     def emissions_batch(self, batch: DocumentBatch) -> Tensor:
-        """Per-sentence tag scores ``(B, m_max, num_labels)`` for a batch."""
+        """Per-sentence tag scores ``(B, m_max, num_labels)`` for a batch.
+
+        Under ``no_grad`` with the fused kernels active, the entire
+        pipeline — sentence encoder, document encoder, BiLSTM and MLP —
+        runs on raw ndarrays in the serving dtype.  At float64 the
+        result matches the graph path to GEMM and LayerNorm round-off
+        (a few ulp).
+        """
+        if not is_grad_enabled() and self.encoder._inference_ready():
+            contextual = self.encoder.infer_batch(batch)
+            hidden = self.bilstm.infer(contextual, mask=batch.sentence_mask)
+            return Tensor(self.mlp.infer(hidden))
         contextual = self.encoder.encode_batch(batch)
         hidden = self.bilstm(contextual, mask=batch.sentence_mask)
         return self.mlp(hidden)
@@ -148,15 +221,18 @@ class BlockClassifier(Module):
                 return contextlib.nullcontext()
             return profile.stage(name)
 
+        precision = self._ensure_inference_precision(documents)
         self.eval()
         telemetry = obs.get_telemetry()
+        fused = self._fused_inference_active()
         # Chunk documents in ascending sentence-count order so each padded
         # batch is near-homogeneous (results land back in input order; each
         # document's labels are invariant to its batch-mates).
         order = sorted(range(len(documents)), key=lambda i: documents[i].num_sentences)
         results: List[Optional[List[str]]] = [None] * len(documents)
         with obs.trace("predict_batch", documents=len(documents),
-                       batch_size=batch_size):
+                       batch_size=batch_size, precision=precision,
+                       fused=fused):
             for start in range(0, len(order), batch_size):
                 indices = order[start : start + batch_size]
                 chunk = [documents[i] for i in indices]
@@ -175,8 +251,12 @@ class BlockClassifier(Module):
                         "inference.batch_size", buckets=_BATCH_BUCKETS
                     ).observe(len(chunk))
                     telemetry.metrics.counter("inference.documents").inc(len(chunk))
-                with stage("encode"), obs.trace("encode", batch=len(chunk)), no_grad():
+                with stage("encode"), obs.trace(
+                    "encode", batch=len(chunk), fused=fused, precision=precision
+                ), no_grad():
                     emissions = self.emissions_batch(batch)
+                if telemetry is not None and fused:
+                    telemetry.metrics.counter("encode.fused.batches").inc()
                 with stage("decode"), obs.trace("decode", batch=len(chunk)):
                     paths = self.crf.decode(emissions, batch.sentence_mask)
                 chunk_labels: List[List[str]] = []
@@ -190,6 +270,9 @@ class BlockClassifier(Module):
                         telemetry.drift, chunk, features, batch, emissions,
                         chunk_labels,
                     )
+        if telemetry is not None and self._quantized:
+            for name, value in nn_quantize.quantization_report(self).items():
+                telemetry.metrics.gauge(name).set(value)
         return results
 
     def _observe_drift(

@@ -37,6 +37,13 @@ class ResuFormerConfig:
     num_segments: int = 2           # [A]/[B]
     dropout: float = 0.1
     ffn_multiplier: int = 2
+    # --- serving ----------------------------------------------------------
+    #: Numeric regime of the inference fast path: "float64" (full
+    #: precision, matches the training-graph forward to a few ulp of
+    #: GEMM/LayerNorm round-off), "float32" (single-precision fused
+    #: kernels) or "int8" (per-channel quantized GEMMs with a calibration
+    #: pass; see repro.nn.quantize).
+    inference_precision: str = "float64"
     # --- pre-training (Section V-A2) -------------------------------------
     token_mask_prob: float = 0.15
     sentence_mask_ratio: float = 0.2   # "masked sentence ... account for 0.2"
@@ -58,6 +65,11 @@ class ResuFormerConfig:
             raise ValueError("document_dim must divide document_heads")
         if not 0.0 < self.temperature:
             raise ValueError("temperature must be positive")
+        if self.inference_precision not in ("float64", "float32", "int8"):
+            raise ValueError(
+                "inference_precision must be 'float64', 'float32' or 'int8': "
+                f"{self.inference_precision!r}"
+            )
         return self
 
     @classmethod

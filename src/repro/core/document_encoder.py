@@ -110,6 +110,41 @@ class DocumentEncoder(Module):
         embedded = self.norm(embedded)
         return self.encoder(embedded, attention_mask=sentence_mask)
 
+    def infer_batch(
+        self,
+        sentence_vectors: np.ndarray,
+        visual: np.ndarray,
+        sentence_layout: np.ndarray,
+        positions: np.ndarray,
+        segments: np.ndarray,
+        sentence_mask: np.ndarray,
+    ) -> np.ndarray:
+        """Raw-array :meth:`forward_batch` without sentence masking.
+
+        Same pipeline as the graph path (fuse → embedding sums → norm →
+        encoder), matching it at float64 to one-ulp LayerNorm round-off;
+        the pipeline
+        dtype follows ``sentence_vectors`` so a single-precision or
+        quantized serving stack never widens back to float64.
+        """
+        batch, m, _ = sentence_vectors.shape
+        if m > self.config.max_document_sentences:
+            raise ValueError(
+                f"{m} sentences exceed limit {self.config.max_document_sentences}"
+            )
+        dtype = sentence_vectors.dtype
+        projected = self.visual_project.infer(np.asarray(visual, dtype=dtype))
+        embedded = np.concatenate([sentence_vectors, projected], axis=-1)
+        embedded += self.layout_embedding.infer(sentence_layout, dtype=dtype)
+        embedded += self.position.lookup(
+            np.asarray(positions, dtype=np.int64), dtype=dtype
+        )
+        embedded += self.segment.lookup(
+            np.asarray(segments, dtype=np.int64), dtype=dtype
+        )
+        embedded = self.norm.infer(embedded)
+        return self.encoder.infer(embedded, attention_mask=sentence_mask)
+
     def forward_batch(
         self,
         sentence_vectors: Tensor,

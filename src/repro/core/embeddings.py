@@ -56,6 +56,35 @@ class TextEmbedding(Module):
         )
         return self.norm(summed)
 
+    def infer(
+        self,
+        token_ids: np.ndarray,
+        segments: np.ndarray,
+        dtype=None,
+        positions: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Raw-array forward (same op order as :meth:`forward`).
+
+        ``dtype`` routes the gathers through cast embedding tables so a
+        single-precision inference pipeline starts narrow instead of
+        converting after the fact.  ``positions`` overrides the implied
+        0..seq-1 position ids — callers that flatten several padded
+        groups into one row block pass the per-group positions here.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if positions is None:
+            seq = token_ids.shape[-1]
+            if seq > self.max_positions:
+                raise ValueError(
+                    f"sequence length {seq} exceeds max positions "
+                    f"{self.max_positions}"
+                )
+            positions = np.broadcast_to(np.arange(seq), token_ids.shape)
+        summed = self.word.lookup(token_ids, dtype=dtype)
+        summed += self.position.lookup(positions, dtype=dtype)
+        summed += self.segment.lookup(np.asarray(segments, dtype=np.int64), dtype=dtype)
+        return self.norm.infer(summed)
+
 
 class LayoutEmbedding(Module):
     """The 2-D layout embedding of Eq. 2 over bucketised coordinates.
@@ -99,3 +128,16 @@ class LayoutEmbedding(Module):
         page_part = self.page_table(layout[..., 6])
         combined = concat([page_part, x_part, y_part], axis=-1)
         return self.project(combined)
+
+    def infer(self, layout: np.ndarray, dtype=None) -> np.ndarray:
+        """Raw-array forward (same op order as :meth:`forward`)."""
+        layout = np.asarray(layout, dtype=np.int64)
+        x_part = self.x_table.lookup(layout[..., 0], dtype=dtype)
+        x_part += self.x_table.lookup(layout[..., 2], dtype=dtype)
+        x_part += self.x_table.lookup(layout[..., 4], dtype=dtype)
+        y_part = self.y_table.lookup(layout[..., 1], dtype=dtype)
+        y_part += self.y_table.lookup(layout[..., 3], dtype=dtype)
+        y_part += self.y_table.lookup(layout[..., 5], dtype=dtype)
+        page_part = self.page_table.lookup(layout[..., 6], dtype=dtype)
+        combined = np.concatenate([page_part, x_part, y_part], axis=-1)
+        return self.project.infer(combined)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..nn import Module, Tensor, concat
 from ..nn import init as nn_init
+from ..nn.tensor import is_grad_enabled
 from .batching import DocumentBatch
 from .config import ResuFormerConfig
 from .document_encoder import DocumentEncoder
@@ -103,13 +104,7 @@ class HierarchicalEncoder(Module):
         exactly zero attention weight and pooling reads the ``[CLS]``
         slot), so results are identical to one untrimmed pass.
         """
-        widths = token_mask.sum(axis=1).astype(np.int64)
-        order = np.argsort(widths, kind="stable")
-        buckets = max(1, min(max_buckets, len(order) // rows_per_bucket))
-        for bucket in np.array_split(order, buckets):
-            if bucket.size == 0:
-                continue
-            t = max(int(widths[bucket].max()), 1)
+        for bucket, t in self._bucket_groups(token_mask, rows_per_bucket, max_buckets):
             token_states, vectors = self.sentence_encoder(
                 token_ids[bucket, :t],
                 token_mask[bucket, :t],
@@ -117,6 +112,18 @@ class HierarchicalEncoder(Module):
                 token_segments[bucket, :t],
             )
             yield bucket, token_states, vectors
+
+    @staticmethod
+    def _bucket_groups(token_mask, rows_per_bucket, max_buckets):
+        """Width-sorted row groups and their trimmed widths."""
+        widths = token_mask.sum(axis=1).astype(np.int64)
+        order = np.argsort(widths, kind="stable")
+        buckets = max(1, min(max_buckets, len(order) // rows_per_bucket))
+        return [
+            (bucket, max(int(widths[bucket].max()), 1))
+            for bucket in np.array_split(order, buckets)
+            if bucket.size > 0
+        ]
 
     def _sentence_vectors_bucketed(
         self, batch: DocumentBatch, rows_per_bucket: int = 20, max_buckets: int = 16
@@ -129,23 +136,75 @@ class HierarchicalEncoder(Module):
         gather instead of materialising the reordered tensor — one fancy
         index (and one scatter on the way back) instead of two.
         """
-        pieces = []
-        orders = []
-        for bucket, _, vectors in self.iter_sentence_buckets(
-            batch.token_ids,
-            batch.token_mask,
-            batch.token_layout,
-            batch.token_segments,
-            rows_per_bucket=rows_per_bucket,
-            max_buckets=max_buckets,
+        encoder = self.sentence_encoder
+        groups = self._bucket_groups(batch.token_mask, rows_per_bucket, max_buckets)
+        if (
+            not is_grad_enabled()
+            and encoder.encoder.fused_inference
+            and encoder.encoder._dropout_inactive()
         ):
-            pieces.append(vectors)
-            orders.append(bucket)
-        order = np.concatenate(orders)
-        flat = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+            # Forward-only ragged pass: one per-token buffer for every
+            # bucket, attention per bucket (results identical — see
+            # SentenceEncoder.infer_buckets).
+            flat = Tensor(self._infer_bucket_vectors(batch, groups))
+        else:
+            pieces = []
+            for bucket, t in groups:
+                _, vectors = encoder(
+                    batch.token_ids[bucket, :t],
+                    batch.token_mask[bucket, :t],
+                    batch.token_layout[bucket, :t],
+                    batch.token_segments[bucket, :t],
+                )
+                pieces.append(vectors)
+            flat = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+        order = np.concatenate([bucket for bucket, _ in groups])
         inverse = np.empty(len(order), dtype=np.int64)
         inverse[order] = np.arange(len(order))
         return flat, inverse
+
+    def _infer_bucket_vectors(self, batch: DocumentBatch, groups) -> np.ndarray:
+        """Raw ragged sentence-vector pass over precomputed width groups."""
+        return self.sentence_encoder.infer_buckets(
+            (
+                batch.token_ids[bucket, :t],
+                batch.token_mask[bucket, :t],
+                batch.token_layout[bucket, :t],
+                batch.token_segments[bucket, :t],
+            )
+            for bucket, t in groups
+        )
+
+    def _inference_ready(self) -> bool:
+        """Whether both stacks can run the raw forward-only kernels."""
+        stacks = (self.sentence_encoder.encoder, self.document_encoder.encoder)
+        return all(s.fused_inference and s._dropout_inactive() for s in stacks)
+
+    def infer_batch(self, batch: DocumentBatch) -> np.ndarray:
+        """Raw-array contextual sentence states ``(B, m_max, D)``.
+
+        The whole pipeline — ragged sentence encoding, the gather back to
+        padded shape, and the document encoder — runs on plain ndarrays:
+        no graph bookkeeping and no float64 round trip between the two
+        stacks.  Callers guard on ``no_grad`` + :meth:`_inference_ready`;
+        the float64 result matches :meth:`encode_batch` to GEMM
+        round-off (a few ulp).
+        """
+        groups = self._bucket_groups(batch.token_mask, 20, 16)
+        flat = self._infer_bucket_vectors(batch, groups)
+        order = np.concatenate([bucket for bucket, _ in groups])
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order))
+        padded = flat[inverse[batch.gather_index]]
+        padded *= batch.sentence_mask[:, :, None].astype(padded.dtype)
+        return self.document_encoder.infer_batch(
+            padded,
+            batch.sentence_visual,
+            batch.sentence_layout,
+            batch.sentence_positions,
+            batch.sentence_segments,
+            batch.sentence_mask,
+        )
 
     def encode_batch(self, batch: DocumentBatch) -> Tensor:
         """Contextual sentence states ``(B, m_max, D)`` for a padded batch.

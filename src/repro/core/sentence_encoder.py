@@ -15,6 +15,7 @@ import numpy as np
 from ..nn import Linear, Module, Tensor, TransformerEncoder
 from ..nn import init as nn_init
 from ..nn.functional import l2_normalize
+from ..nn.tensor import is_grad_enabled
 from .config import ResuFormerConfig
 from .embeddings import LayoutEmbedding, TextEmbedding
 
@@ -71,9 +72,87 @@ class SentenceEncoder(Module):
             representations ``(m, t, d)`` and the pooled, L2-normalised
             sentence vectors ``(m, d)``.
         """
+        if (
+            not is_grad_enabled()
+            and self.encoder.fused_inference
+            and self.encoder._dropout_inactive()
+        ):
+            states, vectors = self._forward_inference(
+                token_ids, token_mask, token_layout, token_segments
+            )
+            return Tensor(states), Tensor(vectors)
         embedded = self.text_embedding(token_ids, token_segments)
         embedded = embedded + self.layout_embedding(token_layout)
         states = self.encoder(embedded, attention_mask=token_mask)
         cls = states[:, 0, :]
         pooled = self.pooler(cls).tanh()
         return states, l2_normalize(pooled, axis=-1)
+
+    def _forward_inference(
+        self,
+        token_ids: np.ndarray,
+        token_mask: np.ndarray,
+        token_layout: np.ndarray,
+        token_segments: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-pipeline forward on raw arrays — embeddings through
+        pooling without Tensor boxing.  At float64 the result matches
+        the graph path to a few ulp of GEMM/LayerNorm round-off; under
+        quantization the encoder stack (and its quantized GEMMs) runs in
+        float32."""
+        embedded = self.text_embedding.infer(token_ids, token_segments)
+        embedded = embedded + self.layout_embedding.infer(token_layout)
+        states = self.encoder.infer(embedded, attention_mask=token_mask)
+        cls = states[:, 0, :]
+        pooled = np.tanh(self.pooler.infer(cls))
+        norm = np.sqrt((pooled * pooled).sum(axis=-1, keepdims=True) + 1e-12)
+        return states, pooled / norm
+
+    def infer_buckets(self, buckets) -> np.ndarray:
+        """Sentence vectors for several width buckets in one ragged pass.
+
+        ``buckets`` is an iterable of ``(token_ids, token_mask,
+        token_layout, token_segments)`` groups, each padded to its own
+        width.  All per-token work — embeddings, QKV/FFN projections,
+        layer norms, the pooler — runs on one concatenated ``(Σ n·t, d)``
+        buffer; only the attention core runs per bucket (see
+        :meth:`TransformerEncoder.infer_block`).  Returns the ``(Σ n, d)``
+        L2-normalised sentence vectors in bucket order, bitwise identical
+        at float64 to encoding each bucket separately.
+        """
+        dtype = self.encoder.inference_dtype
+        ids_parts, seg_parts, lay_parts, pos_parts = [], [], [], []
+        blocks, masks = [], []
+        offset = 0
+        for token_ids, token_mask, token_layout, token_segments in buckets:
+            token_ids = np.asarray(token_ids, dtype=np.int64)
+            rows, width = token_ids.shape
+            ids_parts.append(token_ids.reshape(-1))
+            seg_parts.append(np.asarray(token_segments, dtype=np.int64).reshape(-1))
+            lay_parts.append(
+                np.asarray(token_layout, dtype=np.int64).reshape(rows * width, -1)
+            )
+            pos_parts.append(
+                np.broadcast_to(np.arange(width), (rows, width)).reshape(-1)
+            )
+            blocks.append((offset, rows, width))
+            masks.append(token_mask)
+            offset += rows * width
+        flat = self.text_embedding.infer(
+            np.concatenate(ids_parts),
+            np.concatenate(seg_parts),
+            dtype=dtype,
+            positions=np.concatenate(pos_parts),
+        )
+        flat += self.layout_embedding.infer(
+            np.concatenate(lay_parts, axis=0), dtype=dtype
+        )
+        states = self.encoder.infer_block(flat, blocks, masks)
+        cls_rows = [
+            states[offset : offset + rows * width : width]
+            for offset, rows, width in blocks
+        ]
+        cls = cls_rows[0] if len(cls_rows) == 1 else np.concatenate(cls_rows, axis=0)
+        pooled = np.tanh(self.pooler.infer(cls))
+        norm = np.sqrt((pooled * pooled).sum(axis=-1, keepdims=True) + 1e-12)
+        return pooled / norm

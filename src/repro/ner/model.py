@@ -39,9 +39,15 @@ class NerConfig:
         max_pieces: int = 192,
         max_words: int = 96,
         ffn_multiplier: int = 2,
+        inference_precision: str = "float64",
     ):
         if hidden_dim % heads:
             raise ValueError("hidden_dim must divide heads")
+        if inference_precision not in ("float64", "float32", "int8"):
+            raise ValueError(
+                "inference_precision must be 'float64', 'float32' or "
+                f"'int8': {inference_precision!r}"
+            )
         self.vocab_size = vocab_size
         self.hidden_dim = hidden_dim
         self.layers = layers
@@ -51,6 +57,7 @@ class NerConfig:
         self.max_pieces = max_pieces
         self.max_words = max_words
         self.ffn_multiplier = ffn_multiplier
+        self.inference_precision = inference_precision
 
 
 class NerEncoder(Module):
@@ -124,6 +131,45 @@ class NerTagger(Module):
         self.mlp = Mlp(
             [2 * config.lstm_hidden, config.lstm_hidden, scheme.num_labels], rng=rng
         )
+        self._quantized = False
+
+    # ------------------------------------------------------------------
+    # Inference precision (see NerConfig.inference_precision)
+    # ------------------------------------------------------------------
+    def quantize_for_inference(
+        self, calibration_examples: Sequence[NerExample] = ()
+    ) -> int:
+        """Swap Linears for int8 kernels; calibrate on held-out examples."""
+        from ..nn import quantize as nn_quantize
+
+        count = nn_quantize.quantize_model(self)
+        self._quantized = True
+        if calibration_examples:
+            self.eval()
+            features = self.featurizer.featurize(calibration_examples)
+            with nn_quantize.calibration(self), no_grad():
+                self.logits(features)
+        return count
+
+    def dequantize(self) -> int:
+        """Restore the float layers swapped by :meth:`quantize_for_inference`."""
+        from ..nn import quantize as nn_quantize
+
+        self._quantized = False
+        return nn_quantize.dequantize(self)
+
+    def _ensure_inference_precision(
+        self, examples: Sequence[NerExample]
+    ) -> str:
+        """Lazily apply ``config.inference_precision``; returns it."""
+        precision = getattr(self.config, "inference_precision", "float64")
+        if precision == "int8" and not self._quantized:
+            self.quantize_for_inference(list(examples)[:8])
+        elif precision == "float32" and not self._quantized:
+            for module in self.modules():
+                if hasattr(module, "inference_dtype"):
+                    module.inference_dtype = np.float32
+        return precision
 
     # ------------------------------------------------------------------
     def word_states(self, features: NerFeatures) -> Tensor:
@@ -179,6 +225,7 @@ class NerTagger(Module):
     # ------------------------------------------------------------------
     def predict_probs(self, examples: Sequence[NerExample]) -> np.ndarray:
         """Class distributions ``(b, w, num_labels)`` (eval mode, no grad)."""
+        self._ensure_inference_precision(examples)
         features = self.featurizer.featurize(examples)
         self.eval()
         with no_grad():
@@ -187,6 +234,7 @@ class NerTagger(Module):
 
     def predict(self, examples: Sequence[NerExample]) -> List[List[str]]:
         """IOB label strings per example (argmax decoding)."""
+        self._ensure_inference_precision(examples)
         features = self.featurizer.featurize(examples)
         return self._decode_features(features, examples)
 
@@ -201,7 +249,9 @@ class NerTagger(Module):
     ):
         """Decoded labels plus the raw ``(b, w, num_labels)`` scores."""
         self.eval()
-        with obs.trace("encode", batch=features.batch_size), no_grad():
+        precision = getattr(self.config, "inference_precision", "float64")
+        with obs.trace("encode", batch=features.batch_size,
+                       precision=precision), no_grad():
             scores = self.logits(features).numpy()
         predictions: List[List[str]] = []
         with obs.trace("decode", batch=features.batch_size):
@@ -228,10 +278,11 @@ class NerTagger(Module):
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        precision = self._ensure_inference_precision(examples)
         telemetry = obs.get_telemetry()
         predictions: List[List[str]] = []
         with obs.trace("ner.predict_batch", examples=len(examples),
-                       batch_size=batch_size):
+                       batch_size=batch_size, precision=precision):
             for start in range(0, len(examples), batch_size):
                 chunk = examples[start : start + batch_size]
                 with obs.trace("featurize", batch=len(chunk)):

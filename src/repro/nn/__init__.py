@@ -6,19 +6,26 @@ optimisers — is implemented here from scratch and gradient-checked in the
 test suite.
 """
 
-from . import functional, init
-from .attention import MultiHeadSelfAttention, TransformerEncoder, TransformerEncoderLayer
+from . import functional, init, quantize
+from .attention import (
+    MultiHeadSelfAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    fused_self_attention,
+)
 from .crf import FuzzyCrf, LinearChainCrf
 from .layers import Dropout, Embedding, LayerNorm, Linear, Mlp
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import Adam, AdamW, LinearWarmupSchedule, ParamGroup, Sgd, clip_grad_norm
-from .recurrent import BiLstm, Lstm, LstmCell
+from .quantize import QuantizedLinear, dequantize, quantize_model
+from .recurrent import BiLstm, Lstm, LstmCell, fused_lstm_step
 from .serialization import load_module, load_state, save_module, save_state
 from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
 
 __all__ = [
     "functional",
     "init",
+    "quantize",
     "Tensor",
     "as_tensor",
     "concat",
@@ -38,9 +45,14 @@ __all__ = [
     "MultiHeadSelfAttention",
     "TransformerEncoder",
     "TransformerEncoderLayer",
+    "fused_self_attention",
     "Lstm",
     "LstmCell",
     "BiLstm",
+    "fused_lstm_step",
+    "QuantizedLinear",
+    "quantize_model",
+    "dequantize",
     "LinearChainCrf",
     "FuzzyCrf",
     "Sgd",

@@ -1,4 +1,23 @@
-"""Multi-head self-attention and Transformer encoder stacks."""
+"""Multi-head self-attention and Transformer encoder stacks.
+
+Two execution tiers share one set of parameters:
+
+* **Training** — :func:`fused_self_attention` runs the whole attention
+  chain (QKV projection → scaled scores → masked softmax → context →
+  output projection) as a *single* autograd node with one analytic
+  backward closure, instead of the ~25 primitive nodes the compositional
+  path builds.  The compositional path is kept as the reference
+  implementation (and is still used when attention-weight dropout is
+  active, which the fused kernel does not model).
+* **Inference** — under ``no_grad`` the encoder stack routes to
+  allocation-lean raw-``ndarray`` kernels (:meth:`TransformerEncoder`
+  ``fused_inference`` flag): no ``Tensor`` boxing, no graph bookkeeping,
+  and an ``inference_dtype`` knob so the quantized int8 path can run the
+  elementwise tail in float32.  At the default ``float64`` the attention
+  core mirrors the compositional op order exactly (bit-identical); the
+  full encoder layer matches the training-graph forward to one-ulp
+  LayerNorm round-off (its serving kernel uses a fused einsum variance).
+"""
 
 from __future__ import annotations
 
@@ -7,16 +26,137 @@ from typing import Optional
 import numpy as np
 
 from . import init
-from .functional import gelu, masked_fill, softmax
+from .functional import gelu, gelu_ndarray, masked_fill, softmax, softmax_ndarray
 from .layers import Dropout, LayerNorm, Linear
 from .module import Module, ModuleList
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
+    "fused_self_attention",
     "MultiHeadSelfAttention",
     "TransformerEncoderLayer",
     "TransformerEncoder",
 ]
+
+#: Large negative logit used to exclude masked keys from the softmax.
+_NEG_INF = -1e9
+
+
+def _split_heads_np(x: np.ndarray, num_heads: int) -> np.ndarray:
+    batch, seq, dim = x.shape
+    return x.reshape(batch, seq, num_heads, dim // num_heads).transpose(0, 2, 1, 3)
+
+
+def _merge_heads_np(x: np.ndarray) -> np.ndarray:
+    batch, heads, seq, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+
+def _masked_softmax_np(
+    scores: np.ndarray, attention_mask: Optional[np.ndarray]
+) -> np.ndarray:
+    """Key-masked softmax over the last axis, on raw arrays.
+
+    Mirrors ``masked_fill`` + ``functional.softmax`` operation for
+    operation so the float64 result is bit-identical to the
+    compositional path.
+    """
+    if attention_mask is not None:
+        mask = np.asarray(attention_mask, dtype=bool)
+        if not mask.all():
+            invalid = np.broadcast_to(~mask[:, None, None, :], scores.shape)
+            np.copyto(scores, scores.dtype.type(_NEG_INF), where=invalid)
+    shift = scores.max(axis=-1, keepdims=True)
+    np.copyto(shift, 0.0, where=~np.isfinite(shift))
+    scores -= shift
+    np.exp(scores, out=scores)
+    denom = scores.sum(axis=-1, keepdims=True)
+    if scores.dtype == np.float64:
+        scores /= denom
+    else:
+        # Narrow pipelines trade the full-tensor divide for a reciprocal
+        # on the tiny denominator (last-ulp difference only).
+        np.divide(1.0, denom, out=denom)
+        scores *= denom
+    return scores
+
+
+def fused_self_attention(
+    x: Tensor,
+    w_q: Tensor,
+    b_q: Tensor,
+    w_k: Tensor,
+    b_k: Tensor,
+    w_v: Tensor,
+    b_v: Tensor,
+    w_o: Tensor,
+    b_o: Tensor,
+    num_heads: int,
+    attention_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """The full attention chain as one einsum-based autograd node.
+
+    Computes QKV projections, scaled dot-product scores, key-masked
+    softmax, context gather and the output projection in raw numpy and
+    registers a *single* backward closure that pushes analytic gradients
+    to ``x`` and all eight projection parameters — one graph node where
+    the compositional path builds a deep chain of primitives.
+
+    ``attention_mask`` is an optional ``(batch, seq)`` 0/1 array; masked
+    keys receive exactly zero attention weight (their fill value of
+    ``-1e9`` underflows the softmax), so their gradient contribution is
+    exactly zero as in the compositional reference.
+    """
+    batch, seq, dim = x.shape
+    head_dim = dim // num_heads
+    scale = 1.0 / np.sqrt(head_dim)
+    data = x.data
+
+    flat = data.reshape(batch * seq, dim)
+    qm = (flat @ w_q.data + b_q.data).reshape(batch, seq, dim)
+    km = (flat @ w_k.data + b_k.data).reshape(batch, seq, dim)
+    vm = (flat @ w_v.data + b_v.data).reshape(batch, seq, dim)
+    q = _split_heads_np(qm, num_heads)
+    k = _split_heads_np(km, num_heads)
+    v = _split_heads_np(vm, num_heads)
+
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k, optimize=True) * scale
+    weights = _masked_softmax_np(scores, attention_mask)
+    context = np.einsum("bhqk,bhkd->bhqd", weights, v, optimize=True)
+    context_m = _merge_heads_np(context)
+    out_data = context_m @ w_o.data + b_o.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad2d = grad.reshape(batch * seq, dim)
+        b_o._accumulate(grad.sum(axis=(0, 1)))
+        w_o._accumulate(context_m.reshape(batch * seq, dim).T @ grad2d)
+        g_context = _split_heads_np(grad @ w_o.data.T, num_heads)
+
+        g_weights = np.einsum("bhqd,bhkd->bhqk", g_context, v, optimize=True)
+        g_v = np.einsum("bhqk,bhqd->bhkd", weights, g_context, optimize=True)
+        # Softmax backward: rows of exactly-zero weight (masked keys)
+        # contribute exactly zero, matching the constant fill value.
+        g_scores = weights * (
+            g_weights - (g_weights * weights).sum(axis=-1, keepdims=True)
+        )
+        g_scores *= scale
+        g_q = np.einsum("bhqk,bhkd->bhqd", g_scores, k, optimize=True)
+        g_k = np.einsum("bhqk,bhqd->bhkd", g_scores, q, optimize=True)
+
+        g_qm = _merge_heads_np(g_q).reshape(batch * seq, dim)
+        g_km = _merge_heads_np(g_k).reshape(batch * seq, dim)
+        g_vm = _merge_heads_np(g_v).reshape(batch * seq, dim)
+        w_q._accumulate(flat.T @ g_qm)
+        w_k._accumulate(flat.T @ g_km)
+        w_v._accumulate(flat.T @ g_vm)
+        b_q._accumulate(g_qm.sum(axis=0))
+        b_k._accumulate(g_km.sum(axis=0))
+        b_v._accumulate(g_vm.sum(axis=0))
+        g_x = g_qm @ w_q.data.T + g_km @ w_k.data.T + g_vm @ w_v.data.T
+        x._accumulate(g_x.reshape(batch, seq, dim))
+
+    parents = (x, w_q, b_q, w_k, b_k, w_v, b_v, w_o, b_o)
+    return x._make(out_data, parents, backward)
 
 
 class MultiHeadSelfAttention(Module):
@@ -24,6 +164,11 @@ class MultiHeadSelfAttention(Module):
 
     Operates on ``(batch, seq, dim)`` inputs with an optional boolean/0-1
     ``attention_mask`` of shape ``(batch, seq)`` where 1 marks valid tokens.
+
+    The forward pass routes to :func:`fused_self_attention` whenever
+    attention-weight dropout is inactive (eval mode or ``dropout=0``);
+    the compositional reference path — identical math, one graph node
+    per primitive — remains for dropout and for parity testing.
     """
 
     def __init__(
@@ -52,9 +197,32 @@ class MultiHeadSelfAttention(Module):
             0, 2, 1, 3
         )
 
+    def _dropout_active(self) -> bool:
+        return self.dropout.training and self.dropout.p > 0.0
+
     def forward(
         self, x: Tensor, attention_mask: Optional[np.ndarray] = None
     ) -> Tensor:
+        if not self._dropout_active():
+            return fused_self_attention(
+                x,
+                self.query.weight,
+                self.query.bias,
+                self.key.weight,
+                self.key.bias,
+                self.value.weight,
+                self.value.bias,
+                self.out.weight,
+                self.out.bias,
+                self.num_heads,
+                attention_mask=attention_mask,
+            )
+        return self._forward_reference(x, attention_mask=attention_mask)
+
+    def _forward_reference(
+        self, x: Tensor, attention_mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Compositional-autograd attention (dropout + parity reference)."""
         batch, seq, _ = x.shape
         q = self._split_heads(self.query(x))
         k = self._split_heads(self.key(x))
@@ -73,6 +241,117 @@ class MultiHeadSelfAttention(Module):
         context = weights @ v
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
         return self.out(context)
+
+    def _quantized_qkv(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """One int8 GEMM for all three QKV projections, if quantized.
+
+        When ``query``/``key``/``value`` are all :class:`QuantizedLinear`
+        (and none is calibrating), their integer-valued weight stages are
+        concatenated into one ``(dim, 3·dim)`` matrix so the input is
+        quantized once and projected in a single sgemm.  All three
+        projections see the same input and hence the same activation
+        scale, and per-output-channel weight scales concatenate, so the
+        result is bitwise identical to three separate quantized calls.
+        Returns the stacked ``(batch, seq, 3·dim)`` output, or ``None``
+        when the fast path does not apply.
+        """
+        from .quantize import QuantizedLinear, quantize_activations
+
+        projections = (self.query, self.key, self.value)
+        if not all(type(p) is QuantizedLinear for p in projections):
+            return None
+        if any(p.calibrating or p.bias_f32 is None for p in projections):
+            return None
+        cached = getattr(self, "_qkv_cache", None)
+        if cached is None or any(
+            a is not b for a, b in zip(cached[0], projections)
+        ):
+            cached = (
+                projections,
+                np.concatenate([p.weight_f32 for p in projections], axis=1),
+                np.concatenate([p.weight_scale for p in projections]),
+                np.concatenate([p.bias_f32 for p in projections]),
+            )
+            self._qkv_cache = cached
+        _, weight_f32, weight_scale, bias_f32 = cached
+        x32 = x.astype(np.float32, copy=False)
+        scale = self.query.act_scale(x32)
+        x_q = quantize_activations(x32, scale)
+        out = x_q @ weight_f32
+        out *= np.float32(scale) * weight_scale
+        out += bias_f32
+        return out
+
+    def _forward_inference(
+        self, x: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Forward-only attention on raw arrays — no graph, no boxing.
+
+        Projections go through :meth:`Linear.infer`, so a quantized
+        encoder transparently substitutes its int8 kernels (with the QKV
+        trio further fused into one stacked GEMM).  At float64 the op
+        order mirrors the compositional path bit for bit.
+        """
+        dim = self.dim
+        qkv = self._quantized_qkv(x)
+        if qkv is not None:
+            q = _split_heads_np(qkv[..., :dim], self.num_heads)
+            k = _split_heads_np(qkv[..., dim : 2 * dim], self.num_heads)
+            v = _split_heads_np(qkv[..., 2 * dim :], self.num_heads)
+        else:
+            q = _split_heads_np(self.query.infer(x), self.num_heads)
+            k = _split_heads_np(self.key.infer(x), self.num_heads)
+            v = _split_heads_np(self.value.infer(x), self.num_heads)
+        if q.dtype == np.float64:
+            scores = (q @ k.swapaxes(-1, -2)) / np.sqrt(self.head_dim)
+        else:
+            # Fold 1/sqrt(d) into q — one pass over (…, t, d) instead of
+            # a divide over the O(t^2) score tensor.
+            q = q * q.dtype.type(1.0 / np.sqrt(self.head_dim))
+            scores = q @ k.swapaxes(-1, -2)
+        weights = _masked_softmax_np(scores, attention_mask)
+        context = _merge_heads_np(weights @ v)
+        return self.out.infer(context)
+
+    def _infer_block(self, flat, blocks, masks) -> np.ndarray:
+        """Attention over a ragged block of sequences sharing one 2-D buffer.
+
+        ``flat`` is ``(total_rows, dim)`` holding several padded sequence
+        groups back to back; ``blocks`` lists ``(offset, n, t)`` spans and
+        ``masks`` the per-group key masks.  The QKV and output projections
+        — per-row maps — run *once* over the whole buffer (one GEMM each,
+        or a single stacked int8 GEMM when quantized); only the O(t²)
+        attention core runs per group.  Per-row results are bitwise
+        identical to calling :meth:`_forward_inference` group by group.
+        """
+        dim = self.dim
+        qkv = self._quantized_qkv(flat)
+        if qkv is not None:
+            qm = qkv[:, :dim]
+            km = qkv[:, dim : 2 * dim]
+            vm = qkv[:, 2 * dim :]
+        else:
+            qm = self.query.infer(flat)
+            km = self.key.infer(flat)
+            vm = self.value.infer(flat)
+        scaled = qm.dtype != np.float64
+        if scaled:
+            # Fold 1/sqrt(d) into the (rows, d) query buffer up front —
+            # far cheaper than dividing every O(t^2) score tensor below.
+            qm = qm * qm.dtype.type(1.0 / np.sqrt(self.head_dim))
+        context = np.empty((flat.shape[0], dim), dtype=qm.dtype)
+        scale = np.asarray(np.sqrt(self.head_dim), dtype=qm.dtype)
+        for (offset, n, t), mask in zip(blocks, masks):
+            end = offset + n * t
+            q = _split_heads_np(qm[offset:end].reshape(n, t, dim), self.num_heads)
+            k = _split_heads_np(km[offset:end].reshape(n, t, dim), self.num_heads)
+            v = _split_heads_np(vm[offset:end].reshape(n, t, dim), self.num_heads)
+            scores = q @ k.swapaxes(-1, -2)
+            if not scaled:
+                scores /= scale
+            weights = _masked_softmax_np(scores, mask)
+            context[offset:end] = _merge_heads_np(weights @ v).reshape(n * t, dim)
+        return self.out.infer(context)
 
 
 class TransformerEncoderLayer(Module):
@@ -104,9 +383,32 @@ class TransformerEncoderLayer(Module):
         transformed = self.ffn_out(gelu(self.ffn_in(x)))
         return self.norm2(x + self.dropout(transformed))
 
+    def _forward_inference(
+        self, x: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Whole-layer forward on raw arrays (dropout must be inactive)."""
+        attended = self.attention._forward_inference(x, attention_mask)
+        x = self.norm1.infer(x + attended)
+        transformed = self.ffn_out.infer(gelu_ndarray(self.ffn_in.infer(x)))
+        return self.norm2.infer(x + transformed)
+
+    def _infer_block(self, flat, blocks, masks) -> np.ndarray:
+        """Whole layer over a ragged block (see ``_infer_block`` above)."""
+        attended = self.attention._infer_block(flat, blocks, masks)
+        x = self.norm1.infer(flat + attended)
+        transformed = self.ffn_out.infer(gelu_ndarray(self.ffn_in.infer(x)))
+        return self.norm2.infer(x + transformed)
+
 
 class TransformerEncoder(Module):
-    """A stack of :class:`TransformerEncoderLayer`."""
+    """A stack of :class:`TransformerEncoderLayer`.
+
+    Under ``no_grad`` (and with dropout inactive) the stack runs its
+    allocation-lean fused inference kernels; set ``fused_inference =
+    False`` to force the compositional path (benchmark baselines), and
+    ``inference_dtype`` to ``np.float32`` to run the elementwise tail in
+    single precision (the quantized path does this automatically).
+    """
 
     def __init__(
         self,
@@ -123,10 +425,49 @@ class TransformerEncoder(Module):
             TransformerEncoderLayer(dim, num_heads, ffn_dim, dropout, rng=rng)
             for _ in range(num_layers)
         )
+        #: Route ``no_grad`` forwards to the raw-ndarray kernels.
+        self.fused_inference = True
+        #: Dtype of the fused inference pipeline (float64 = full precision).
+        self.inference_dtype = np.float64
+
+    def _dropout_inactive(self) -> bool:
+        return all(
+            not layer.dropout.training or layer.dropout.p == 0.0
+            for layer in self.layers
+        )
+
+    def infer(
+        self, x: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Run the whole stack on a raw array (forward-only kernels)."""
+        data = x.astype(self.inference_dtype, copy=False)
+        for layer in self.layers:
+            data = layer._forward_inference(data, attention_mask)
+        return data
+
+    def infer_block(self, flat, blocks, masks) -> np.ndarray:
+        """Run the stack over a ragged block of padded sequence groups.
+
+        ``flat``: ``(total_rows, dim)`` buffer of concatenated groups,
+        each group ``(offset, n, t)`` in ``blocks`` spanning ``n·t`` rows;
+        ``masks`` holds each group's ``(n, t)`` key mask.  Per-row maps
+        run once over the buffer, attention per group — per-row output is
+        bitwise identical to :meth:`infer` on each group separately.
+        """
+        data = flat.astype(self.inference_dtype, copy=False)
+        for layer in self.layers:
+            data = layer._infer_block(data, blocks, masks)
+        return data
 
     def forward(
         self, x: Tensor, attention_mask: Optional[np.ndarray] = None
     ) -> Tensor:
+        if (
+            not is_grad_enabled()
+            and self.fused_inference
+            and self._dropout_inactive()
+        ):
+            return Tensor(self.infer(x.data, attention_mask))
         for layer in self.layers:
             x = layer(x, attention_mask=attention_mask)
         return x

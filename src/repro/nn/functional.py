@@ -11,10 +11,11 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, where
+from .tensor import Tensor, as_tensor, is_grad_enabled, where
 
 __all__ = [
     "softmax",
+    "softmax_ndarray",
     "log_softmax",
     "logsumexp",
     "cross_entropy",
@@ -22,6 +23,7 @@ __all__ = [
     "kl_div_loss",
     "mse_loss",
     "gelu",
+    "gelu_ndarray",
     "l2_normalize",
     "masked_fill",
 ]
@@ -51,9 +53,21 @@ def _squeeze_shape(shape, axis):
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` (stable via max-shift)."""
     x = as_tensor(x)
+    if not is_grad_enabled():
+        # Inference fast path: one fused ndarray kernel, no intermediate
+        # Tensor boxing.  Identical op order → bit-identical results.
+        return Tensor(softmax_ndarray(x.data, axis=axis))
     shift = np.max(x.data, axis=axis, keepdims=True)
     shift = np.where(np.isfinite(shift), shift, 0.0)
     exps = (x - shift).exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def softmax_ndarray(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward-only softmax on a raw array (stable via max-shift)."""
+    shift = np.max(x, axis=axis, keepdims=True)
+    shift = np.where(np.isfinite(shift), shift, 0.0)
+    exps = np.exp(x - shift)
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
@@ -124,8 +138,33 @@ def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation)."""
     x = as_tensor(x)
+    if not is_grad_enabled():
+        return Tensor(gelu_ndarray(x.data))
     inner = 0.7978845608028654 * (x + 0.044715 * x * x * x)
     return 0.5 * x * (1.0 + inner.tanh())
+
+
+def gelu_ndarray(x: np.ndarray) -> np.ndarray:
+    """Forward-only GELU (tanh approximation) on a raw array.
+
+    The constants stay python floats: float64 keeps bit-parity with the
+    Tensor path, and numpy promotes scalar * float32-array back to
+    float32, so the quantized pipeline keeps its dtype.
+    """
+    # In-place chain; every rounding step matches the Tensor-path
+    # expression ``0.5 * x * (1 + tanh(0.7978... * (x + 0.044715*x*x*x)))``
+    # bit for bit (multiplication is commutative and scaling by 0.5 is
+    # exact), with no intermediate temporaries.
+    inner = x * 0.044715
+    inner *= x
+    inner *= x
+    inner += x
+    inner *= 0.7978845608028654
+    np.tanh(inner, out=inner)
+    inner += 1.0
+    inner *= 0.5
+    inner *= x
+    return inner
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:

@@ -9,13 +9,17 @@ import numpy as np
 from . import init
 from .functional import gelu
 from .module import Module, Parameter
-from .tensor import Tensor, no_grad
+from .tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "Mlp"]
 
 
 class Linear(Module):
-    """Affine transformation ``y = x W + b`` over the last axis."""
+    """Affine transformation ``y = x W + b`` over the last axis.
+
+    Under ``no_grad`` the forward skips graph construction entirely and
+    runs :meth:`infer` on the raw array — the hot path for serving.
+    """
 
     def __init__(
         self,
@@ -32,9 +36,28 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self.infer(x.data))
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
+        return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward-only affine map on a raw array — no graph, no boxing.
+
+        Parameters are cast to the activation dtype (a no-op at the
+        default float64), so a float32 pipeline stays float32.
+        """
+        weight = self.weight.data
+        if weight.dtype != x.dtype:
+            weight = weight.astype(x.dtype)
+        out = x @ weight
+        if self.bias is not None:
+            bias = self.bias.data
+            if bias.dtype != x.dtype:
+                bias = bias.astype(x.dtype)
+            out += bias
         return out
 
 
@@ -58,13 +81,38 @@ class Embedding(Module):
             with no_grad():
                 self.weight.data[padding_idx] = 0.0
 
-    def forward(self, ids) -> Tensor:
+    def _checked(self, ids) -> np.ndarray:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
             raise IndexError(
                 f"embedding ids out of range [0, {self.num_embeddings}): "
                 f"min={ids.min()}, max={ids.max()}"
             )
+        return ids
+
+    def lookup(self, ids, dtype=None) -> np.ndarray:
+        """Range-checked raw table gather (no Tensor boxing).
+
+        With ``dtype`` set, gathers from a cached cast of the table so a
+        single-precision pipeline pays the cast once per table, not once
+        per gathered row.  The cache is keyed on the table's identity —
+        rebinding ``weight.data`` invalidates it.
+        """
+        ids = self._checked(ids)
+        table = self.weight.data
+        if dtype is not None and table.dtype != dtype:
+            cached = getattr(self, "_cast_table", None)
+            if cached is None or cached[0] is not table or cached[1].dtype != dtype:
+                cached = (table, table.astype(dtype))
+                self._cast_table = cached
+            table = cached[1]
+        return table[ids]
+
+    def forward(self, ids) -> Tensor:
+        ids = self._checked(ids)
+        if not is_grad_enabled():
+            # Fast path: fancy-index the raw table, skip graph bookkeeping.
+            return Tensor(self.weight.data[ids])
         return self.weight[ids]
 
 
@@ -79,11 +127,45 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self.infer(x.data))
         mean = x.mean(axis=-1, keepdims=True)
         centered = x - mean
         var = (centered * centered).mean(axis=-1, keepdims=True)
         normed = centered / (var + self.eps).sqrt()
         return normed * self.gamma + self.beta
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward-only layer norm on a raw array.
+
+        The variance is a fused einsum dot-product over the centered rows
+        — one pass, no ``centered**2`` temporary — which lands within one
+        ulp of the compositional reduction (both serving paths share this
+        kernel, so fused-vs-graph inference parity is unaffected).
+        """
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = np.einsum("...i,...i->...", centered, centered)[..., None]
+        var /= x.shape[-1]
+        gamma = self.gamma.data
+        beta = self.beta.data
+        if gamma.dtype != x.dtype:
+            gamma = gamma.astype(x.dtype)
+            beta = beta.astype(x.dtype)
+        # In-place on the fresh temporaries; identical rounding to
+        # ``centered / sqrt(var + eps) * gamma + beta``.
+        var += self.eps
+        np.sqrt(var, out=var)
+        if x.dtype == np.float64:
+            centered /= var
+        else:
+            # Reciprocal on the (rows, 1) column, multiply on the matrix —
+            # cheaper than a full-width divide (last-ulp difference only).
+            np.divide(1.0, var, out=var)
+            centered *= var
+        centered *= gamma
+        centered += beta
+        return centered
 
 
 class Dropout(Module):
@@ -137,4 +219,20 @@ class Mlp(Module):
                     x = x.tanh()
                 else:
                     x = x.relu()
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward-only pass on a raw array (same op order as forward)."""
+        from .functional import gelu_ndarray
+
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer.infer(x)
+            if i != last:
+                if self.activation == "gelu":
+                    x = gelu_ndarray(x)
+                elif self.activation == "tanh":
+                    x = np.tanh(x)
+                else:
+                    x = x * (x > 0)
         return x

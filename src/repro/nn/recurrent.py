@@ -10,11 +10,71 @@ from . import init
 from .module import Module, Parameter
 from .tensor import Tensor, concat, is_grad_enabled, stack
 
-__all__ = ["LstmCell", "Lstm", "BiLstm"]
+__all__ = ["fused_lstm_step", "LstmCell", "Lstm", "BiLstm"]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-x))
+
+
+def fused_lstm_step(
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """One LSTM time step as a fused autograd op.
+
+    Runs the whole gate computation — ``[x;h] @ W + b``, the four gate
+    nonlinearities, the cell update and the output — in raw numpy, and
+    returns ``(h, c)`` as two graph nodes that share one cached set of
+    activations.  The compositional cell builds ~15 primitive nodes per
+    step; this builds two.
+
+    Gradients are additive across the two outputs, so each node's
+    backward pushes its own incoming gradient through the shared
+    analytic closure: the ``h`` gradient enters via the output gate and
+    ``tanh(c)``, the ``c`` gradient directly via the cell state.
+    """
+    hd = bias.shape[0] // 4
+    input_dim = x.shape[-1]
+    combined = np.concatenate([x.data, h_prev.data], axis=-1)
+    gates = combined @ weight.data + bias.data
+    i = _sigmoid(gates[:, :hd])
+    f = _sigmoid(gates[:, hd : 2 * hd])
+    g = np.tanh(gates[:, 2 * hd : 3 * hd])
+    o = _sigmoid(gates[:, 3 * hd :])
+    c_data = f * c_prev.data + i * g
+    tanh_c = np.tanh(c_data)
+    h_data = o * tanh_c
+
+    def push(dh: Optional[np.ndarray], dc: np.ndarray) -> None:
+        d_o = np.zeros_like(o) if dh is None else dh * tanh_c * o * (1.0 - o)
+        d_gates = np.concatenate(
+            [
+                dc * g * i * (1.0 - i),
+                dc * c_prev.data * f * (1.0 - f),
+                dc * i * (1.0 - g**2),
+                d_o,
+            ],
+            axis=-1,
+        )
+        weight._accumulate(combined.T @ d_gates)
+        bias._accumulate(d_gates.sum(axis=0))
+        d_combined = d_gates @ weight.data.T
+        x._accumulate(d_combined[:, :input_dim])
+        h_prev._accumulate(d_combined[:, input_dim:])
+        c_prev._accumulate(dc * f)
+
+    def backward_h(grad: np.ndarray) -> None:
+        push(grad, grad * o * (1.0 - tanh_c**2))
+
+    def backward_c(grad: np.ndarray) -> None:
+        push(None, grad)
+
+    parents = (x, h_prev, c_prev, weight, bias)
+    return x._make(h_data, parents, backward_h), x._make(c_data, parents, backward_c)
 
 
 class LstmCell(Module):
@@ -41,6 +101,13 @@ class LstmCell(Module):
     def forward(
         self, x: Tensor, state: Tuple[Tensor, Tensor]
     ) -> Tuple[Tensor, Tensor]:
+        h_prev, c_prev = state
+        return fused_lstm_step(x, h_prev, c_prev, self.weight, self.bias)
+
+    def _step_reference(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """Compositional-autograd step (parity reference for the fused op)."""
         h_prev, c_prev = state
         combined = concat([x, h_prev], axis=-1)
         gates = combined @ self.weight + self.bias
@@ -189,18 +256,23 @@ class Lstm(Module):
         The input projection for all time steps runs as one GEMM up front;
         the per-step work is a single ``(batch, hd) @ (hd, 4hd)`` matmul
         plus elementwise gates, so batching documents amortises the python
-        loop across the whole batch.
+        loop across the whole batch.  The recurrence follows the input
+        dtype, so a float32 serving pipeline stays narrow end to end.
         """
         batch, seq, input_dim = x.shape
         hd = self.hidden_dim
         weight = self.cell.weight.data
+        bias = self.cell.bias.data
+        if weight.dtype != x.dtype:
+            weight = weight.astype(x.dtype)
+            bias = bias.astype(x.dtype)
         w_h = weight[input_dim:]
-        valid = None if mask is None else np.asarray(mask, dtype=np.float64)
+        valid = None if mask is None else np.asarray(mask, dtype=x.dtype)
         xw = x.reshape(batch * seq, input_dim) @ weight[:input_dim]
-        xw = xw.reshape(batch, seq, 4 * hd) + self.cell.bias.data
-        h = np.zeros((batch, hd))
-        c = np.zeros((batch, hd))
-        outputs = np.zeros((batch, seq, hd))
+        xw = xw.reshape(batch, seq, 4 * hd) + bias
+        h = np.zeros((batch, hd), dtype=x.dtype)
+        c = np.zeros((batch, hd), dtype=x.dtype)
+        outputs = np.zeros((batch, seq, hd), dtype=x.dtype)
         # As in training: fully-padded trailing steps contribute zeros.
         limit = seq if valid is None else int(valid.sum(axis=1).max())
         steps = range(limit - 1, -1, -1) if self.reverse else range(limit)
@@ -243,3 +315,13 @@ class BiLstm(Module):
         fwd = self.forward_lstm(x, mask=mask)
         bwd = self.backward_lstm(x, mask=mask)
         return concat([fwd, bwd], axis=-1)
+
+    def infer(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Forward-only bidirectional pass on a raw array (no boxing)."""
+        return np.concatenate(
+            [
+                self.forward_lstm._forward_inference(x, mask),
+                self.backward_lstm._forward_inference(x, mask),
+            ],
+            axis=-1,
+        )

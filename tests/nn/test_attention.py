@@ -57,6 +57,113 @@ class TestMultiHeadSelfAttention:
         np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-8)
 
 
+class TestFusedAttentionAgainstReference:
+    """The fused attention op must match the compositional reference."""
+
+    MASKS = {
+        "none": None,
+        "ragged": np.array([[1, 1, 1, 1, 0], [1, 1, 0, 0, 0]]),
+    }
+
+    @pytest.mark.parametrize("mask_kind", ["none", "ragged"])
+    def test_outputs_and_gradients_match(self, mask_kind):
+        attn = make_attention()
+        attn.eval()
+        mask = self.MASKS[mask_kind]
+        base = RNG.normal(size=(2, 5, 16))
+        weights = RNG.normal(size=(2, 5, 16))
+
+        def run(fn):
+            attn.zero_grad()
+            x = Tensor(base.copy(), requires_grad=True)
+            out = fn(x)
+            (out * Tensor(weights)).sum().backward()
+            grads = {name: p.grad.copy() for name, p in attn.named_parameters()}
+            return out.numpy().copy(), x.grad.copy(), grads
+
+        # eval + dropout=0 routes forward() through fused_self_attention.
+        fused = run(lambda x: attn(x, attention_mask=mask))
+        ref = run(lambda x: attn._forward_reference(x, attention_mask=mask))
+        np.testing.assert_allclose(fused[0], ref[0], atol=1e-9)
+        np.testing.assert_allclose(fused[1], ref[1], atol=1e-9)
+        for name in ref[2]:
+            np.testing.assert_allclose(
+                fused[2][name], ref[2][name], atol=1e-9, err_msg=name
+            )
+
+
+class TestInferenceKernels:
+    """Raw-ndarray inference kernels vs the compositional graph path."""
+
+    def test_forward_inference_bitwise_at_float64(self):
+        attn = make_attention()
+        attn.eval()
+        x = RNG.normal(size=(2, 6, 16))
+        mask = np.array([[1, 1, 1, 1, 1, 1], [1, 1, 1, 1, 0, 0]])
+        expected = attn._forward_reference(
+            Tensor(x), attention_mask=mask
+        ).numpy()
+        got = attn._forward_inference(x, attention_mask=mask)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_infer_block_matches_per_group_inference(self):
+        attn = make_attention()
+        attn.eval()
+        groups = [(2, 4), (3, 6)]  # (n sequences, t timesteps) per group
+        masks, chunks, blocks, offset = [], [], [], 0
+        for n, t in groups:
+            mask = np.ones((n, t), dtype=np.int64)
+            mask[:, t - 1] = 0  # ragged tails
+            masks.append(mask)
+            chunks.append(RNG.normal(size=(n, t, 16)))
+            blocks.append((offset, n, t))
+            offset += n * t
+        flat = np.concatenate([c.reshape(-1, 16) for c in chunks])
+        out = attn._infer_block(flat, blocks, masks)
+        for (start, n, t), chunk, mask in zip(blocks, chunks, masks):
+            expected = attn._forward_inference(chunk, attention_mask=mask)
+            np.testing.assert_array_equal(
+                out[start : start + n * t].reshape(n, t, 16), expected
+            )
+
+    def test_encoder_infer_matches_compositional_stack(self):
+        # LayerNorm.infer computes its variance as a fused einsum, which
+        # lands within a ulp of the compositional Tensor-op reduction the
+        # graph path uses under grad — so the whole-stack comparison is
+        # tight allclose, not bitwise (the attention core alone *is*
+        # bitwise; see test_forward_inference_bitwise_at_float64).
+        enc = TransformerEncoder(2, 16, 4, dropout=0.0, rng=np.random.default_rng(6))
+        enc.eval()
+        x = RNG.normal(size=(2, 5, 16))
+        mask = np.array([[1, 1, 1, 1, 1], [1, 1, 1, 0, 0]])
+        enc.fused_inference = False
+        expected = enc(Tensor(x), attention_mask=mask).numpy()
+        enc.fused_inference = True
+        np.testing.assert_allclose(
+            enc.infer(x, attention_mask=mask), expected, rtol=0, atol=1e-13
+        )
+
+    def test_encoder_routes_to_infer_under_no_grad(self):
+        from repro.nn import no_grad
+
+        enc = TransformerEncoder(1, 16, 4, dropout=0.0, rng=np.random.default_rng(7))
+        enc.eval()
+        x = RNG.normal(size=(1, 4, 16))
+        with no_grad():
+            routed = enc(Tensor(x)).numpy()
+        np.testing.assert_array_equal(routed, enc.infer(x))
+
+    def test_float32_pipeline_stays_float32_and_close(self):
+        enc = TransformerEncoder(2, 16, 4, dropout=0.0, rng=np.random.default_rng(8))
+        enc.eval()
+        x = RNG.normal(size=(2, 5, 16))
+        reference = enc.infer(x)
+        enc.inference_dtype = np.float32
+        narrow = enc.infer(x)
+        assert narrow.dtype == np.float32
+        np.testing.assert_allclose(narrow, reference, atol=1e-4)
+
+
 class TestTransformerEncoder:
     def test_layer_shape(self):
         layer = TransformerEncoderLayer(16, 4, dropout=0.0, rng=np.random.default_rng(2))

@@ -59,6 +59,44 @@ class TestLstm:
         np.testing.assert_allclose(base[0, :4], out[0, :4], atol=1e-10)
 
 
+class TestFusedStepAgainstReference:
+    """The fused per-timestep gate op must match the compositional step."""
+
+    def test_outputs_and_gradients_match(self):
+        from repro.nn import fused_lstm_step
+
+        cell = LstmCell(3, 5, rng=np.random.default_rng(21))
+        x0 = RNG.normal(size=(4, 3))
+        h0 = RNG.normal(size=(4, 5))
+        c0 = RNG.normal(size=(4, 5))
+        wh = RNG.normal(size=(4, 5))
+        wc = RNG.normal(size=(4, 5))
+
+        def run(step):
+            cell.zero_grad()
+            x = Tensor(x0.copy(), requires_grad=True)
+            h_prev = Tensor(h0.copy(), requires_grad=True)
+            c_prev = Tensor(c0.copy(), requires_grad=True)
+            h, c = step(x, h_prev, c_prev)
+            ((h * Tensor(wh)).sum() + (c * Tensor(wc)).sum()).backward()
+            return (
+                h.numpy().copy(),
+                c.numpy().copy(),
+                x.grad.copy(),
+                h_prev.grad.copy(),
+                c_prev.grad.copy(),
+                cell.weight.grad.copy(),
+                cell.bias.grad.copy(),
+            )
+
+        fused = run(
+            lambda x, h, c: fused_lstm_step(x, h, c, cell.weight, cell.bias)
+        )
+        reference = run(lambda x, h, c: cell._step_reference(x, (h, c)))
+        for f, r in zip(fused, reference):
+            np.testing.assert_allclose(f, r, atol=1e-9)
+
+
 class TestFusedBpttAgainstReference:
     """The fused BPTT must match the compositional autograd recurrence."""
 
