@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint gradcheck bench bench-perf bench-train bench-quant examples report compare baseline clean
+.PHONY: install test lint gradcheck bench bench-perf bench-train bench-quant bench-parallel examples report compare baseline clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,13 @@ bench-train:
 # this is the CI quantization-parity gate).
 bench-quant:
 	python -m pytest benchmarks/test_perf_quantized.py -q -s
+
+# Data-parallel scaling benchmark (1/2/4 workers); writes
+# BENCH_parallel.json.  Asserts 1-vs-2-worker parameter parity always;
+# the >= 1.6x speedup floor at 4 workers only applies on machines with
+# >= 4 cores.  BENCH_PARALLEL_SMOKE=1 shrinks it to a CI-sized smoke run.
+bench-parallel:
+	python -m pytest benchmarks/test_perf_parallel.py -q -s
 
 examples:
 	python examples/quickstart.py

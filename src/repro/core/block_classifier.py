@@ -66,6 +66,9 @@ class BlockClassifier(Module):
         self.encoder = encoder
         self.featurizer = featurizer
         self.scheme = scheme
+        #: Kept so data-parallel workers can rebuild a structurally
+        #: identical replica from config-level payloads alone.
+        self.lstm_hidden = lstm_hidden
         dim = encoder.config.document_dim
         self.bilstm = BiLstm(dim, lstm_hidden, rng=rng)
         self.mlp = Mlp(
@@ -358,6 +361,7 @@ class BlockTrainer:
         patience: int = 2,
         batch_size: int = 4,
         grad_accumulation: int = 1,
+        num_workers: int = 0,
     ) -> Dict[str, List[float]]:
         """Train with mini-batch optimizer steps; restores the best-validation
         parameters before returning.
@@ -368,7 +372,24 @@ class BlockTrainer:
         ``grad_accumulation`` accumulates that many mini-batches before
         stepping, so the effective batch is ``batch_size *
         grad_accumulation`` without growing the padded forward pass.
+
+        ``num_workers >= 1`` switches to synchronous data-parallel steps
+        (``repro.parallel``): each mini-batch is sharded across worker
+        replicas and the weighted-mean all-reduce reproduces the exact
+        single-replica gradient, so the trained parameters are identical
+        for every worker count (with ``dropout=0``; see docs/API.md §14).
         """
+        if num_workers:
+            if grad_accumulation != 1:
+                raise ValueError(
+                    "grad_accumulation is not supported with num_workers; "
+                    "raise batch_size instead (shards keep the padded "
+                    "forward pass small)"
+                )
+            return self._fit_parallel(
+                train, validation, epochs=epochs, patience=patience,
+                batch_size=batch_size, num_workers=num_workers,
+            )
         features = [
             (self.model.featurizer.featurize(item.document), item.labels)
             for item in train
@@ -440,6 +461,114 @@ class BlockTrainer:
                     bad_epochs += 1
                     if bad_epochs >= patience:
                         break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    def _fit_parallel(
+        self,
+        train: Sequence[LabeledDocument],
+        validation: Sequence[LabeledDocument],
+        epochs: int,
+        patience: int,
+        batch_size: int,
+        num_workers: int,
+    ) -> Dict[str, List[float]]:
+        """Data-parallel :meth:`fit`: same batch order, sharded gradients.
+
+        The mini-batch sequence comes from the parent's RNG exactly as in
+        single-process training; each batch is sharded across the workers
+        and reduced into one weighted-mean step, so the optimizer sees
+        the same per-batch gradient for every worker count.  Validation
+        sweeps and early stopping stay parent-side.
+        """
+        from ..parallel import (
+            DataParallelEngine,
+            init_block_worker,
+            make_runner,
+            param_layout,
+            param_size,
+            publish_cache_hit_rates,
+        )
+
+        model = self.model
+        documents = [item.document for item in train]
+        cap = model.encoder.config.max_document_sentences
+        lengths = [min(d.num_sentences, cap) for d in documents]
+        parameters = model.parameters()
+        payload = {
+            "config": model.encoder.config,
+            "tokenizer": model.featurizer.tokenizer,
+            "scheme": model.scheme,
+            "lstm_hidden": model.lstm_hidden,
+            "documents": documents,
+            "labels": [item.labels for item in train],
+            "layout": param_layout(parameters),
+        }
+        history: Dict[str, List[float]] = {"loss": [], "val_accuracy": []}
+        best_score = -np.inf
+        best_state = None
+        bad_epochs = 0
+        telemetry = obs.get_telemetry()
+        step_index = 0
+        with make_runner(
+            num_workers, init_block_worker, payload, param_size(parameters)
+        ) as runner:
+            engine = DataParallelEngine(
+                runner, self.optimizer, parameters,
+                max_grad_norm=self.max_grad_norm,
+            )
+            for epoch_index in range(epochs):
+                epoch_loss = 0.0
+                with obs.trace(
+                    "block_train.epoch", epoch=epoch_index, workers=num_workers
+                ):
+                    for chunk in iter_minibatches(
+                        len(documents), batch_size, rng=self.rng, lengths=lengths
+                    ):
+                        results, batch_loss = engine.grad_step("grad", chunk)
+                        publish_cache_hit_rates(results)
+                        if batch_loss is not None:
+                            epoch_loss += batch_loss * len(chunk)
+                        if telemetry is not None:
+                            step_index += 1
+                            telemetry.metrics.counter("train.documents").inc(
+                                len(chunk)
+                            )
+                            telemetry.event(
+                                "step",
+                                phase="block_train",
+                                step=step_index,
+                                epoch=epoch_index,
+                                losses={"crf": batch_loss},
+                                documents=len(chunk),
+                                grad_norm=engine.last_grad_norm,
+                            )
+                history["loss"].append(epoch_loss / max(len(documents), 1))
+                if telemetry is not None:
+                    telemetry.event(
+                        "epoch",
+                        phase="block_train",
+                        epoch=epoch_index,
+                        loss=history["loss"][-1],
+                    )
+                if validation:
+                    score = self.sentence_accuracy(validation)
+                    history["val_accuracy"].append(score)
+                    if telemetry is not None:
+                        telemetry.event(
+                            "eval",
+                            phase="block_train",
+                            epoch=epoch_index,
+                            val_accuracy=score,
+                        )
+                    if score > best_score:
+                        best_score, bad_epochs = score, 0
+                        best_state = self.model.state_dict()
+                    else:
+                        bad_epochs += 1
+                        if bad_epochs >= patience:
+                            break
         if best_state is not None:
             self.model.load_state_dict(best_state)
         return history

@@ -10,10 +10,11 @@ visual descriptors.
 
 from __future__ import annotations
 
+import os
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +31,29 @@ __all__ = ["DocumentFeatures", "FeatureCache", "Featurizer", "LAYOUT_FEATURES"]
 LAYOUT_FEATURES = ("x_min", "y_min", "x_max", "y_max", "width", "height", "page")
 
 _MAX_PAGES = 16
+
+#: Every live FeatureCache, for the fork guard below.  Weak references:
+#: registration must not keep discarded caches (and their features) alive.
+_LIVE_CACHES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _clear_caches_after_fork() -> None:
+    """Empty every inherited cache in a freshly forked child.
+
+    Cache keys are parent-process object identities; in the child they
+    alias whatever the child's allocator later places at those addresses,
+    so an inherited entry could serve a *stale hit* for a different
+    document.  Clearing on fork (stats preserved — the child continues
+    the parent's counters) makes identity keying per-process by
+    construction.  Spawned workers never inherit caches and are
+    unaffected; the guard exists for ``fork``-start users.
+    """
+    for cache in list(_LIVE_CACHES):
+        cache.clear(preserve_stats=True)
+
+
+if hasattr(os, "register_at_fork"):  # not available on Windows
+    os.register_at_fork(after_in_child=_clear_caches_after_fork)
 
 
 @dataclass
@@ -63,6 +87,16 @@ class FeatureCache:
     ``predict`` calls and per-epoch validation sweeps hit instead of
     re-running WordPiece tokenisation and layout bucketing.
 
+    **Caches are strictly per-process.**  Identity keys are meaningless in
+    any other process (same integer, different object), and the weakref
+    guard cannot help because a forked child's aliases are *live* objects.
+    Two defenses keep multi-process use safe: every cache clears itself in
+    a forked child (``os.register_at_fork``, entries dropped, stats kept),
+    and ``repro.parallel`` workers never receive a pickled cache at all —
+    each worker builds a fresh :class:`Featurizer` whose shard-local cache
+    warms up on that worker's own shard (its hit rate is exported as the
+    ``parallel.feature_cache.hit_rate{worker=}`` gauge).
+
     When a :mod:`repro.obs` telemetry session is active, every hit, miss
     and LRU eviction also increments the session counters
     ``feature_cache.hits`` / ``feature_cache.misses`` /
@@ -81,6 +115,7 @@ class FeatureCache:
         self._entries: "OrderedDict[int, Tuple[weakref.ref, DocumentFeatures]]" = (
             OrderedDict()
         )
+        _LIVE_CACHES.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -188,6 +223,22 @@ class Featurizer:
             features = self._compute(document)
             self.cache.store(document, features)
         return features
+
+    def featurize_many(
+        self, documents: Sequence[ResumeDocument], repeats: int = 1
+    ) -> List[DocumentFeatures]:
+        """Featurize a document list through the cache, in order.
+
+        ``repeats`` runs the sweep that many times (later passes are cache
+        hits for any document still resident) and returns the final pass —
+        benchmarks use it to measure warm-cache throughput.
+        """
+        if repeats <= 0:
+            raise ValueError("repeats must be positive")
+        for _ in range(repeats - 1):
+            for document in documents:
+                self.featurize(document)
+        return [self.featurize(document) for document in documents]
 
     def _compute(self, document: ResumeDocument) -> DocumentFeatures:
         """Build the full feature bundle for one document."""

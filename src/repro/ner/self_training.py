@@ -57,6 +57,10 @@ class SelfTrainConfig:
     use_confidence_selection: bool = True  # w/o HCS ablation
     use_self_distillation: bool = True     # w/o SD ablation
     eval_every: int = 2
+    #: ``>= 1`` shards every gradient step (teacher supervision, KL
+    #: distillation) and the Eq. 9 frequency sweep across data-parallel
+    #: workers (``repro.parallel``); 0 keeps the single-process path.
+    num_workers: int = 0
 
 
 def soft_pseudo_labels(
@@ -139,6 +143,8 @@ class SelfTrainer:
         validation: Sequence[NerExample],
     ) -> NerTagger:
         """Step 1: supervised training on distant labels with early stopping."""
+        if self.config.num_workers:
+            return self._train_teacher_parallel(train, validation)
         model = self.model
         engine = GradAccumulator(
             self._optimizer(model),
@@ -189,6 +195,230 @@ class SelfTrainer:
             model.load_state_dict(best_state)
         return model
 
+    # ------------------------------------------------------------------
+    # Data-parallel variants (repro.parallel)
+    # ------------------------------------------------------------------
+    def _worker_payload(self, model: NerTagger, train: Sequence[NerExample]):
+        from ..parallel import param_layout
+
+        return {
+            "config": model.config,
+            "tokenizer": model.featurizer.tokenizer,
+            "scheme": model.scheme,
+            "examples": list(train),
+            "layout": param_layout(model.parameters()),
+        }
+
+    def _train_teacher_parallel(
+        self,
+        train: Sequence[NerExample],
+        validation: Sequence[NerExample],
+    ) -> NerTagger:
+        """Data-parallel :meth:`train_teacher`: sharded token-weighted steps.
+
+        Each mini-batch loss is a token-mean, so shards reduce with their
+        valid-token counts as weights — the all-reduced gradient is the
+        exact global token-mean gradient for every worker count.
+        """
+        from ..parallel import (
+            DataParallelEngine,
+            init_ner_worker,
+            make_runner,
+            param_size,
+        )
+
+        model = self.model
+        parameters = model.parameters()
+        best_f1 = -1.0
+        best_state = None
+        bad = 0
+        with make_runner(
+            self.config.num_workers,
+            init_ner_worker,
+            self._worker_payload(model, train),
+            param_size(parameters),
+        ) as runner:
+            engine = DataParallelEngine(
+                runner,
+                self._optimizer(model),
+                parameters,
+                max_grad_norm=self.config.max_grad_norm,
+            )
+            for epoch in range(self.config.teacher_epochs):
+                order = self.rng.permutation(len(train))
+                epoch_loss = 0.0
+                batches = 0
+                for start in range(0, len(train), self.config.batch_size):
+                    chunk = [
+                        int(i)
+                        for i in order[start : start + self.config.batch_size]
+                    ]
+                    _, batch_loss = engine.grad_step("grad", chunk)
+                    if batch_loss is not None:
+                        epoch_loss += batch_loss
+                    batches += 1
+                score = self._validation_f1(model, validation)
+                self.history.append(
+                    {"stage": 0.0, "epoch": float(epoch),
+                     "loss": epoch_loss / max(batches, 1), "val_f1": score}
+                )
+                telemetry = obs.get_telemetry()
+                if telemetry is not None:
+                    telemetry.event(
+                        "epoch", phase="ner_teacher", epoch=epoch,
+                        loss=epoch_loss / max(batches, 1),
+                    )
+                    telemetry.event(
+                        "eval", phase="ner_teacher", epoch=epoch, val_f1=score
+                    )
+                if score > best_f1:
+                    best_f1, bad = score, 0
+                    best_state = model.state_dict()
+                else:
+                    bad += 1
+                    if bad >= self.config.teacher_patience:
+                        break
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        return model
+
+    def _self_train_parallel(
+        self,
+        initial_teacher: NerTagger,
+        train: Sequence[NerExample],
+        validation: Sequence[NerExample],
+    ) -> NerTagger:
+        """Data-parallel :meth:`self_train`.
+
+        The teacher side of Algorithm 2 (pseudo-labeling, Eq. 9 soft
+        labels, Eq. 11 selection) stays parent-side so the targets are
+        global; only the student's KL gradient is sharded.  The Eq. 9
+        frequency sweep broadcasts the *teacher* through the parameter
+        slab and fans the corpus out across the same workers.
+        """
+        from ..parallel import (
+            DataParallelEngine,
+            init_ner_worker,
+            make_runner,
+            param_size,
+        )
+
+        teacher = initial_teacher.clone()
+        student = teacher.clone()
+        parameters = student.parameters()
+        best_f1 = self._validation_f1(student, validation)
+        frequency = None
+        telemetry = obs.get_telemetry()
+        with make_runner(
+            self.config.num_workers,
+            init_ner_worker,
+            self._worker_payload(student, train),
+            param_size(parameters),
+        ) as runner:
+            engine = DataParallelEngine(
+                runner,
+                self._optimizer(student, self.config.student_learning_rate),
+                parameters,
+                max_grad_norm=self.config.max_grad_norm,
+            )
+            for iteration in range(1, self.config.iterations + 1):
+                with obs.trace(
+                    "self_train.iteration", iteration=iteration,
+                    workers=self.config.num_workers,
+                ):
+                    batch_idx = self.rng.choice(
+                        len(train),
+                        size=min(self.config.batch_size, len(train)),
+                        replace=False,
+                    )
+                    batch = [train[i] for i in batch_idx]
+                    features = student.featurizer.featurize(batch)
+
+                    probs = teacher.predict_probs(batch)
+                    if frequency is None:
+                        frequency = self._class_frequency(
+                            teacher, train, engine=engine
+                        )
+                    soft = soft_pseudo_labels(
+                        probs, features.word_mask, frequency
+                    )
+                    if self.config.use_soft_labels:
+                        targets = soft
+                    else:
+                        targets = hard_to_onehot(probs)
+                    mask = features.word_mask
+                    valid_tokens = float(features.word_mask.sum())
+                    selection_rate = 1.0
+                    if self.config.use_confidence_selection:
+                        selected = confidence_mask(
+                            soft, mask, self.config.gamma
+                        )
+                        if selected.sum() == 0:
+                            selected = self._top_half_mask(soft, mask)
+                        selection_rate = (
+                            float(selected.sum()) / valid_tokens
+                            if valid_tokens else 0.0
+                        )
+                        mask = selected
+
+                    engine.broadcast()
+                    row_shards = engine.shard(list(range(len(batch))))
+                    shards = [
+                        [int(batch_idx[row]) for row in rows]
+                        for rows in row_shards
+                    ]
+                    extras = [
+                        {"targets": targets[rows], "mask": mask[rows]}
+                        for rows in row_shards
+                    ]
+                    results = engine.dispatch("kl_grad", shards, extras)
+                    total_weight = sum(r["weight"] for r in results)
+                    loss_value = 0.0
+                    if total_weight > 0:
+                        engine.apply(total_weight)
+                        loss_value = (
+                            sum(r["loss"] * r["weight"] for r in results)
+                            / total_weight
+                        )
+
+                record = {"stage": 1.0, "epoch": float(iteration),
+                          "loss": loss_value, "val_f1": best_f1}
+                teacher_refreshed = False
+                if iteration % self.config.eval_every == 0:
+                    score = self._validation_f1(student, validation)
+                    record["val_f1"] = score
+                    if telemetry is not None:
+                        telemetry.event(
+                            "eval", phase="self_train", iteration=iteration,
+                            val_f1=score,
+                        )
+                    if score > best_f1:
+                        best_f1 = score
+                        teacher.load_state_dict(student.state_dict())
+                        frequency = None
+                        teacher_refreshed = True
+                self.history.append(record)
+                if telemetry is not None:
+                    telemetry.metrics.gauge("self_train.selection_rate").set(
+                        selection_rate
+                    )
+                    telemetry.metrics.counter("self_train.iterations").inc()
+                    if teacher_refreshed:
+                        telemetry.metrics.counter(
+                            "self_train.teacher_refreshes"
+                        ).inc()
+                    telemetry.event(
+                        "step",
+                        phase="self_train",
+                        step=iteration,
+                        losses={"kl": loss_value},
+                        selection_rate=selection_rate,
+                        selected_tokens=float(mask.sum()),
+                        valid_tokens=valid_tokens,
+                        teacher_refreshed=teacher_refreshed,
+                    )
+        return student
+
     @staticmethod
     def _top_half_mask(soft: np.ndarray, word_mask: np.ndarray) -> np.ndarray:
         """Select the most confident half of the valid tokens."""
@@ -222,12 +452,18 @@ class SelfTrainer:
         The caller's teacher is cloned, never mutated, so one teacher can
         seed several student runs (ablations, threshold sweeps).
 
+        With ``config.num_workers >= 1`` the student's KL gradients are
+        sharded across data-parallel workers (teacher pseudo-labeling
+        stays parent-side so the Eq. 9–11 targets remain global).
+
         Each iteration emits a ``step`` event (phase ``self_train``) whose
         ``selection_rate`` field becomes the ``self_train.selection_rate``
         alert series — a custom ``Rule("low-selection",
         "self_train.selection_rate", below(0.05))`` catches a collapsing
         Eq. 11–12 confidence selection long before validation F1 moves.
         """
+        if self.config.num_workers:
+            return self._self_train_parallel(initial_teacher, train, validation)
         teacher = initial_teacher.clone()
         student = teacher.clone()
         optimizer = self._optimizer(
@@ -314,9 +550,29 @@ class SelfTrainer:
         return student
 
     def _class_frequency(
-        self, teacher: NerTagger, train: Sequence[NerExample], chunk: int = 64
+        self,
+        teacher: NerTagger,
+        train: Sequence[NerExample],
+        chunk: int = 64,
+        engine=None,
     ) -> np.ndarray:
-        """Eq. 9's unnormalised class frequency over the full training set."""
+        """Eq. 9's unnormalised class frequency over the full training set.
+
+        With a data-parallel ``engine`` the sweep broadcasts the teacher
+        through the shared parameter slab and fans the corpus across the
+        workers; the per-example partial sums come back in global order
+        and are reduced in one :func:`numpy.sum`, so the result does not
+        depend on the worker count.
+        """
+        if engine is not None:
+            from ..parallel import param_vector
+
+            param_vector(teacher.parameters(), out=engine.runner.params)
+            shards = engine.shard(list(range(len(train))))
+            results = engine.dispatch(
+                "frequency", shards, [{"chunk": chunk}] * len(shards)
+            )
+            return np.concatenate(results, axis=0).sum(axis=0)
         num_labels = teacher.scheme.num_labels
         frequency = np.zeros(num_labels)
         for start in range(0, len(train), chunk):

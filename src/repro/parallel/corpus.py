@@ -1,0 +1,94 @@
+"""Parallel synthetic-corpus generation and featurization.
+
+Both outer loops are embarrassingly parallel once the randomness is
+index-addressed: :meth:`ResumeGenerator.generate_at` seeds a fresh
+generator from ``[seed, index]`` per document, so any worker can produce
+any document — the output is identical for every worker count (and the
+index set can be sharded contiguously without re-seeding anything).
+
+Featurization runs each document shard through a worker-local
+:class:`~repro.core.featurize.FeatureCache` (caches never cross process
+boundaries — see the fork-guard notes on ``FeatureCache``) and reports
+per-shard hit rates as ``parallel.feature_cache.hit_rate{worker=}``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .. import obs
+from .pool import make_runner
+from .sharding import shard_evenly, shard_imbalance
+from .workers import init_corpus_worker, init_featurize_worker
+
+__all__ = ["generate_documents", "featurize_documents"]
+
+
+def _publish_imbalance(shards) -> None:
+    telemetry = obs.get_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.gauge("parallel.shard_imbalance").set(
+            shard_imbalance(shards)
+        )
+
+
+def generate_documents(
+    generator, count: int, prefix: str = "resume", num_workers: int = 1
+) -> list:
+    """Generate ``count`` documents across ``num_workers`` processes.
+
+    Uses the index-seeded discipline (``generator.generate_at``), so the
+    result is deterministic in ``(seed, count, prefix)`` and identical
+    for every worker count.  Documents return in index order.
+    """
+    shards = shard_evenly(list(range(count)), num_workers)
+    _publish_imbalance(shards)
+    with obs.trace("parallel.generate", documents=count, workers=num_workers):
+        with make_runner(
+            num_workers, init_corpus_worker, {"generator": generator}
+        ) as runner:
+            results = runner.run(
+                "generate",
+                [{"indices": shard, "prefix": prefix} for shard in shards],
+            )
+    return [document for shard in results for document in shard]
+
+
+def featurize_documents(
+    documents: Sequence,
+    tokenizer,
+    config,
+    num_workers: int = 1,
+    cache_size: int = 256,
+    repeats: int = 1,
+) -> List[object]:
+    """Featurize ``documents`` across worker-local feature caches.
+
+    Returns features in document order.  ``repeats`` re-runs each shard
+    through its cache that many times (benchmarks use it to measure
+    warm-cache throughput); the extra passes are cache hits, visible in
+    the per-worker hit-rate gauges.
+    """
+    shards = shard_evenly(list(range(len(documents))), num_workers)
+    _publish_imbalance(shards)
+    payload = {
+        "documents": list(documents),
+        "tokenizer": tokenizer,
+        "config": config,
+        "cache_size": cache_size,
+    }
+    with obs.trace(
+        "parallel.featurize", documents=len(documents), workers=num_workers
+    ):
+        with make_runner(num_workers, init_featurize_worker, payload) as runner:
+            results = runner.run(
+                "featurize",
+                [{"indices": shard, "repeats": repeats} for shard in shards],
+            )
+    telemetry = obs.get_telemetry()
+    if telemetry is not None:
+        gauge = telemetry.metrics.gauge("parallel.feature_cache.hit_rate")
+        for worker_id, result in enumerate(results):
+            if result["cache"] is not None:
+                gauge.set(result["cache"]["hit_rate"], worker=str(worker_id))
+    return [features for result in results for features in result["features"]]

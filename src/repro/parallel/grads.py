@@ -1,0 +1,130 @@
+"""Flat parameter/gradient vectors and the cross-worker SCL gradient.
+
+Data-parallel training moves two kinds of float64 vectors through shared
+memory: the broadcast parameter vector (parent -> workers before every
+step) and one gradient vector per worker (workers -> parent for the
+all-reduce).  Both use the same layout: every parameter of the model, in
+``Module.parameters()`` order, raveled C-order and concatenated.  Parent
+and workers rebuild structurally identical modules, so the order matches
+by construction; :func:`param_layout` gives a shape fingerprint the pool
+handshake compares to fail fast on a drifted replica.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.tensor import no_grad
+
+__all__ = [
+    "param_layout",
+    "param_size",
+    "param_vector",
+    "load_param_vector",
+    "write_grad_vector",
+    "set_grads_from",
+    "info_nce_grads",
+]
+
+
+def param_layout(parameters: Sequence) -> List[Tuple[int, ...]]:
+    """Shape fingerprint of a parameter list (pool handshake check)."""
+    return [tuple(int(s) for s in p.data.shape) for p in parameters]
+
+
+def param_size(parameters: Sequence) -> int:
+    """Total number of scalar parameters (= flat vector length)."""
+    return int(sum(p.data.size for p in parameters))
+
+
+def param_vector(parameters: Sequence, out: np.ndarray = None) -> np.ndarray:
+    """Concatenate every parameter into one flat float64 vector."""
+    if out is None:
+        out = np.empty(param_size(parameters), dtype=np.float64)
+    offset = 0
+    for param in parameters:
+        size = param.data.size
+        out[offset : offset + size] = param.data.ravel()
+        offset += size
+    return out
+
+
+def load_param_vector(parameters: Sequence, flat: np.ndarray) -> None:
+    """Write a flat vector back into ``param.data`` (in place, copying).
+
+    Runs under ``no_grad`` for the same reason optimizer steps do: the
+    broadcast happens between steps, when no live graph references the
+    parameter buffers.
+    """
+    offset = 0
+    with no_grad():
+        for param in parameters:
+            size = param.data.size
+            np.copyto(
+                param.data, flat[offset : offset + size].reshape(param.data.shape)
+            )
+            offset += size
+
+
+def write_grad_vector(parameters: Sequence, out: np.ndarray) -> None:
+    """Serialise gradients into ``out`` (zeros where ``grad`` is None).
+
+    Every position is written, so a worker's shared-memory slab never
+    carries residue from a previous step — an empty shard publishes an
+    exact zero contribution.
+    """
+    offset = 0
+    for param in parameters:
+        size = param.data.size
+        if param.grad is None:
+            out[offset : offset + size] = 0.0
+        else:
+            out[offset : offset + size] = param.grad.ravel()
+        offset += size
+
+
+def set_grads_from(parameters: Sequence, flat: np.ndarray) -> None:
+    """Install a reduced flat gradient onto the parent's parameters."""
+    offset = 0
+    for param in parameters:
+        size = param.data.size
+        param.grad = flat[offset : offset + size].reshape(param.data.shape).copy()
+        offset += size
+
+
+def info_nce_grads(
+    predicted: np.ndarray, targets: np.ndarray, temperature: float
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Closed-form value and row gradients of the Eq. 3-4 InfoNCE loss.
+
+    The SCL objective pools masked sentence slots *across the whole
+    effective batch* (Eq. 4's ``N = b*k``), so it cannot be computed
+    shard-locally.  Instead each worker ships its predicted/fused rows,
+    the parent evaluates the global loss here, and the returned per-row
+    gradients flow back for the workers' backward pass — the exact chain
+    rule, so splitting the batch changes nothing about the objective.
+
+    With ``S = P @ T.T`` and ``L = -(1/n) sum_i log softmax(S/tau)_ii``:
+    ``dL/dS = (softmax(S/tau) - I) / (n * tau)``, ``dL/dP = dL/dS @ T``
+    and ``dL/dT = dL/dS.T @ P``.
+    """
+    if predicted.shape != targets.shape:
+        raise ValueError(
+            f"row blocks disagree: {predicted.shape} vs {targets.shape}"
+        )
+    n = predicted.shape[0]
+    scores = (predicted @ targets.T) / temperature
+    # Numerically stable row softmax + diagonal log-probability.
+    scores -= scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores)
+    denom = exp.sum(axis=-1, keepdims=True)
+    softmax = exp / denom
+    diagonal = np.arange(n)
+    log_prob = scores[diagonal, diagonal] - np.log(denom[:, 0])
+    loss = -float(log_prob.mean())
+    d_scores = softmax.copy()
+    d_scores[diagonal, diagonal] -= 1.0
+    d_scores /= n * temperature
+    return loss, d_scores @ targets, d_scores.T @ predicted

@@ -1,0 +1,398 @@
+"""Spawn-safe worker pool over shared-memory float64 slabs.
+
+:class:`WorkerPool` forks ``num_workers`` persistent processes via stdlib
+:mod:`multiprocessing` (default start method ``spawn`` — no reliance on
+inherited globals; every payload crosses the boundary explicitly and
+picklable).  Two float64 regions live in one anonymous shared
+:func:`RawArray`:
+
+* a **parameter slab** the parent rewrites before each dispatch and every
+  worker copies into its model replica, and
+* one **gradient slab per worker**, written whole on every gradient task
+  so the weighted-mean all-reduce is a plain parent-side sum.
+
+Queues carry only small control payloads (index lists, scalars, SCL row
+blocks); the big vectors never pass through pickle after startup.
+
+BLAS discipline: the parent pins ``OMP_NUM_THREADS`` & friends to ``1``
+in the environment *while the workers boot* — under ``spawn`` the child
+inherits that environment before it first imports numpy, so no worker can
+ever start a multi-threaded BLAS and spin-contend the cores the other
+workers need.  ``_worker_main`` additionally calls
+:func:`repro._threads.limit_blas_threads` with an explicit count as its
+first statement, and each worker reports
+:func:`repro._threads.blas_thread_counts` in its ready handshake (the
+regression test pins this).
+
+:class:`LocalRunner` is the in-process twin: same contexts, same slab
+semantics, no processes.  ``num_workers=1`` training uses it by default
+(sharded math without fork overhead), and setting
+``REPRO_PARALLEL_BACKEND=local`` forces it at any worker count — handy on
+single-core machines and for fast parity tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from .._threads import blas_thread_counts, blas_threads_pinned, limit_blas_threads
+
+__all__ = ["ParallelWorkerError", "WorkerPool", "LocalRunner", "make_runner"]
+
+#: Environment variable forcing the in-process backend (``local``) or the
+#: multi-process one (``process``) regardless of worker count.
+BACKEND_ENV = "REPRO_PARALLEL_BACKEND"
+
+class ParallelWorkerError(RuntimeError):
+    """A worker failed; carries the worker id, its shard, and the traceback."""
+
+    def __init__(self, worker_id: int, task: str, detail: str, shard=None):
+        self.worker_id = worker_id
+        self.task = task
+        self.shard = shard
+        shard_note = f" shard={list(shard)!r}" if shard is not None else ""
+        super().__init__(
+            f"worker {worker_id} failed in task {task!r}{shard_note}:\n{detail}"
+        )
+
+
+def _worker_main(
+    worker_id: int,
+    init_fn: Callable,
+    init_payload: dict,
+    raw,
+    param_size: int,
+    num_workers: int,
+    task_queue,
+    result_queue,
+) -> None:
+    """Entry point of one worker process (also run by spawn's bootstrap)."""
+    # First statement on purpose: an explicit override so any BLAS loaded
+    # by the context build below starts single-threaded even if the
+    # parent's environment said otherwise.
+    limit_blas_threads(1)
+    try:
+        params_view, grad_view = _slab_views(raw, param_size, num_workers, worker_id)
+        context = init_fn(worker_id, init_payload, params_view, grad_view)
+    except BaseException:
+        result_queue.put(("error", worker_id, "<init>", traceback.format_exc()))
+        return
+    result_queue.put(("ready", worker_id, {"blas": blas_thread_counts()}))
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        task, payload = message
+        started = time.perf_counter()
+        try:
+            result = getattr(context, "task_" + task)(payload)
+        except BaseException:
+            result_queue.put(("error", worker_id, task, traceback.format_exc()))
+            break
+        result_queue.put(
+            ("ok", worker_id, result, time.perf_counter() - started)
+        )
+
+
+def _slab_views(raw, param_size: int, num_workers: int, worker_id: Optional[int]):
+    """(params, grad-of-worker) float64 views into the shared block."""
+    flat = np.frombuffer(raw, dtype=np.float64)
+    params = flat[:param_size]
+    if worker_id is None:
+        return params, None
+    start = param_size * (1 + worker_id)
+    return params, flat[start : start + param_size]
+
+
+class _RunnerBase:
+    """Shared surface of :class:`WorkerPool` and :class:`LocalRunner`."""
+
+    num_workers: int
+    params: np.ndarray
+
+    def run(self, task: str, payloads: Sequence[dict]) -> List[object]:
+        raise NotImplementedError
+
+    def grad_slab(self, worker_id: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def reduce(self, total_weight: Optional[float] = None) -> np.ndarray:
+        """Sum every worker's gradient slab; optionally scale by 1/weight.
+
+        Workers publish *weight-scaled* gradients (the gradient of
+        ``loss * shard_weight``), so the sum divided by the total weight
+        is the exact weighted mean over every document of the effective
+        batch — :class:`repro.core.training.GradAccumulator` semantics,
+        shard by shard instead of micro-batch by micro-batch.
+        """
+        with obs.trace("parallel.allreduce", workers=self.num_workers):
+            out = self.grad_slab(0).copy()
+            for worker_id in range(1, self.num_workers):
+                out += self.grad_slab(worker_id)
+            if total_weight is not None:
+                if total_weight <= 0:
+                    raise ValueError("total_weight must be positive")
+                out /= total_weight
+        return out
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class WorkerPool(_RunnerBase):
+    """N persistent worker processes around one shared float64 block."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        init_fn: Callable,
+        init_payload: dict,
+        param_size: int = 0,
+        start_method: str = "spawn",
+    ):
+        import multiprocessing as mp
+
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._closed = False
+        ctx = mp.get_context(start_method)
+        total = max(param_size * (1 + num_workers), 1)
+        self._raw = ctx.RawArray("d", total)
+        self._param_size = param_size
+        self.params, _ = _slab_views(self._raw, param_size, num_workers, None)
+        self._task_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
+        # A full Queue (not SimpleQueue) so _collect can poll with a
+        # timeout and notice a worker that died without reporting — e.g.
+        # OOM-killed, or spawn failing to re-import __main__.
+        self._results = ctx.Queue()
+        self.ready_info: List[dict] = [None] * num_workers
+        with obs.trace("parallel.pool_start", workers=num_workers):
+            # Spawned children read the pinned environment before their
+            # first numpy import — the only moment the cap is guaranteed
+            # to bind; the parent's own policy is restored on exit.
+            with blas_threads_pinned(1):
+                self._processes = []
+                for worker_id in range(num_workers):
+                    process = ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            worker_id,
+                            init_fn,
+                            init_payload,
+                            self._raw,
+                            param_size,
+                            num_workers,
+                            self._task_queues[worker_id],
+                            self._results,
+                        ),
+                        daemon=True,
+                        name=f"repro-parallel-{worker_id}",
+                    )
+                    process.start()
+                    self._processes.append(process)
+            self._collect("<init>", [{}] * num_workers, ready=True)
+
+    # ------------------------------------------------------------------
+    def grad_slab(self, worker_id: int) -> np.ndarray:
+        _, grad = _slab_views(
+            self._raw, self._param_size, self.num_workers, worker_id
+        )
+        return grad
+
+    def run(self, task: str, payloads: Sequence[dict]) -> List[object]:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if len(payloads) != self.num_workers:
+            raise ValueError("one payload per worker required")
+        for queue, payload in zip(self._task_queues, payloads):
+            queue.put((task, payload))
+        return self._collect(task, payloads)
+
+    def _collect(
+        self, task: str, payloads: Sequence[dict], ready: bool = False
+    ) -> List[object]:
+        """Gather one message per worker; raise on the first failure.
+
+        Polls with a timeout so a worker that dies *without* reporting
+        (OOM kill, a spawn bootstrap that cannot re-import ``__main__``)
+        surfaces as a :class:`ParallelWorkerError` instead of a parent
+        that blocks forever on the result queue.
+        """
+        import queue as queue_module
+
+        results: List[object] = [None] * self.num_workers
+        durations: List[float] = [0.0] * self.num_workers
+        pending = self.num_workers
+        while pending:
+            try:
+                message = self._results.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [
+                    (worker_id, process.exitcode)
+                    for worker_id, process in enumerate(self._processes)
+                    if not process.is_alive()
+                ]
+                if dead and self._results.empty():
+                    worker_id, exitcode = dead[0]
+                    self.close(force=True)
+                    raise ParallelWorkerError(
+                        worker_id,
+                        task,
+                        f"worker process died without reporting "
+                        f"(exitcode {exitcode}); if this happened at pool "
+                        f"startup under the spawn start method, the "
+                        f"launching script must be importable as __main__ "
+                        f"(a real file, with pool creation under "
+                        f"`if __name__ == '__main__':`)",
+                    )
+                continue
+            pending -= 1
+            kind, worker_id = message[0], message[1]
+            if kind == "error":
+                _, _, failed_task, detail = message
+                shard = None
+                if worker_id < len(payloads) and isinstance(payloads[worker_id], dict):
+                    shard = payloads[worker_id].get("indices")
+                self.close(force=True)
+                raise ParallelWorkerError(worker_id, failed_task, detail, shard)
+            if ready:
+                self.ready_info[worker_id] = message[2]
+                continue
+            results[worker_id] = message[2]
+            durations[worker_id] = message[3]
+        if not ready:
+            telemetry = obs.get_telemetry()
+            if telemetry is not None:
+                timer = telemetry.metrics.timer("parallel.worker_step_seconds")
+                for worker_id, seconds in enumerate(durations):
+                    timer.observe(seconds, worker=str(worker_id))
+        return results
+
+    def close(self, force: bool = False) -> None:
+        """Stop every worker; terminate stragglers so none is orphaned."""
+        if self._closed:
+            return
+        self._closed = True
+        if not force:
+            for queue in self._task_queues:
+                try:
+                    queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        for process in self._processes:
+            process.join(timeout=0.0 if force else 5.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for process in self._processes:
+            process.close()
+        for queue in self._task_queues:
+            queue.close()
+        self._results.close()
+        self._results.cancel_join_thread()
+
+
+class LocalRunner(_RunnerBase):
+    """In-process runner with pool-identical semantics (no fork).
+
+    Contexts are built eagerly with numpy-backed slabs; ``run`` executes
+    worker tasks sequentially in worker order.  Used for ``num_workers=1``
+    (sharded math without process overhead) and by the fast parity tests
+    that compare worker counts without paying spawn latency.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        init_fn: Callable,
+        init_payload: dict,
+        param_size: int = 0,
+    ):
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self._flat = np.zeros(max(param_size * (1 + num_workers), 1))
+        self._param_size = param_size
+        self.params = self._flat[:param_size]
+        self._contexts = []
+        self.ready_info: List[dict] = []
+        for worker_id in range(num_workers):
+            params, grad = _slab_views(
+                self._flat, param_size, num_workers, worker_id
+            )
+            self._contexts.append(init_fn(worker_id, init_payload, params, grad))
+            self.ready_info.append({"blas": blas_thread_counts()})
+
+    def grad_slab(self, worker_id: int) -> np.ndarray:
+        start = self._param_size * (1 + worker_id)
+        return self._flat[start : start + self._param_size]
+
+    def run(self, task: str, payloads: Sequence[dict]) -> List[object]:
+        if len(payloads) != self.num_workers:
+            raise ValueError("one payload per worker required")
+        results: List[object] = []
+        durations: List[float] = []
+        for worker_id, (context, payload) in enumerate(
+            zip(self._contexts, payloads)
+        ):
+            started = time.perf_counter()
+            try:
+                results.append(getattr(context, "task_" + task)(payload))
+            except ParallelWorkerError:
+                raise
+            except BaseException:
+                raise ParallelWorkerError(
+                    worker_id,
+                    task,
+                    traceback.format_exc(),
+                    payload.get("indices") if isinstance(payload, dict) else None,
+                ) from None
+            durations.append(time.perf_counter() - started)
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            timer = telemetry.metrics.timer("parallel.worker_step_seconds")
+            for worker_id, seconds in enumerate(durations):
+                timer.observe(seconds, worker=str(worker_id))
+        return results
+
+    def close(self) -> None:
+        self._contexts = []
+
+
+def make_runner(
+    num_workers: int,
+    init_fn: Callable,
+    init_payload: dict,
+    param_size: int = 0,
+    start_method: str = "spawn",
+) -> _RunnerBase:
+    """Build the runner for a worker count, honouring ``BACKEND_ENV``.
+
+    ``num_workers == 1`` runs in process by default (same sharded code
+    path, no fork); ``>= 2`` forks a :class:`WorkerPool`.  The
+    ``REPRO_PARALLEL_BACKEND`` variable forces ``local`` or ``process``
+    either way.
+    """
+    backend = os.environ.get(BACKEND_ENV, "")
+    if backend not in ("", "local", "process"):
+        raise ValueError(f"unknown {BACKEND_ENV} value: {backend!r}")
+    if backend == "local" or (num_workers == 1 and backend != "process"):
+        return LocalRunner(num_workers, init_fn, init_payload, param_size)
+    return WorkerPool(
+        num_workers, init_fn, init_payload, param_size, start_method=start_method
+    )

@@ -1,0 +1,168 @@
+"""Per-document seeded randomness for worker-count-invariant pre-training.
+
+Single-process pre-training draws token corruption, sentence-mask slots
+and DNSP anchors from one sequential RNG, so the stream depends on how
+documents are grouped into forward passes — which is exactly what changes
+when a batch is sharded across workers.  Data-parallel mode therefore
+switches to a *per-document* discipline: every (document, step) pair owns
+an independent generator seeded by ``[seed, step, doc_index]``, and all
+draws for that document come from it in a fixed order (slots, anchors,
+corruption).  The draws are then identical for every worker count —
+including ``num_workers=1`` — which is what the parity battery asserts.
+
+The helpers below draw per document on the document's own ``(m, t)``
+arrays and assemble the results into the shapes the batched objectives
+expect for an arbitrary collation.  Padding positions are never selected
+(``token_mask`` gates the draw), so a per-document corruption block can
+be placed into any padded collation unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batching import DocumentBatch
+from ..core.featurize import DocumentFeatures
+from ..core.pretrain import masked_copy
+
+__all__ = ["DocumentDraw", "draw_document", "draw_documents", "assemble_batch_randomness"]
+
+
+@dataclass
+class DocumentDraw:
+    """Frozen randomness for one document at one pre-training step."""
+
+    slots: Optional[np.ndarray]       # (m,) bool, None when m < 2
+    anchors: Optional[np.ndarray]     # DNSP anchor positions, None when m < 3
+    corrupted: np.ndarray             # (m, t) corrupted token ids
+    selected: np.ndarray              # (m, t) bool MLLM prediction mask
+
+
+def _document_rng(
+    seed: int, step: int, doc_index: int, dynamic: bool
+) -> np.random.Generator:
+    if dynamic:
+        return np.random.default_rng([seed, step, doc_index])
+    # Static sentence masking freezes each document's draws across steps
+    # (the w/o-dynamic ablation): the stream ignores the step entirely.
+    return np.random.default_rng([seed, doc_index])
+
+
+def _mask_slots(
+    m: int, ratio: float, rng: np.random.Generator
+) -> Optional[np.ndarray]:
+    """Mirror of ``Pretrainer._mask_slots`` on an injected generator."""
+    count = max(int(round(ratio * m)), 1)
+    if m < 2:
+        return None
+    count = min(count, m - 1)
+    slots = np.zeros(m, dtype=bool)
+    slots[rng.choice(m, size=count, replace=False)] = True
+    return slots
+
+
+def _anchors(
+    m: int, ratio: float, rng: np.random.Generator
+) -> Optional[np.ndarray]:
+    """Mirror of ``Pretrainer.sample_dnsp_anchors`` for one document."""
+    if m < 3:
+        return None
+    count = max(int(round(ratio * m)), 1)
+    count = min(count, m - 1)
+    return rng.choice(m - 1, size=count, replace=False)
+
+
+def draw_document(
+    features: DocumentFeatures,
+    doc_index: int,
+    step: int,
+    seed: int,
+    config,
+    mask_id: int,
+    vocab_size: int,
+    random_floor: int,
+    dynamic: bool = True,
+) -> DocumentDraw:
+    """All randomness for one document at one step, in a fixed draw order."""
+    rng = _document_rng(seed, step, doc_index, dynamic)
+    m = features.num_sentences
+    slots = _mask_slots(m, config.sentence_mask_ratio, rng)
+    anchors = _anchors(m, config.next_sentence_ratio, rng)
+    corrupted, selected = masked_copy(
+        features.token_ids,
+        features.token_mask,
+        config.token_mask_prob,
+        mask_id,
+        vocab_size,
+        rng,
+        random_floor=random_floor,
+    )
+    return DocumentDraw(
+        slots=slots, anchors=anchors, corrupted=corrupted, selected=selected
+    )
+
+
+def draw_documents(
+    features: Sequence[DocumentFeatures],
+    doc_indices: Sequence[int],
+    step: int,
+    seed: int,
+    config,
+    mask_id: int,
+    vocab_size: int,
+    random_floor: int,
+    dynamic: bool = True,
+) -> List[DocumentDraw]:
+    return [
+        draw_document(
+            f, int(index), step, seed, config, mask_id, vocab_size,
+            random_floor, dynamic=dynamic,
+        )
+        for f, index in zip(features, doc_indices)
+    ]
+
+
+def assemble_batch_randomness(
+    batch: DocumentBatch, draws: Sequence[DocumentDraw]
+) -> Tuple[Optional[np.ndarray], List[Optional[np.ndarray]], Tuple[np.ndarray, np.ndarray]]:
+    """Lay per-document draws into the shapes one collation expects.
+
+    Returns ``(slots, anchors, corruption)`` ready for
+    :meth:`Pretrainer.pretrain_losses`-style consumption:
+
+    * ``slots`` — padded ``(B, m_max)`` bool, or None when no document is
+      maskable;
+    * ``anchors`` — per-document anchor list, entries None for documents
+      that must not contribute (no slots, or fewer than 3 sentences) —
+      mirroring the ``lengths`` zeroing of the single-process path;
+    * ``corruption`` — collated ``(n, t_max)`` ``(corrupted, selected)``
+      pair over the flat sentence block.
+    """
+    slots = np.zeros((batch.batch_size, batch.max_sentences), dtype=bool)
+    any_masked = False
+    anchors: List[Optional[np.ndarray]] = []
+    corrupted = batch.token_ids.copy()
+    selected = np.zeros(batch.token_ids.shape, dtype=bool)
+    offset = 0
+    for row, (features, draw) in enumerate(zip(batch.features, draws)):
+        m, t = features.num_sentences, features.max_tokens
+        if draw.slots is not None:
+            slots[row, :m] = draw.slots
+            any_masked = True
+            anchors.append(draw.anchors)
+        else:
+            # Only slot-masked documents ran through the single-process
+            # per-document loop, so only they contribute DNSP anchors.
+            anchors.append(None)
+        rows = slice(offset, offset + m)
+        corrupted[rows, :t] = draw.corrupted
+        selected[rows, :t] = draw.selected
+        offset += m
+    return (
+        slots if any_masked else None,
+        anchors,
+        (corrupted, selected),
+    )

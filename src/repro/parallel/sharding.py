@@ -1,0 +1,66 @@
+"""Deterministic corpus sharding for data-parallel training.
+
+The sharding contract that every parallel code path relies on:
+
+* **The global order is drawn once, worker-count independent.**  Epoch
+  shuffles and length-bucketed mini-batches come from the *parent's* RNG
+  via :func:`repro.core.training.iter_minibatches`, exactly as in
+  single-process training — so the sequence of effective batches for a
+  given seed is identical no matter how many workers run.
+* **Shards are contiguous, order-preserving slices of each effective
+  batch.**  :func:`shard_evenly` splits a batch into ``num_shards``
+  balanced chunks (sizes differ by at most one, earlier shards take the
+  remainder).  Concatenating the shards in worker order reconstructs the
+  batch exactly — the property the weighted-mean all-reduce and the
+  cross-worker SCL gather both depend on.
+
+Because both halves are deterministic, ``same seed -> same effective
+batches`` holds for every worker count, and the 1-vs-N parity tests can
+compare final parameters directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["shard_evenly", "shard_imbalance"]
+
+
+def shard_evenly(items: Sequence[T], num_shards: int) -> List[List[T]]:
+    """Split ``items`` into ``num_shards`` contiguous, balanced shards.
+
+    Sizes differ by at most one (the first ``len(items) % num_shards``
+    shards carry the extra item).  Order is preserved: shard boundaries
+    partition the sequence, so ``sum(shards, [])`` equals ``list(items)``.
+    Shards may be empty when there are fewer items than shards — callers
+    treat an empty shard as a zero-weight contribution.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    count = len(items)
+    base, remainder = divmod(count, num_shards)
+    shards: List[List[T]] = []
+    start = 0
+    for shard_index in range(num_shards):
+        size = base + (1 if shard_index < remainder else 0)
+        shards.append(list(items[start : start + size]))
+        start += size
+    return shards
+
+
+def shard_imbalance(shards: Sequence[Sequence[object]]) -> float:
+    """Load-imbalance ratio ``max_shard / mean_shard`` (1.0 = balanced).
+
+    Published as the ``parallel.shard_imbalance`` gauge: padded batch
+    kernels pay for their largest shard, so a ratio creeping above ~1.2
+    means wall-clock is being left on the table.  Returns 0.0 for an
+    all-empty shard list (nothing was dispatched).
+    """
+    sizes = [len(shard) for shard in shards]
+    total = sum(sizes)
+    if total == 0:
+        return 0.0
+    mean = total / len(sizes)
+    return max(sizes) / mean

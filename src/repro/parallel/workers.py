@@ -1,0 +1,484 @@
+"""Worker-side contexts for the data-parallel runners.
+
+Each ``init_*`` function is a top-level (hence spawn-picklable) factory
+the pool calls once per worker: it rebuilds the model replica from config
++ tokenizer payloads (never from pickled modules — featurizers hold
+weakref-keyed caches that cannot cross a process boundary, and a fresh
+per-process :class:`~repro.core.featurize.FeatureCache` *is* the
+shard-local cache story), checks the parameter layout against the
+parent's fingerprint, and returns a context whose ``task_*`` methods the
+pool dispatches to.
+
+Replica protocol, shared by every gradient task:
+
+1. copy the broadcast parameter slab into the replica
+   (:func:`~repro.parallel.grads.load_param_vector`),
+2. run the shard's forward/backward,
+3. serialise the gradients into the worker's slab — every position, so
+   an empty shard publishes an exact zero contribution.
+
+The model replicas are *structural* rebuilds: their random init is
+thrown away on the first broadcast, so only shapes (checked) and
+parameter order (fixed by ``Module.parameters()`` insertion order) must
+match the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._threads import blas_thread_counts
+from ..nn.tensor import Tensor
+from .grads import (
+    load_param_vector,
+    param_layout,
+    write_grad_vector,
+)
+from .randomness import assemble_batch_randomness, draw_documents
+
+__all__ = [
+    "init_block_worker",
+    "init_pretrain_worker",
+    "init_ner_worker",
+    "init_corpus_worker",
+    "init_featurize_worker",
+    "init_probe_worker",
+]
+
+
+class _GradContext:
+    """Shared slab plumbing for the model-replica contexts."""
+
+    def __init__(self, worker_id: int, params_view, grad_view, parameters, layout):
+        self.worker_id = worker_id
+        self._params_view = params_view
+        self._grad_view = grad_view
+        self.parameters = list(parameters)
+        if layout is not None and param_layout(self.parameters) != [
+            tuple(shape) for shape in layout
+        ]:
+            raise RuntimeError(
+                f"worker {worker_id} rebuilt a model whose parameter layout "
+                "does not match the parent's"
+            )
+
+    def refresh(self) -> None:
+        load_param_vector(self.parameters, self._params_view)
+
+    def zero_grads(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def publish_grads(self) -> None:
+        write_grad_vector(self.parameters, self._grad_view)
+
+    def publish_zeros(self) -> None:
+        self._grad_view[:] = 0.0
+
+
+# ----------------------------------------------------------------------
+# Block classification
+# ----------------------------------------------------------------------
+class BlockWorkerContext(_GradContext):
+    """Per-shard CRF gradients for :class:`~repro.core.BlockTrainer`."""
+
+    def __init__(self, worker_id: int, payload: dict, params_view, grad_view):
+        from ..core.block_classifier import BlockClassifier
+        from ..core.featurize import Featurizer
+        from ..core.hierarchical import HierarchicalEncoder
+
+        config = payload["config"]
+        encoder = HierarchicalEncoder(config)
+        featurizer = Featurizer(payload["tokenizer"], config)
+        self.model = BlockClassifier(
+            encoder,
+            featurizer,
+            payload["scheme"],
+            lstm_hidden=payload["lstm_hidden"],
+        )
+        self.documents = payload["documents"]
+        self.labels = payload["labels"]
+        super().__init__(
+            worker_id, params_view, grad_view,
+            self.model.parameters(), payload.get("layout"),
+        )
+
+    def task_grad(self, payload: dict) -> dict:
+        """Gradient of ``shard_mean_loss * shard_size`` into the slab."""
+        from ..core.batching import collate_documents, collate_labels
+
+        indices = payload["indices"]
+        self.refresh()
+        if not indices:
+            self.publish_zeros()
+            return {"loss": 0.0, "weight": 0.0, "cache_hit_rate": 0.0}
+        features = [
+            self.model.featurizer.featurize(self.documents[i]) for i in indices
+        ]
+        batch = collate_documents(features)
+        labels = collate_labels(features, [self.labels[i] for i in indices])
+        self.model.train()
+        loss = self.model.loss_batch(batch, labels)
+        self.zero_grads()
+        (loss * float(len(indices))).backward()
+        self.publish_grads()
+        cache = self.model.featurizer.cache
+        return {
+            "loss": float(loss.data),
+            "weight": float(len(indices)),
+            "cache_hit_rate": cache.hit_rate if cache is not None else 0.0,
+        }
+
+
+def init_block_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return BlockWorkerContext(worker_id, payload, params_view, grad_view)
+
+
+# ----------------------------------------------------------------------
+# Pre-training (two-phase: forward/gather, then backward on surrogate)
+# ----------------------------------------------------------------------
+class PretrainWorkerContext(_GradContext):
+    """Shard forward + surrogate backward for :class:`~repro.core.Pretrainer`.
+
+    The SCL objective pools masked slots across the whole effective batch,
+    so a shard cannot finish its own backward: ``task_forward`` keeps the
+    shard's graph alive (predicted/fused slot rows plus the shard-local
+    MLLM/DNSP loss terms) and ships the row *values*; the parent computes
+    the global InfoNCE and sends back per-row gradients, and
+    ``task_backward`` backprops the exact-chain-rule surrogate::
+
+        (P · G_P).sum() + (F · G_F).sum()
+          + mllm_scale * D_local * wp_mean + dnsp_scale * C_local * ns_mean
+
+    where the parent picks ``mllm_scale = λ_wp / D_global`` (and the DNSP
+    analogue), so the summed worker slabs equal the gradient of the
+    single-process Eq. 7 total over the full batch.
+    """
+
+    def __init__(self, worker_id: int, payload: dict, params_view, grad_view):
+        from ..core.featurize import Featurizer
+        from ..core.hierarchical import HierarchicalEncoder
+        from ..core.pretrain import Pretrainer
+
+        config = payload["config"]
+        encoder = HierarchicalEncoder(config)
+        featurizer = Featurizer(payload["tokenizer"], config)
+        self.pretrainer = Pretrainer(
+            encoder,
+            featurizer,
+            objectives=payload["objectives"],
+            seed=payload["seed"],
+            dynamic_sentence_masking=payload["dynamic"],
+        )
+        self.seed = payload["seed"]
+        self.dynamic = payload["dynamic"]
+        self.documents = payload["documents"]
+        self._pending: Optional[dict] = None
+        super().__init__(
+            worker_id, params_view, grad_view,
+            encoder.parameters() + self.pretrainer.heads.parameters(),
+            payload.get("layout"),
+        )
+
+    def task_forward(self, payload: dict) -> dict:
+        from ..core.batching import collate_documents
+
+        indices = payload["indices"]
+        step = payload["step"]
+        self.refresh()
+        self._pending = {}
+        result: Dict[str, object] = {
+            "documents": len(indices),
+            "predicted": None,
+            "targets": None,
+            "mllm": None,
+            "mllm_docs": 0,
+            "dnsp": None,
+            "dnsp_docs": 0,
+        }
+        if not indices:
+            return result
+        pretrainer = self.pretrainer
+        config = pretrainer.config
+        vocab = pretrainer.featurizer.tokenizer.vocab
+        features = [
+            pretrainer.featurizer.featurize(self.documents[i]) for i in indices
+        ]
+        draws = draw_documents(
+            features, indices, step, self.seed, config,
+            vocab.mask_id, len(vocab), pretrainer._random_token_floor,
+            dynamic=self.dynamic,
+        )
+        batch = collate_documents(features)
+        slots, anchors, corruption = assemble_batch_randomness(batch, draws)
+        pretrainer.encoder.train()
+        objectives = pretrainer.objectives
+
+        if (objectives.scl or objectives.dnsp) and slots is not None:
+            encoded = pretrainer.encoder.encode_batch_pretrain(
+                batch, mask_slots=slots
+            )
+            if objectives.scl:
+                rows, cols = np.nonzero(slots)
+                predicted = encoded.contextual[rows, cols]
+                targets = encoded.fused[rows, cols]
+                self._pending["scl"] = (predicted, targets)
+                result["predicted"] = np.array(predicted.data, copy=True)
+                result["targets"] = np.array(targets.data, copy=True)
+            if objectives.dnsp:
+                term = pretrainer.dnsp_loss_batch(
+                    encoded.contextual, batch.lengths, anchors=anchors
+                )
+                if term is not None:
+                    contributing = sum(
+                        1 for a in anchors if a is not None and len(a)
+                    )
+                    self._pending["dnsp"] = (term, contributing)
+                    result["dnsp"] = float(term.data)
+                    result["dnsp_docs"] = contributing
+
+        if objectives.wmp:
+            term = pretrainer.mllm_loss_batch(batch, corruption=corruption)
+            if term is not None:
+                selected = corruption[1]
+                contributing = 0
+                offset = 0
+                for doc_features in batch.features:
+                    m = doc_features.num_sentences
+                    if selected[offset : offset + m].any():
+                        contributing += 1
+                    offset += m
+                self._pending["mllm"] = (term, contributing)
+                result["mllm"] = float(term.data)
+                result["mllm_docs"] = contributing
+
+        cache = pretrainer.featurizer.cache
+        result["cache_hit_rate"] = cache.hit_rate if cache is not None else 0.0
+        return result
+
+    def task_backward(self, payload: dict) -> dict:
+        pending = self._pending
+        if pending is None:
+            raise RuntimeError("task_backward without a pending forward")
+        self._pending = None
+        total: Optional[Tensor] = None
+
+        def add(term: Optional[Tensor]):
+            nonlocal total
+            if term is not None:
+                total = term if total is None else total + term
+
+        g_pred = payload.get("g_pred")
+        if "scl" in pending and g_pred is not None and g_pred.size:
+            predicted, targets = pending["scl"]
+            add(
+                (predicted * Tensor(g_pred)).sum()
+                + (targets * Tensor(payload["g_tgt"])).sum()
+            )
+        if "mllm" in pending and payload.get("mllm_scale"):
+            term, contributing = pending["mllm"]
+            add(term * (payload["mllm_scale"] * contributing))
+        if "dnsp" in pending and payload.get("dnsp_scale"):
+            term, contributing = pending["dnsp"]
+            add(term * (payload["dnsp_scale"] * contributing))
+
+        self.zero_grads()
+        if total is not None:
+            total.backward()
+            self.publish_grads()
+        else:
+            self.publish_zeros()
+        return {}
+
+
+def init_pretrain_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return PretrainWorkerContext(worker_id, payload, params_view, grad_view)
+
+
+# ----------------------------------------------------------------------
+# NER self-training
+# ----------------------------------------------------------------------
+class NerWorkerContext(_GradContext):
+    """Shard gradients (supervised + KL) for :class:`~repro.ner.SelfTrainer`.
+
+    One replica serves both roles of Algorithm 2: whichever parameters the
+    parent broadcasts before a task (teacher for ``task_frequency``,
+    student for the gradient tasks) are the parameters the task runs with.
+    """
+
+    def __init__(self, worker_id: int, payload: dict, params_view, grad_view):
+        from ..ner.model import NerTagger
+
+        self.model = NerTagger(
+            payload["config"], payload["tokenizer"], payload["scheme"]
+        )
+        self.examples = payload["examples"]
+        super().__init__(
+            worker_id, params_view, grad_view,
+            self.model.parameters(), payload.get("layout"),
+        )
+
+    def task_grad(self, payload: dict) -> dict:
+        """Gradient of ``token_mean_loss * shard_tokens`` into the slab."""
+        indices = payload["indices"]
+        self.refresh()
+        if not indices:
+            self.publish_zeros()
+            return {"loss": 0.0, "weight": 0.0}
+        features = self.model.featurizer.featurize(
+            [self.examples[i] for i in indices]
+        )
+        self.model.train()
+        loss = self.model.loss(features)
+        weight = float(features.word_mask.sum())
+        self.zero_grads()
+        (loss * weight).backward()
+        self.publish_grads()
+        return {"loss": float(loss.data), "weight": weight}
+
+    def task_kl_grad(self, payload: dict) -> dict:
+        """KL distillation gradient against parent-computed soft labels.
+
+        ``targets``/``mask`` rows are the parent's global-batch slices for
+        this shard; trimming their word axis to the shard's featurised
+        extent is lossless because the dropped columns are padding
+        (mask 0) for every shard row.
+        """
+        from ..nn.functional import kl_div_loss
+
+        indices = payload["indices"]
+        self.refresh()
+        if not indices:
+            self.publish_zeros()
+            return {"loss": 0.0, "weight": 0.0}
+        features = self.model.featurizer.featurize(
+            [self.examples[i] for i in indices]
+        )
+        width = features.word_mask.shape[1]
+        targets = payload["targets"][:, :width]
+        mask = payload["mask"][:, :width]
+        weight = float(mask.sum())
+        if weight == 0.0:
+            self.publish_zeros()
+            return {"loss": 0.0, "weight": 0.0}
+        self.model.train()
+        loss = kl_div_loss(self.model.logits(features), targets, mask=mask)
+        self.zero_grads()
+        (loss * weight).backward()
+        self.publish_grads()
+        return {"loss": float(loss.data), "weight": weight}
+
+    def task_frequency(self, payload: dict) -> np.ndarray:
+        """Per-example masked probability sums under the broadcast teacher.
+
+        Returns an ``(shard_size, C)`` array; the parent stacks shards in
+        global order and sums once, so Eq. 9's ``p_c`` is bit-identical
+        for every worker count.
+        """
+        indices = payload["indices"]
+        chunk = payload.get("chunk", 64)
+        self.refresh()
+        num_labels = self.model.scheme.num_labels
+        if not indices:
+            return np.zeros((0, num_labels))
+        self.model.eval()
+        parts: List[np.ndarray] = []
+        for start in range(0, len(indices), chunk):
+            batch = [self.examples[i] for i in indices[start : start + chunk]]
+            probs = self.model.predict_probs(batch)
+            features = self.model.featurizer.featurize(batch)
+            masked = probs * features.word_mask[..., None]
+            parts.append(masked.sum(axis=1))
+        return np.concatenate(parts, axis=0)
+
+
+def init_ner_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return NerWorkerContext(worker_id, payload, params_view, grad_view)
+
+
+# ----------------------------------------------------------------------
+# Corpus generation / featurization (no gradients, no slabs)
+# ----------------------------------------------------------------------
+class CorpusWorkerContext:
+    """Generates documents by corpus index (see ``ResumeGenerator.generate_at``)."""
+
+    def __init__(self, worker_id: int, payload: dict):
+        self.worker_id = worker_id
+        self.generator = payload["generator"]
+
+    def task_generate(self, payload: dict) -> list:
+        prefix = payload.get("prefix", "resume")
+        return [self.generator.generate_at(i, prefix) for i in payload["indices"]]
+
+
+def init_corpus_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return CorpusWorkerContext(worker_id, payload)
+
+
+class FeaturizeWorkerContext:
+    """Featurizes a document shard through a worker-local FeatureCache."""
+
+    def __init__(self, worker_id: int, payload: dict):
+        from ..core.featurize import Featurizer
+
+        self.worker_id = worker_id
+        self.documents = payload["documents"]
+        self.featurizer = Featurizer(
+            payload["tokenizer"],
+            payload["config"],
+            cache_size=payload.get("cache_size", 256),
+        )
+
+    def task_featurize(self, payload: dict) -> dict:
+        features = self.featurizer.featurize_many(
+            [self.documents[i] for i in payload["indices"]],
+            repeats=payload.get("repeats", 1),
+        )
+        cache = self.featurizer.cache
+        return {
+            "features": features,
+            "cache": cache.info() if cache is not None else None,
+        }
+
+
+def init_featurize_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return FeaturizeWorkerContext(worker_id, payload)
+
+
+# ----------------------------------------------------------------------
+# Probe (tests)
+# ----------------------------------------------------------------------
+class ProbeWorkerContext:
+    """Minimal context for exercising the pool machinery in tests."""
+
+    def __init__(self, worker_id: int, payload: dict, grad_view):
+        self.worker_id = worker_id
+        self._grad_view = grad_view
+
+    def task_echo(self, payload: dict) -> dict:
+        return {"worker": self.worker_id, "payload": payload}
+
+    def task_pid(self, payload: dict) -> int:
+        return os.getpid()
+
+    def task_blas(self, payload: dict) -> dict:
+        return blas_thread_counts()
+
+    def task_fill(self, payload: dict) -> float:
+        """Fill this worker's grad slab with a constant (reduce tests)."""
+        self._grad_view[:] = payload["value"]
+        return payload["value"]
+
+    def task_fail(self, payload: dict):
+        raise RuntimeError(payload.get("message", "probe failure"))
+
+    def task_die(self, payload: dict):
+        """Exit abruptly without reporting (dead-worker detection tests)."""
+        os._exit(int(payload.get("code", 3)))
+
+
+def init_probe_worker(worker_id: int, payload: dict, params_view, grad_view):
+    return ProbeWorkerContext(worker_id, payload, grad_view)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the data-parallel test battery.
+
+Parity tests default to the in-process ``LocalRunner`` backend (fast,
+deterministic); ``tests/parallel/test_pool.py`` exercises the real
+spawn-based ``WorkerPool`` explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, HierarchicalEncoder, ResuFormerConfig
+from repro.corpus import ContentConfig, ResumeGenerator
+from repro.parallel import BACKEND_ENV
+from repro.text import WordPieceTokenizer
+
+
+@pytest.fixture()
+def local_backend(monkeypatch):
+    """Force the in-process runner regardless of worker count."""
+    monkeypatch.setenv(BACKEND_ENV, "local")
+
+
+@pytest.fixture(scope="session")
+def tiny_docs():
+    return ResumeGenerator(seed=7, content_config=ContentConfig.tiny()).batch(6)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(tiny_docs):
+    texts = [s.text for d in tiny_docs for s in d.sentences]
+    return WordPieceTokenizer.train(texts, vocab_size=500, min_frequency=1)
+
+
+@pytest.fixture(scope="session")
+def config(tokenizer):
+    # dropout must be 0.0: the 1-vs-N parity contract only holds for
+    # deterministic forward passes (see docs/API.md section 14).
+    return ResuFormerConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_dim=32,
+        sentence_layers=1,
+        sentence_heads=2,
+        document_layers=1,
+        document_heads=2,
+        visual_proj_dim=8,
+        dropout=0.0,
+    )
+
+
+@pytest.fixture()
+def encoder(config):
+    return HierarchicalEncoder(config, rng=np.random.default_rng(3))
+
+
+@pytest.fixture()
+def featurizer(tokenizer, config):
+    return Featurizer(tokenizer, config)

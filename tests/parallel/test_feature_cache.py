@@ -1,0 +1,105 @@
+"""FeatureCache multi-process discipline: per-process entries, fork guard.
+
+The cache keys on ``id(document)``, which is only meaningful inside one
+process.  ``repro.parallel`` therefore never ships a cache across the
+boundary (workers build their own), and a module-level ``os.register_at_fork``
+guard clears any live cache in a forked child so stale identity keys can
+never alias a new object at a recycled address.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.featurize import _clear_caches_after_fork, FeatureCache, Featurizer
+
+
+class TestPerProcessSemantics:
+    def test_identity_keyed_lookup(self, tiny_docs, tokenizer, config):
+        featurizer = Featurizer(tokenizer, config)
+        doc = tiny_docs[0]
+        first = featurizer.featurize(doc)
+        assert featurizer.featurize(doc) is first
+        assert featurizer.cache.info()["hits"] == 1
+
+    def test_clear_preserve_stats(self, tiny_docs, tokenizer, config):
+        featurizer = Featurizer(tokenizer, config)
+        featurizer.featurize_many(tiny_docs[:3], repeats=2)
+        info = featurizer.cache.info()
+        assert info["hits"] == 3 and info["size"] == 3
+        featurizer.cache.clear(preserve_stats=True)
+        assert len(featurizer.cache) == 0
+        assert featurizer.cache.info()["hits"] == 3
+        featurizer.cache.clear()
+        assert featurizer.cache.info()["hits"] == 0
+
+    def test_featurize_many_rejects_nonpositive_repeats(
+        self, tiny_docs, tokenizer, config
+    ):
+        featurizer = Featurizer(tokenizer, config)
+        with pytest.raises(ValueError):
+            featurizer.featurize_many(tiny_docs[:1], repeats=0)
+
+    def test_featurize_many_returns_in_order(self, tiny_docs, tokenizer, config):
+        featurizer = Featurizer(tokenizer, config)
+        features = featurizer.featurize_many(tiny_docs)
+        singles = [featurizer.featurize(d) for d in tiny_docs]
+        assert all(a is b for a, b in zip(features, singles))
+
+
+class TestForkGuard:
+    def test_fork_hook_clears_live_caches(self, tiny_docs, tokenizer, config):
+        featurizer = Featurizer(tokenizer, config)
+        featurizer.featurize_many(tiny_docs[:2], repeats=2)
+        assert len(featurizer.cache) == 2
+        # Simulate what the registered after_in_child hook runs.
+        _clear_caches_after_fork()
+        assert len(featurizer.cache) == 0
+        # Stats survive (lifetime counters keep meaning across the fork).
+        assert featurizer.cache.info()["hits"] == 2
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork unavailable")
+    def test_forked_child_starts_with_empty_cache(self, tiny_docs, tokenizer, config):
+        featurizer = Featurizer(tokenizer, config)
+        featurizer.featurize_many(tiny_docs[:2])
+        assert len(featurizer.cache) == 2
+        pid = os.fork()
+        if pid == 0:
+            # Child: the registered hook must already have fired.
+            os._exit(0 if len(featurizer.cache) == 0 else 17)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        # Parent's cache is untouched.
+        assert len(featurizer.cache) == 2
+
+
+class TestHitRateGauges:
+    def test_lookup_updates_session_gauge(self, tiny_docs, tokenizer, config):
+        with obs.telemetry() as tel:
+            featurizer = Featurizer(tokenizer, config)
+            featurizer.featurize_many(tiny_docs[:2], repeats=2)
+            gauge = tel.metrics.gauge("feature_cache.hit_rate")
+            assert gauge.value() == pytest.approx(featurizer.cache.hit_rate)
+            assert featurizer.cache.hit_rate == pytest.approx(0.5)
+
+    def test_parallel_featurize_publishes_per_worker_gauges(
+        self, local_backend, tiny_docs, tokenizer, config
+    ):
+        from repro.parallel import featurize_documents
+
+        with obs.telemetry() as tel:
+            features = featurize_documents(
+                tiny_docs, tokenizer, config, num_workers=2, repeats=2
+            )
+            gauge = tel.metrics.gauge("parallel.feature_cache.hit_rate")
+            # Two repeats through fresh worker-local caches -> 50% hit rate.
+            assert gauge.value(worker="0") == pytest.approx(0.5)
+            assert gauge.value(worker="1") == pytest.approx(0.5)
+        assert len(features) == len(tiny_docs)
+
+    def test_cache_disabled_when_size_zero(self, tokenizer, config):
+        assert Featurizer(tokenizer, config, cache_size=0).cache is None
+        with pytest.raises(ValueError):
+            FeatureCache(0)

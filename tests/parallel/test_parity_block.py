@@ -1,0 +1,43 @@
+"""1-vs-N parity for the block classifier: same seed, same parameters.
+
+The acceptance contract: with ``dropout=0.0`` and the same effective
+batch, training with N workers must land within 1e-9 of training with 1
+worker, final parameters compared element-wise.  These run on the
+in-process ``LocalRunner`` (fast, same reduce arithmetic as the spawn
+pool; ``test_pool.py`` covers real processes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, HierarchicalEncoder
+from repro.core.block_classifier import BlockClassifier, BlockTrainer, LabeledDocument
+from repro.parallel import param_vector
+
+PARITY_ATOL = 1e-9
+
+
+def _train(tiny_docs, tokenizer, config, num_workers):
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+    model = BlockClassifier(encoder, Featurizer(tokenizer, config), rng=np.random.default_rng(9))
+    trainer = BlockTrainer(model, seed=11)
+    labeled = [LabeledDocument.from_gold(d) for d in tiny_docs]
+    history = trainer.fit(labeled, epochs=2, batch_size=4, num_workers=num_workers)
+    return param_vector(model.parameters()), history
+
+
+@pytest.mark.parametrize("num_workers", [2, 3])
+def test_block_training_parity(local_backend, tiny_docs, tokenizer, config, num_workers):
+    params_one, history_one = _train(tiny_docs, tokenizer, config, 1)
+    params_n, history_n = _train(tiny_docs, tokenizer, config, num_workers)
+    assert np.abs(params_one - params_n).max() <= PARITY_ATOL
+    np.testing.assert_allclose(history_one["loss"], history_n["loss"], atol=PARITY_ATOL)
+
+
+def test_block_rejects_grad_accumulation_with_workers(tiny_docs, tokenizer, config):
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+    model = BlockClassifier(encoder, Featurizer(tokenizer, config), rng=np.random.default_rng(9))
+    trainer = BlockTrainer(model, seed=11)
+    labeled = [LabeledDocument.from_gold(d) for d in tiny_docs]
+    with pytest.raises(ValueError, match="grad_accumulation"):
+        trainer.fit(labeled, epochs=1, grad_accumulation=2, num_workers=2)

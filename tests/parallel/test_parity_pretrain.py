@@ -1,0 +1,59 @@
+"""1-vs-N parity for pre-training (all three objectives, both maskings).
+
+SCL pools masked slots across the whole effective batch, so this also
+exercises the two-phase forward/backward protocol and the parent-side
+InfoNCE gather — the most parity-fragile path in ``repro.parallel``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Featurizer, HierarchicalEncoder
+from repro.core.pretrain import Pretrainer
+from repro.parallel import param_vector
+
+PARITY_ATOL = 1e-9
+
+
+def _pretrain(tiny_docs, tokenizer, config, num_workers, dynamic):
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+    trainer = Pretrainer(
+        encoder,
+        Featurizer(tokenizer, config),
+        seed=13,
+        dynamic_sentence_masking=dynamic,
+    )
+    history = trainer.fit(tiny_docs, epochs=2, batch_size=3, num_workers=num_workers)
+    return param_vector(encoder.parameters()), history
+
+
+@pytest.mark.parametrize("num_workers", [2, 3])
+def test_pretrain_parity_dynamic_masking(
+    local_backend, tiny_docs, tokenizer, config, num_workers
+):
+    params_one, hist_one = _pretrain(tiny_docs, tokenizer, config, 1, True)
+    params_n, hist_n = _pretrain(tiny_docs, tokenizer, config, num_workers, True)
+    assert np.abs(params_one - params_n).max() <= PARITY_ATOL
+    assert len(hist_one) == len(hist_n)
+    for record_one, record_n in zip(hist_one, hist_n):
+        assert record_one.keys() == record_n.keys()
+        for key, value in record_one.items():
+            if value is None:
+                assert record_n[key] is None
+            else:
+                assert record_n[key] == pytest.approx(value, abs=PARITY_ATOL)
+
+
+def test_pretrain_parity_static_masking(local_backend, tiny_docs, tokenizer, config):
+    params_one, _ = _pretrain(tiny_docs, tokenizer, config, 1, False)
+    params_two, _ = _pretrain(tiny_docs, tokenizer, config, 2, False)
+    assert np.abs(params_one - params_two).max() <= PARITY_ATOL
+
+
+def test_pretrain_rejects_grad_accumulation_with_workers(
+    tiny_docs, tokenizer, config
+):
+    encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+    trainer = Pretrainer(encoder, Featurizer(tokenizer, config), seed=13)
+    with pytest.raises(ValueError, match="grad_accumulation"):
+        trainer.fit(tiny_docs, epochs=1, grad_accumulation=2, num_workers=2)

@@ -1,0 +1,175 @@
+"""Real spawn-based ``WorkerPool``: dispatch, reduce, BLAS caps, failure.
+
+These tests fork actual processes (2 workers, trivial payloads) so they
+stay fast while still covering what the in-process ``LocalRunner`` parity
+suite cannot: the spawn handshake, shared-memory slab plumbing across
+process boundaries, the single-thread BLAS discipline, and clean shutdown
+with no orphaned workers when a shard raises.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    BACKEND_ENV,
+    LocalRunner,
+    ParallelWorkerError,
+    WorkerPool,
+    init_probe_worker,
+    make_runner,
+)
+
+
+@pytest.fixture()
+def pool():
+    pool = WorkerPool(2, init_probe_worker, {}, param_size=4)
+    yield pool
+    pool.close()
+
+
+class TestWorkerPool:
+    def test_echo_round_trip(self, pool):
+        results = pool.run("echo", [{"tag": "a"}, {"tag": "b"}])
+        assert results == [
+            {"worker": 0, "payload": {"tag": "a"}},
+            {"worker": 1, "payload": {"tag": "b"}},
+        ]
+
+    def test_workers_are_separate_processes(self, pool):
+        pids = pool.run("pid", [{}, {}])
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_blas_threads_pinned_to_one(self, monkeypatch):
+        # Even when the parent environment asks for many BLAS threads,
+        # every worker must boot with the cap already at 1 (the pool
+        # overrides the env during spawn, and _worker_main re-pins).
+        monkeypatch.setenv("OMP_NUM_THREADS", "8")
+        monkeypatch.setenv("OPENBLAS_NUM_THREADS", "8")
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=1)
+        try:
+            for info in pool.ready_info:
+                assert set(info["blas"].values()) == {"1"}
+            for report in pool.run("blas", [{}, {}]):
+                assert set(report.values()) == {"1"}
+            # The parent's own environment is restored after boot.
+            assert os.environ["OMP_NUM_THREADS"] == "8"
+        finally:
+            pool.close()
+
+    def test_reduce_sums_grad_slabs(self, pool):
+        pool.run("fill", [{"value": 1.5}, {"value": 2.0}])
+        np.testing.assert_allclose(pool.reduce(), np.full(4, 3.5))
+        np.testing.assert_allclose(pool.reduce(total_weight=7.0), np.full(4, 0.5))
+
+    def test_reduce_rejects_nonpositive_weight(self, pool):
+        with pytest.raises(ValueError):
+            pool.reduce(total_weight=0.0)
+
+    def test_failure_raises_with_worker_and_shard(self):
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=1)
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            pool.run(
+                "fail",
+                [{"indices": [0, 1], "message": "boom"}, {"indices": [2, 3]}],
+            )
+        error = excinfo.value
+        assert error.task == "fail"
+        assert error.shard in ([0, 1], [2, 3])
+        assert "boom" in str(error) or "probe failure" in str(error)
+        # The pool tore itself down: every worker is gone, none orphaned.
+        for process in pool._processes:
+            with pytest.raises(ValueError):
+                process.is_alive()  # .close()d handles raise ValueError
+
+    def test_silently_dead_worker_detected(self):
+        # A worker that exits without posting a result (OOM kill, spawn
+        # bootstrap failure) must surface as an error, not a parent that
+        # blocks forever on the result queue.
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=1)
+        with pytest.raises(ParallelWorkerError, match="died without reporting"):
+            pool.run("die", [{"code": 3}, {"code": 3}])
+
+    def test_run_after_close_rejected(self):
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run("echo", [{}, {}])
+
+    def test_payload_count_must_match_workers(self, pool):
+        with pytest.raises(ValueError):
+            pool.run("echo", [{}])
+
+
+class TestMakeRunner:
+    def test_single_worker_defaults_to_local(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        runner = make_runner(1, init_probe_worker, {}, 2)
+        assert isinstance(runner, LocalRunner)
+        runner.close()
+
+    def test_env_forces_local_at_any_count(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "local")
+        runner = make_runner(3, init_probe_worker, {}, 2)
+        assert isinstance(runner, LocalRunner)
+        assert runner.num_workers == 3
+        runner.close()
+
+    def test_env_forces_process_for_one_worker(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        runner = make_runner(1, init_probe_worker, {}, 2)
+        assert isinstance(runner, WorkerPool)
+        runner.close()
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "threads")
+        with pytest.raises(ValueError):
+            make_runner(2, init_probe_worker, {}, 2)
+
+
+class TestLocalRunner:
+    def test_matches_pool_reduce_semantics(self):
+        local = LocalRunner(2, init_probe_worker, {}, param_size=3)
+        local.run("fill", [{"value": 2.0}, {"value": 4.0}])
+        np.testing.assert_allclose(local.reduce(total_weight=3.0), np.full(3, 2.0))
+        local.close()
+
+    def test_failure_wraps_in_parallel_worker_error(self):
+        local = LocalRunner(1, init_probe_worker, {}, param_size=1)
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            local.run("fail", [{"indices": [5]}])
+        assert excinfo.value.worker_id == 0
+        assert excinfo.value.shard == [5]
+
+
+def test_spawn_pool_matches_local_block_training(
+    monkeypatch, tiny_docs, tokenizer, config
+):
+    """End-to-end: real 2-process training is bit-identical to LocalRunner."""
+    from repro.core import Featurizer, HierarchicalEncoder
+    from repro.core.block_classifier import (
+        BlockClassifier,
+        BlockTrainer,
+        LabeledDocument,
+    )
+    from repro.parallel import param_vector
+
+    def train(backend):
+        monkeypatch.setenv(BACKEND_ENV, backend)
+        encoder = HierarchicalEncoder(config, rng=np.random.default_rng(5))
+        model = BlockClassifier(
+            encoder, Featurizer(tokenizer, config), rng=np.random.default_rng(9)
+        )
+        BlockTrainer(model, seed=11).fit(
+            [LabeledDocument.from_gold(d) for d in tiny_docs[:4]],
+            epochs=1,
+            batch_size=4,
+            num_workers=2,
+        )
+        return param_vector(model.parameters())
+
+    local_params = train("local")
+    process_params = train("process")
+    assert np.array_equal(local_params, process_params)

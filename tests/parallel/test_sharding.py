@@ -1,0 +1,49 @@
+"""Deterministic sharding contract: contiguous, balanced, order-preserving."""
+
+import pytest
+
+from repro.parallel import shard_evenly, shard_imbalance
+
+
+def test_shard_evenly_partitions_in_order():
+    items = list(range(10))
+    shards = shard_evenly(items, 3)
+    assert len(shards) == 3
+    # Concatenation restores the original order exactly.
+    assert [x for shard in shards for x in shard] == items
+    # Contiguous balanced split: first len % n shards get the extra item.
+    assert [len(s) for s in shards] == [4, 3, 3]
+
+
+def test_shard_evenly_more_shards_than_items():
+    shards = shard_evenly([1, 2], 4)
+    assert [len(s) for s in shards] == [1, 1, 0, 0]
+    assert [x for shard in shards for x in shard] == [1, 2]
+
+
+def test_shard_evenly_single_shard_is_identity():
+    items = ["a", "b", "c"]
+    assert shard_evenly(items, 1) == [items]
+
+
+def test_shard_evenly_rejects_nonpositive_count():
+    with pytest.raises(ValueError):
+        shard_evenly([1], 0)
+
+
+def test_shard_evenly_deterministic():
+    items = list(range(17))
+    assert shard_evenly(items, 4) == shard_evenly(items, 4)
+
+
+def test_shard_imbalance_balanced_is_one():
+    assert shard_imbalance([[1, 2], [3, 4]]) == pytest.approx(1.0)
+
+
+def test_shard_imbalance_detects_skew():
+    # max = 3, mean = 1.0 -> ratio 3.0
+    assert shard_imbalance([[1, 2, 3], [4], [], []]) == pytest.approx(3.0)
+
+
+def test_shard_imbalance_all_empty():
+    assert shard_imbalance([[], []]) == 0.0
