@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint gradcheck bench bench-perf bench-train bench-quant bench-parallel examples report compare baseline clean
+.PHONY: install test lint lock-audit gradcheck bench bench-perf bench-train bench-quant bench-parallel examples report compare baseline clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,9 +11,18 @@ test:
 test-slow:
 	python -m pytest tests/ -m slow
 
-# Framework-invariant linter (rules RN001-RN006); must exit 0.
+# Framework-invariant linter: autograd rules RN001-RN006 plus the
+# concurrency tier RN007-RN012, gated against the committed baseline
+# (analysis/baseline.json); must exit 0 on new findings only.
 lint:
-	PYTHONPATH=src python -m repro.analysis.lint src/ tests/ benchmarks/
+	PYTHONPATH=src python -m repro.analysis.lint src/ tests/ benchmarks/ \
+		--baseline analysis/baseline.json
+
+# Runtime lock-order sanitizer ("tsan-lite") over the threaded suites;
+# exits 1 on any lock-order cycle.  Writes lock_audit_report.json.
+lock-audit:
+	PYTHONPATH=src python -m repro.analysis.lock_audit tests/obs tests/parallel \
+		--json-out lock_audit_report.json
 
 # Numerical-gradient sweep over every differentiable nn op.
 gradcheck:
@@ -77,5 +86,5 @@ baseline:
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis benchmarks/results
-	rm -f run_telemetry.jsonl obs_gate_diff.json
+	rm -f run_telemetry.jsonl obs_gate_diff.json lock_audit_report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

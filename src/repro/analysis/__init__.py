@@ -5,7 +5,15 @@ Three layers of defence against silent invariant violations in
 
 * :mod:`repro.analysis.lint` — an AST-based, repo-specific linter
   (``python -m repro.analysis.lint src/ tests/ benchmarks/``) enforcing
-  the framework's static contracts (rules RN001–RN006).
+  the framework's static contracts: single-process autograd idioms
+  (RN001–RN006) and the concurrency tier of
+  :mod:`repro.analysis.concurrency_lint` (RN007–RN012, spawn safety,
+  lock discipline, queue payloads, label cardinality), sharpened by the
+  interprocedural call graph of :mod:`repro.analysis.callgraph`.
+* :mod:`repro.analysis.lock_audit` — a runtime lock-order sanitizer
+  ("tsan-lite"): instrumented lock factories, per-thread acquisition
+  stacks, lock-order-cycle / long-hold / critical-hold reports
+  (``python -m repro.analysis.lock_audit tests/obs tests/parallel``).
 * :mod:`repro.analysis.gradcheck` — central-difference numerical gradient
   checking plus a sweep harness that auto-discovers every differentiable
   op in the substrate and checks it at broadcasting, zero-size and
@@ -26,6 +34,15 @@ _EXPORTS = {
     "Finding": "lint",
     "lint_paths": "lint",
     "lint_source": "lint",
+    "default_rules": "lint",
+    "load_baseline": "lint",
+    "apply_baseline": "lint",
+    "CallGraph": "callgraph",
+    "build_call_graph": "callgraph",
+    "CONCURRENCY_RULES": "concurrency_lint",
+    "LockAudit": "lock_audit",
+    "InstrumentedLock": "lock_audit",
+    "audit_locks": "lock_audit",
     "GradcheckFailure": "gradcheck",
     "GradcheckResult": "gradcheck",
     "gradcheck": "gradcheck",

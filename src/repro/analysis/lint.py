@@ -25,15 +25,27 @@ RN006  public ``nn`` ops must not wrap graph-derived arrays in raw
        ``Tensor(...)`` constructors (use ``Tensor._make``) unless guarded
        by ``is_grad_enabled``
 
+The concurrency-aware tier (rules RN007–RN012, spawn safety / lock
+discipline / queue payloads / telemetry cardinality) lives in
+:mod:`repro.analysis.concurrency_lint` and runs by default through the
+same driver.  Both tiers share the interprocedural call graph built by
+:mod:`repro.analysis.callgraph`, which lets RN004 and the concurrency
+rules see through one level of helper indirection instead of being
+purely syntactic.
+
 Suppression
 -----------
 Append ``# repro-lint: disable=RN001`` (comma-separated codes, or ``all``)
-to the offending line, or place it alone on the line directly above.  Every
-suppression is expected to carry a justification in the surrounding
-comment.
+to the offending line, or place it alone on the line directly above.  A
+trailing justification after the codes is encouraged and ignored by the
+parser (``# repro-lint: disable=RN010 -- worker idle loop``).  Every
+suppression is expected to carry such a justification.
 
-Reporters: human-readable text (default) and ``--format json``.  Exit code
-is 0 when no findings survive suppression, 1 otherwise.
+Reporters: human-readable text (default) and ``--format json``.  Findings
+can additionally be diffed against a committed baseline file
+(``--baseline analysis/baseline.json``): baselined findings don't fail
+the run, so the gate only bites on *new* findings.  Exit code is 0 when
+no non-baselined findings survive suppression, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -45,9 +57,21 @@ import re
 import sys
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Finding", "Rule", "RULES", "lint_source", "lint_paths", "main"]
+from .callgraph import CallGraph, build_call_graph, module_name_for
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "default_rules",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "apply_baseline",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -67,7 +91,11 @@ class Finding:
 # ----------------------------------------------------------------------
 # Suppression comments
 # ----------------------------------------------------------------------
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: Codes are comma-separated identifiers; anything after them (a trailing
+#: justification comment, ``-- reason``, ``(reason)``) is ignored.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
 
 
 def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
@@ -132,6 +160,13 @@ def _enclosing_function_names(node: ast.AST) -> List[str]:
     ]
 
 
+def _enclosing_class_name(node: ast.AST) -> Optional[str]:
+    for ancestor in _ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor.name
+    return None
+
+
 def _subtree_has(node: ast.AST, predicate) -> bool:
     return any(predicate(child) for child in ast.walk(node))
 
@@ -159,7 +194,12 @@ def _dotted(node: ast.AST) -> str:
 
 
 class FileContext:
-    """Parsed file plus the lookup tables the rules share."""
+    """Parsed file plus the lookup tables the rules share.
+
+    ``callgraph`` is the interprocedural :class:`CallGraph` over the whole
+    linted file set (a single-file graph under :func:`lint_source`); rules
+    use it to see through one level of helper indirection.
+    """
 
     def __init__(self, path: str, source: str):
         self.path = path
@@ -172,6 +212,8 @@ class FileContext:
         self.in_library = "repro/" in normalized and "/tests/" not in normalized
         self.in_nn = "repro/nn/" in normalized
         self.filename = Path(path).name
+        self.module_name = module_name_for(path)
+        self.callgraph: Optional[CallGraph] = None
 
     def is_suppressed(self, line: int, code: str) -> bool:
         codes = self.suppressed.get(line, set())
@@ -451,6 +493,32 @@ class PredictWithoutNoGrad(Rule):
         "forward",
     }
 
+    def _is_graph_call(self, call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in self.GRAPH_CALLS
+        )
+
+    def _helper_builds_graph(self, ctx: FileContext, call: ast.Call) -> bool:
+        """Whether ``call`` resolves to a helper that runs an unguarded
+        graph-building call in its own body (one indirection level)."""
+        if ctx.callgraph is None:
+            return False
+        target = ctx.callgraph.resolve(
+            call, ctx.module_name, _enclosing_class_name(call)
+        )
+        if target is None or target.node is call:
+            return False
+        # Helpers that guard internally (e.g. predict_batch) are safe to
+        # call from anywhere; only unguarded graph calls propagate.
+        hit = ctx.callgraph.calls_matching(
+            target,
+            lambda inner, _graph: self._is_graph_call(inner)
+            and not _under_no_grad(inner),
+            max_depth=0,
+        )
+        return hit is not None
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.FunctionDef):
@@ -458,17 +526,23 @@ class PredictWithoutNoGrad(Rule):
             if not node.name.startswith("predict"):
                 continue
             for call in ast.walk(node):
-                if (
-                    isinstance(call, ast.Call)
-                    and isinstance(call.func, ast.Attribute)
-                    and call.func.attr in self.GRAPH_CALLS
-                    and not _under_no_grad(call)
-                ):
+                if not isinstance(call, ast.Call) or _under_no_grad(call):
+                    continue
+                if self._is_graph_call(call):
                     yield self.finding(
                         ctx,
                         call,
                         f"`{node.name}` calls graph-building "
                         f"`{call.func.attr}` outside a no_grad() block",
+                    )
+                elif self._helper_builds_graph(ctx, call):
+                    name = _call_name(call.func) or "<helper>"
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"`{node.name}` calls `{name}`, which runs a "
+                        "graph-building call without no_grad(); guard the "
+                        "call site or the helper",
                     )
 
 
@@ -580,20 +654,39 @@ RULES: List[Rule] = [
 ]
 
 
+def default_rules() -> List[Rule]:
+    """The full default rule set: RN001–RN006 plus the concurrency tier.
+
+    Imported lazily so :mod:`repro.analysis.lint` and
+    :mod:`repro.analysis.concurrency_lint` stay importable in either
+    order (the concurrency rules subclass :class:`Rule`).
+    """
+    from .concurrency_lint import CONCURRENCY_RULES
+
+    return [*RULES, *CONCURRENCY_RULES]
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
+def _check_context(
+    ctx: FileContext, rules: Sequence[Rule]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
 def lint_source(
     source: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
 ) -> List[Finding]:
     """Lint one source string; returns surviving (unsuppressed) findings."""
     ctx = FileContext(path, source)
-    findings: List[Finding] = []
-    for rule in rules or RULES:
-        for finding in rule.check(ctx):
-            if not ctx.is_suppressed(finding.line, finding.code):
-                findings.append(finding)
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    ctx.callgraph = build_call_graph([(path, ctx.tree)])
+    return _check_context(ctx, rules if rules is not None else default_rules())
 
 
 def _iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -613,8 +706,14 @@ def _iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
 ) -> List[Finding]:
-    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``*.py`` file under ``paths`` (files or directories).
+
+    All parseable files are indexed into one interprocedural call graph
+    before any rule runs, so cross-file helper resolution covers the
+    whole linted set.
+    """
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for file_path in _iter_python_files(paths):
         try:
             source = file_path.read_text(encoding="utf-8")
@@ -624,7 +723,7 @@ def lint_paths(
             )
             continue
         try:
-            findings.extend(lint_source(source, str(file_path), rules))
+            contexts.append(FileContext(str(file_path), source))
         except SyntaxError as error:
             findings.append(
                 Finding(
@@ -635,7 +734,72 @@ def lint_paths(
                     f"syntax error: {error.msg}",
                 )
             )
+    graph = build_call_graph([(ctx.path, ctx.tree) for ctx in contexts])
+    active = rules if rules is not None else default_rules()
+    for ctx in contexts:
+        ctx.callgraph = graph
+        findings.extend(_check_context(ctx, active))
     return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    """Line-number-free identity of a finding (stable across edits)."""
+    return (Path(finding.path).as_posix(), finding.code, finding.message)
+
+
+def load_baseline(path: str) -> List[Tuple[str, str, str]]:
+    """Parse a baseline file into finding fingerprints.
+
+    The file is the JSON written by ``--write-baseline``:
+    ``{"version": 1, "findings": [{"path", "code", "message"}, ...]}``.
+    A missing file is an empty baseline (the gate runs at full strength).
+    """
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return []
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    return [
+        (Path(entry["path"]).as_posix(), entry["code"], entry["message"])
+        for entry in payload.get("findings", [])
+    ]
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Tuple[str, str, str]]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined-count).
+
+    Each baseline entry absorbs at most as many findings as it occurs in
+    the baseline — a *new* duplicate of a baselined finding still fails.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for fingerprint in baseline:
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        fingerprint = _fingerprint(finding)
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the committed suppression baseline."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": Path(f.path).as_posix(), "code": f.code, "message": f.message}
+            for f in sorted(findings, key=_fingerprint)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 def _render_text(findings: Sequence[Finding]) -> str:
@@ -646,14 +810,14 @@ def _render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def _render_json(findings: Sequence[Finding]) -> str:
-    return json.dumps(
-        {
-            "findings": [asdict(finding) for finding in findings],
-            "count": len(findings),
-        },
-        indent=2,
-    )
+def _render_json(findings: Sequence[Finding], baselined: Optional[int] = None) -> str:
+    payload: Dict[str, object] = {
+        "findings": [asdict(finding) for finding in findings],
+        "count": len(findings),
+    }
+    if baselined is not None:
+        payload["baselined"] = baselined
+    return json.dumps(payload, indent=2)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -664,19 +828,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("paths", nargs="*", default=["src/"], help="files or dirs")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted findings; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as the new baseline and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in default_rules():
             print(f"{rule.code}  {rule.title}")
             print(f"       {rule.rationale}")
         return 0
 
     findings = lint_paths(args.paths)
-    renderer = _render_json if args.format == "json" else _render_text
-    print(renderer(findings))
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"baseline written: {len(findings)} finding(s) -> {args.write_baseline}")
+        return 0
+    baselined: Optional[int] = None
+    if args.baseline:
+        findings, baselined = apply_baseline(findings, load_baseline(args.baseline))
+    if args.format == "json":
+        print(_render_json(findings, baselined))
+    else:
+        print(_render_text(findings))
+        if baselined:
+            print(f"({baselined} baselined finding(s) not counted)")
     return 1 if findings else 0
 
 

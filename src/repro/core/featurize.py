@@ -11,6 +11,7 @@ visual descriptors.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,6 +50,11 @@ def _clear_caches_after_fork() -> None:
     unaffected; the guard exists for ``fork``-start users.
     """
     for cache in list(_LIVE_CACHES):
+        # The fork may have happened while another parent thread held the
+        # cache lock; that holder does not exist in the child, so the
+        # inherited lock could be permanently stuck.  Replace it before
+        # taking it.
+        cache._lock = threading.Lock()
         cache.clear(preserve_stats=True)
 
 
@@ -115,6 +121,10 @@ class FeatureCache:
         self._entries: "OrderedDict[int, Tuple[weakref.ref, DocumentFeatures]]" = (
             OrderedDict()
         )
+        # Entries and counters are mutated under this lock (concurrent
+        # predict() calls share one cache); telemetry publishing happens
+        # after release so a metrics lock is never taken while holding it.
+        self._lock = threading.Lock()
         _LIVE_CACHES.add(self)
 
     def __len__(self) -> int:
@@ -128,46 +138,54 @@ class FeatureCache:
 
     def lookup(self, document: ResumeDocument) -> Optional[DocumentFeatures]:
         """Return cached features for ``document``, or None (counts a miss)."""
-        entry = self._entries.get(id(document))
-        if entry is not None:
-            ref, features = entry
-            if ref() is document:
-                self._entries.move_to_end(id(document))
-                self.hits += 1
-                telemetry = obs.get_telemetry()
-                if telemetry is not None:
-                    telemetry.metrics.counter("feature_cache.hits").inc()
-                    telemetry.metrics.gauge("feature_cache.hit_rate").set(
-                        self.hit_rate
-                    )
-                return features
-            del self._entries[id(document)]
-        self.misses += 1
+        features: Optional[DocumentFeatures] = None
+        with self._lock:
+            entry = self._entries.get(id(document))
+            if entry is not None:
+                ref, cached = entry
+                if ref() is document:
+                    self._entries.move_to_end(id(document))
+                    self.hits += 1
+                    features = cached
+                else:
+                    del self._entries[id(document)]
+            if features is None:
+                self.misses += 1
+            hit_rate = self.hit_rate
         telemetry = obs.get_telemetry()
         if telemetry is not None:
-            telemetry.metrics.counter("feature_cache.misses").inc()
-            telemetry.metrics.gauge("feature_cache.hit_rate").set(self.hit_rate)
-        return None
+            counter = (
+                "feature_cache.hits" if features is not None
+                else "feature_cache.misses"
+            )
+            telemetry.metrics.counter(counter).inc()
+            telemetry.metrics.gauge("feature_cache.hit_rate").set(hit_rate)
+        return features
 
     def store(self, document: ResumeDocument, features: DocumentFeatures) -> None:
-        self._entries[id(document)] = (weakref.ref(document), features)
-        self._entries.move_to_end(id(document))
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[id(document)] = (weakref.ref(document), features)
+            self._entries.move_to_end(id(document))
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
             telemetry = obs.get_telemetry()
             if telemetry is not None:
-                telemetry.metrics.counter("feature_cache.evictions").inc()
+                telemetry.metrics.counter("feature_cache.evictions").inc(evicted)
 
     def clear(self, preserve_stats: bool = False) -> None:
         """Drop every entry; ``preserve_stats=True`` keeps the cumulative
         hit/miss/eviction counters (long-running services clear entries to
         release memory without losing their lifetime totals)."""
-        self._entries.clear()
-        if not preserve_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            if not preserve_stats:
+                self.hits = 0
+                self.misses = 0
+                self.evictions = 0
 
     def info(self) -> Dict[str, int]:
         """Counters for tests and the profiling report."""

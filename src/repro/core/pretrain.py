@@ -544,6 +544,9 @@ class Pretrainer:
         solutions.
         """
         for name, value in losses.items():
+            # Objective names are the fixed {wp, cl, ns, total} loss-term
+            # set, not per-item values — bounded cardinality.
+            # repro-lint: disable=RN012
             telemetry.metrics.gauge("pretrain.loss").set(value, objective=name)
         telemetry.metrics.counter("pretrain.steps").inc()
         telemetry.metrics.counter("pretrain.documents").inc(documents)

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import fnmatch
 import math
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -343,6 +344,15 @@ class AlertEngine:
     ``raise_on`` is a set of severities that should abort the run (the
     session raises :class:`AlertError` *after* logging the alert, so the
     run log still carries the evidence).
+
+    Thread-safety: events and spans may arrive from any thread (the
+    worker pool's collector, a background drift monitor, the training
+    loop itself), so every piece of engine state — series windows,
+    cooldowns, the alert log — is mutated under one engine lock.
+    Condition functions are pure over a small copied window, so holding
+    the lock across evaluation is cheap and keeps window/cooldown/alert
+    updates atomic per observation.  ``*_unlocked`` helpers are only
+    called with the lock held.
     """
 
     def __init__(
@@ -368,6 +378,7 @@ class AlertEngine:
         self._registry = None
         self._sample_every = max(int(gauge_rules_sample_every), 1)
         self._steps_seen = 0
+        self._lock = threading.Lock()
 
     # -- wiring ---------------------------------------------------------
     def bind(self, registry) -> None:
@@ -379,6 +390,12 @@ class AlertEngine:
         """Feed one run-log event; returns alerts fired by it."""
         if kind != "step":
             return []
+        with self._lock:
+            return self._observe_event_unlocked(kind, fields)
+
+    def _observe_event_unlocked(
+        self, kind: str, fields: Dict[str, object]
+    ) -> List[Alert]:
         phase = str(fields.get("phase") or "run")
         step = fields.get("step")
         step = int(step) if isinstance(step, (int, float)) else None
@@ -388,14 +405,14 @@ class AlertEngine:
         if isinstance(losses, dict):
             for name, value in losses.items():
                 if isinstance(value, (int, float)):
-                    fired += self._observe(
+                    fired += self._observe_unlocked(
                         f"{phase}.losses.{name}", float(value), step, phase
                     )
         for name, value in fields.items():
             if name in ("losses", "step", "epoch", "phase"):
                 continue
             if isinstance(value, (int, float)) and not isinstance(value, bool):
-                fired += self._observe(
+                fired += self._observe_unlocked(
                     f"{phase}.{name}", float(value), step, phase
                 )
 
@@ -403,7 +420,7 @@ class AlertEngine:
         last = self._last_step.get(phase)
         self._last_step[phase] = now
         if last is not None:
-            fired += self._observe(f"{phase}.step_gap", now - last, step, phase)
+            fired += self._observe_unlocked(f"{phase}.step_gap", now - last, step, phase)
 
         self._steps_seen += 1
         if self._registry is not None and self._gauge_rules:
@@ -412,7 +429,7 @@ class AlertEngine:
                     name = rule.metric[len("gauge:"):]
                     if name in self._registry:
                         value = self._registry.gauge(name).value()
-                        fired += self._observe(rule.metric, value, step, phase)
+                        fired += self._observe_unlocked(rule.metric, value, step, phase)
         return fired
 
     def observe_span(self, span) -> List[Alert]:
@@ -420,10 +437,11 @@ class AlertEngine:
         duration = getattr(span, "duration", None)
         if duration is None:
             return []
-        return self._observe(f"span.{span.name}", float(duration))
+        with self._lock:
+            return self._observe_unlocked(f"span.{span.name}", float(duration))
 
     # -- internals ------------------------------------------------------
-    def _matching_rules(self, series: str) -> List[Rule]:
+    def _matching_rules_unlocked(self, series: str) -> List[Rule]:
         cached = self._rules_for.get(series)
         if cached is None:
             cached = [
@@ -440,7 +458,17 @@ class AlertEngine:
         step: Optional[int] = None,
         phase: Optional[str] = None,
     ) -> List[Alert]:
-        rules = self._matching_rules(series)
+        with self._lock:
+            return self._observe_unlocked(series, value, step, phase)
+
+    def _observe_unlocked(
+        self,
+        series: str,
+        value: float,
+        step: Optional[int] = None,
+        phase: Optional[str] = None,
+    ) -> List[Alert]:
+        rules = self._matching_rules_unlocked(series)
         if not rules:
             return []
         buffer = self._series.get(series)

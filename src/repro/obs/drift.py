@@ -616,4 +616,7 @@ class DriftMonitor:
         for name, entry in report.scores.items():
             score = entry.get("psi")
             if isinstance(score, (int, float)):
+                # Feature names are bounded by the drift profile's fixed
+                # schema, not per-document data — bounded cardinality.
+                # repro-lint: disable=RN012
                 telemetry.metrics.gauge("drift.psi").set(score, feature=name)

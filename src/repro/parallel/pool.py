@@ -62,6 +62,25 @@ class ParallelWorkerError(RuntimeError):
         )
 
 
+def _next_task(task_queue, parent_alive: Callable[[], bool], poll_seconds: float = 1.0):
+    """Next message off ``task_queue``, or None once the parent is gone.
+
+    The worker-side twin of ``WorkerPool._collect``'s poll loop: a bare
+    ``task_queue.get()`` would block forever when the parent dies without
+    sending the stop sentinel (killed mid-epoch, crashed before
+    ``close``).  Queued work is always drained first — liveness is only
+    consulted when the queue is empty.
+    """
+    import queue as queue_module
+
+    while True:
+        try:
+            return task_queue.get(timeout=poll_seconds)
+        except queue_module.Empty:
+            if not parent_alive():
+                return None
+
+
 def _worker_main(
     worker_id: int,
     init_fn: Callable,
@@ -77,6 +96,9 @@ def _worker_main(
     # by the context build below starts single-threaded even if the
     # parent's environment said otherwise.
     limit_blas_threads(1)
+    import multiprocessing as mp
+
+    parent = mp.parent_process()
     try:
         params_view, grad_view = _slab_views(raw, param_size, num_workers, worker_id)
         context = init_fn(worker_id, init_payload, params_view, grad_view)
@@ -85,7 +107,9 @@ def _worker_main(
         return
     result_queue.put(("ready", worker_id, {"blas": blas_thread_counts()}))
     while True:
-        message = task_queue.get()
+        message = _next_task(
+            task_queue, lambda: parent is None or parent.is_alive()
+        )
         if message is None:
             break
         task, payload = message
@@ -174,10 +198,12 @@ class WorkerPool(_RunnerBase):
         self._raw = ctx.RawArray("d", total)
         self._param_size = param_size
         self.params, _ = _slab_views(self._raw, param_size, num_workers, None)
-        self._task_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
-        # A full Queue (not SimpleQueue) so _collect can poll with a
-        # timeout and notice a worker that died without reporting — e.g.
-        # OOM-killed, or spawn failing to re-import __main__.
+        # Full Queues (not SimpleQueues) on both directions so each side
+        # can poll with a timeout and notice a dead peer: _collect spots a
+        # worker that died without reporting (OOM kill, spawn failing to
+        # re-import __main__), _next_task spots a parent that died without
+        # sending the stop sentinel.
+        self._task_queues = [ctx.Queue() for _ in range(num_workers)]
         self._results = ctx.Queue()
         self.ready_info: List[dict] = [None] * num_workers
         with obs.trace("parallel.pool_start", workers=num_workers):
@@ -301,8 +327,12 @@ class WorkerPool(_RunnerBase):
                 process.join(timeout=5.0)
         for process in self._processes:
             process.close()
+        # Workers are already joined (or terminated) by now, so the stop
+        # sentinels have been delivered; cancelling the feeder-thread join
+        # only guards interpreter exit against a wedged queue.
         for queue in self._task_queues:
             queue.close()
+            queue.cancel_join_thread()
         self._results.close()
         self._results.cancel_join_thread()
 

@@ -232,3 +232,82 @@ class TestSessionWiring:
         assert "step" not in Alert(
             rule="r", severity="info", series="s", message="m", value=0.0
         ).to_fields()
+
+
+class TestThreadSafety:
+    """Events may arrive from any thread (pool collector, drift monitor,
+    training loop); the engine's windows, cooldowns and alert log must
+    reconcile exactly — regression for the previously lock-free engine."""
+
+    def test_concurrent_events_produce_exact_alert_ledger(self):
+        import threading
+
+        engine = AlertEngine(
+            rules=[
+                Rule(
+                    name="every-step",
+                    metric="run.value",
+                    condition=above(0.0),
+                    window=1,
+                    cooldown=0,
+                )
+            ]
+        )
+        num_threads, events_per_thread = 4, 200
+        fired_counts = []
+        errors = []
+
+        def drive():
+            fired = 0
+            try:
+                for step in range(events_per_thread):
+                    fired += len(
+                        engine.observe_event("step", {"step": step, "value": 1.0})
+                    )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            fired_counts.append(fired)
+
+        threads = [threading.Thread(target=drive) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        expected = num_threads * events_per_thread
+        # Every observation fires the window-1 rule exactly once; a torn
+        # window/cooldown update would break either count.
+        assert sum(fired_counts) == expected
+        assert len(engine.alerts) == expected
+        assert engine.count() == expected
+
+    def test_concurrent_span_observation(self):
+        import threading
+
+        engine = AlertEngine(
+            rules=[
+                Rule(
+                    name="slow-span",
+                    metric="span.encode",
+                    condition=above(0.5),
+                    window=1,
+                    cooldown=0,
+                )
+            ]
+        )
+
+        class Span:
+            name = "encode"
+            duration = 1.0
+
+        def drive():
+            for _ in range(100):
+                engine.observe_span(Span())
+
+        threads = [threading.Thread(target=drive) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert engine.count() == 400

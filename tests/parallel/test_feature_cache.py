@@ -75,6 +75,65 @@ class TestForkGuard:
         assert len(featurizer.cache) == 2
 
 
+class TestThreadSafety:
+    """Concurrent lookup/store against one cache (the serving-tier shape):
+    counters must reconcile exactly and the LRU bound must hold —
+    regression for the previously lock-free mutation paths."""
+
+    class _Doc:
+        __slots__ = ("__weakref__",)
+
+    def test_concurrent_mixed_workload_is_consistent(self):
+        import threading
+
+        cache = FeatureCache(maxsize=32)
+        documents = [self._Doc() for _ in range(64)]
+        lookups_per_thread = 400
+        num_threads = 4
+        errors = []
+
+        def drive(seed):
+            try:
+                for step in range(lookups_per_thread):
+                    doc = documents[(seed * 31 + step) % len(documents)]
+                    if cache.lookup(doc) is None:
+                        cache.store(doc, object())
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(seed,))
+            for seed in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        info = cache.info()
+        # Every lookup is classified exactly once; torn counter updates
+        # under the old lock-free paths would break this ledger.
+        assert info["hits"] + info["misses"] == num_threads * lookups_per_thread
+        assert len(cache) <= cache.maxsize
+
+    def test_fork_guard_replaces_lock(self):
+        # The after-fork hook rebinds a fresh lock before clearing:
+        # a fork taken while another thread held the lock must not leave
+        # the child's cache permanently wedged.
+        cache = FeatureCache(maxsize=4)
+        stale_lock = cache._lock
+        stale_lock.acquire()  # simulate a holder that died with the fork
+        try:
+            _clear_caches_after_fork()
+            assert cache._lock is not stale_lock
+            doc = self._Doc()
+            cache.store(doc, object())  # must not deadlock
+            assert cache.lookup(doc) is not None
+        finally:
+            stale_lock.release()
+
+
 class TestHitRateGauges:
     def test_lookup_updates_session_gauge(self, tiny_docs, tokenizer, config):
         with obs.telemetry() as tel:

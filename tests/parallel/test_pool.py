@@ -103,6 +103,56 @@ class TestWorkerPool:
             pool.run("echo", [{}])
 
 
+class TestWorkerLiveness:
+    """``_next_task``: the worker-side poll loop that replaces a bare
+    blocking ``task_queue.get()`` (regression for the dead-parent hang —
+    a worker must exit instead of blocking forever when the parent died
+    without sending the stop sentinel)."""
+
+    def test_queued_message_returned_immediately(self):
+        import queue
+
+        from repro.parallel.pool import _next_task
+
+        tasks = queue.Queue()
+        tasks.put(("echo", {"tag": "a"}))
+        assert _next_task(tasks, lambda: True, poll_seconds=0.01) == (
+            "echo",
+            {"tag": "a"},
+        )
+
+    def test_dead_parent_with_empty_queue_stops(self):
+        import queue
+
+        from repro.parallel.pool import _next_task
+
+        tasks = queue.Queue()
+        assert _next_task(tasks, lambda: False, poll_seconds=0.01) is None
+
+    def test_queued_work_drains_before_liveness_wins(self):
+        # A message already in flight is processed even if the parent is
+        # gone — the queue is checked before the liveness verdict.
+        import queue
+
+        from repro.parallel.pool import _next_task
+
+        tasks = queue.Queue()
+        tasks.put(("featurize", {"indices": [0]}))
+        assert _next_task(tasks, lambda: False, poll_seconds=0.01) == (
+            "featurize",
+            {"indices": [0]},
+        )
+
+    def test_liveness_polled_until_parent_dies(self):
+        import queue
+
+        from repro.parallel.pool import _next_task
+
+        verdicts = iter([True, True, False])
+        tasks = queue.Queue()
+        assert _next_task(tasks, lambda: next(verdicts), poll_seconds=0.01) is None
+
+
 class TestMakeRunner:
     def test_single_worker_defaults_to_local(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV, raising=False)
