@@ -3,8 +3,10 @@
 Times pre-training epochs and synthetic corpus generation at 1, 2 and 4
 workers (``repro.parallel``) and records wall-clock, throughput, scaling
 efficiency, plus the embedded telemetry summary (all-reduce spans,
-per-worker step timers, shard-imbalance gauge).  The machine-readable
-report goes to ``BENCH_parallel.json`` at the repository root.
+per-worker step timers, shard-imbalance gauge) and a sampling-profiler
+summary of one untimed 2-worker run (hot functions, span self-time,
+memory watermarks).  The machine-readable report goes to
+``BENCH_parallel.json`` at the repository root.
 
 Parity comes first: before any timing, the 1-vs-2-worker run must land
 within 1e-9 on final parameters — a fast shard that optimises a
@@ -119,6 +121,19 @@ def test_parallel_training_scaling(monkeypatch):
         train_seconds[num_workers] = min(train_rounds)
         generate_seconds[num_workers] = min(generate_rounds)
 
+    # One extra (untimed) 2-worker pretrain under the sampling profiler:
+    # the report carries where multi-process wall time actually goes —
+    # parent dispatch/collect vs worker forward/backward — without the
+    # sampler perturbing the timed rounds above.
+    profiler = obs.Profiler(hz=obs.DEFAULT_PROFILE_HZ)
+    profiled = obs.Telemetry(profiler=profiler)
+    profiler.start()
+    try:
+        with obs.use_telemetry(profiled):
+            _pretrain(documents, tokenizer, config, 2)
+    finally:
+        profiler.stop()
+
     num_steps = EPOCHS * -(-NUM_DOCS // BATCH_SIZE)
     speedups = {
         w: train_seconds[1] / train_seconds[w] for w in WORKER_COUNTS
@@ -158,6 +173,7 @@ def test_parallel_training_scaling(monkeypatch):
             },
         },
         "telemetry": session.summary(),
+        "profile": profiler.summary(),
     }
     obs.write_json(REPORT_PATH, report)
     print(

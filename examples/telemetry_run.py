@@ -16,6 +16,11 @@ Render or gate the log afterwards with::
         run_telemetry.jsonl --no-timing
 
 ``--epochs`` shrinks or grows the fine-tuning run (CI uses 2).
+``--profile-hz`` arms the continuous sampling profiler (``profile``
+events land in the log; render with ``report --profile``) and
+``--num-workers`` runs pre-training on a real spawn pool whose worker
+telemetry — spans, step timings, profiles — is relayed back into this
+same log.
 """
 
 import argparse
@@ -49,6 +54,15 @@ def main():
     parser.add_argument("--epochs", type=int, default=2)
     parser.add_argument("--pretrain-epochs", type=int, default=1)
     parser.add_argument("--num-docs", type=int, default=10)
+    parser.add_argument(
+        "--profile-hz", type=float, default=None,
+        help="sample every thread's stack at this rate (default: off)",
+    )
+    parser.add_argument(
+        "--num-workers", type=int, default=0,
+        help="pre-train data-parallel on this many pool workers "
+        "(default: in-process)",
+    )
     options = parser.parse_args()
 
     generator = ResumeGenerator(seed=SEED, content_config=ContentConfig.tiny())
@@ -79,9 +93,16 @@ def main():
         },
         seeds={"corpus": SEED, "encoder": SEED, "classifier": SEED + 1},
         alerts=True,
+        profile_hz=options.profile_hz,
     ) as tel:
+        # only pass num_workers when asked: the default run must stay
+        # byte-comparable to the committed obs-gate baseline
+        pretrain_kwargs = (
+            {"num_workers": options.num_workers} if options.num_workers else {}
+        )
         Pretrainer(encoder, featurizer, seed=SEED).fit(
-            documents, epochs=options.pretrain_epochs, batch_size=4
+            documents, epochs=options.pretrain_epochs, batch_size=4,
+            **pretrain_kwargs,
         )
         BlockTrainer(classifier, seed=SEED).fit(
             train, validation=validation, epochs=options.epochs, batch_size=4
@@ -109,7 +130,8 @@ def main():
 
     print(f"run log written to {options.run_log}")
     print(f"alerts fired: {alerts_fired}")
-    print(f"render it with: python -m repro.obs.report {options.run_log}")
+    flag = " --profile" if options.profile_hz else ""
+    print(f"render it with: python -m repro.obs.report {options.run_log}{flag}")
 
 
 if __name__ == "__main__":

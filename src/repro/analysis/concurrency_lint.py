@@ -516,8 +516,10 @@ class UnsanctionedThreadCreation(Rule):
         "threading.Thread in library code escapes all four."
     )
 
-    #: Modules allowed to create execution lanes.
-    SANCTIONED_FILES = {"pool.py"}
+    #: Modules allowed to create execution lanes.  ``profiler.py`` owns the
+    #: obs sampling daemon thread — it must observe every other lane, so it
+    #: cannot itself run inside the pool.
+    SANCTIONED_FILES = {"pool.py", "profiler.py"}
     SPAWN_CALLS = {
         "Thread",
         "Process",
@@ -584,11 +586,13 @@ class UnboundedLabelCardinality(Rule):
     code = "RN012"
     title = "unbounded telemetry label cardinality"
     rationale = (
-        "A label value derived from a per-item loop variable or document "
-        "id mints a fresh metric series per item: the registry (one lock "
-        "+ dict entry per series) grows with traffic until memory and "
-        "snapshot time blow up.  Label values must come from small fixed "
-        "sets (worker ids, stages, severities)."
+        "A label value derived from a per-item loop variable, document id, "
+        "or stack-frame identity mints a fresh metric series per item: the "
+        "registry (one lock + dict entry per series) grows with traffic "
+        "until memory and snapshot time blow up.  Label values must come "
+        "from small fixed sets (worker ids, thread names, stages, "
+        "severities); stack identity belongs in event payloads "
+        "(``profile`` events), never in metric labels."
     )
 
     METRIC_METHODS = {"inc", "set", "observe", "time"}
@@ -601,10 +605,19 @@ class UnboundedLabelCardinality(Rule):
     )
     ID_ATTRS = {"doc_id", "document_id", "example_id", "resume_id", "run_id",
                 "uid", "guid", "path"}
-    #: Loop sources whose length is bounded by the worker/shard count.
+    #: Frame/code-object attributes: a label minted from one carries stack
+    #: identity — one series per call site (or worse, per line).
+    STACK_ATTRS = {"co_name", "co_filename", "co_qualname", "f_lineno",
+                   "f_code", "f_back", "tb_lineno"}
+    #: Label *keys* that declare stack identity by name.  Profiler output
+    #: must route stacks through ``profile`` event payloads instead.
+    STACK_LABEL_KEYS = {"stack", "frame", "frames", "function", "func",
+                        "callsite", "lineno", "filename", "caller"}
+    #: Loop sources whose length is bounded by the worker/shard/thread count.
     BOUNDED_ITER_HINTS = (
         "worker",
         "shard",
+        "thread",
         "result",
         "duration",
         "severit",
@@ -653,6 +666,12 @@ class UnboundedLabelCardinality(Rule):
                 return self._bounded_iter(iterable.args[0])
             if name == "zip":
                 return any(self._bounded_iter(a) for a in iterable.args)
+            if (
+                isinstance(iterable.func, ast.Attribute)
+                and iterable.func.attr in ("items", "keys", "values")
+            ):
+                # dict.items() et al. inherit the receiver's boundedness.
+                return self._bounded_iter(iterable.func.value)
         tail = _dotted(iterable).split(".")[-1].lower()
         if not tail and isinstance(iterable, ast.Name):
             tail = iterable.id.lower()
@@ -683,7 +702,30 @@ class UnboundedLabelCardinality(Rule):
             for keyword in node.keywords:
                 if keyword.arg is None:
                     continue
+                if keyword.arg.lower() in self.STACK_LABEL_KEYS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"label `{keyword.arg}` names stack identity: one "
+                        "series per call site is unbounded cardinality — "
+                        "put stacks in `profile` event payloads, not "
+                        "metric labels",
+                    )
+                    continue
                 for value in self._unwrap(keyword.value):
+                    if (
+                        isinstance(value, ast.Attribute)
+                        and value.attr in self.STACK_ATTRS
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"label `{keyword.arg}` derives from frame "
+                            f"attribute `.{value.attr}`: stack identity "
+                            "mints one series per call site — route it "
+                            "through `profile` event payloads instead",
+                        )
+                        break
                     if (
                         isinstance(value, ast.Attribute)
                         and value.attr in self.ID_ATTRS

@@ -60,6 +60,8 @@ from .metrics import (
     MetricsRegistry,
     Timer,
 )
+from .profiler import DEFAULT_PROFILE_HZ, Profiler
+from .relay import PoolRelay, merge_worker_spool, worker_session
 from .runlog import RunLogger, read_run_log, write_json
 from .tracing import Span, Tracer, current_span
 
@@ -86,6 +88,11 @@ __all__ = [
     "ReferenceProfile",
     "profile_documents",
     "profile_ner_examples",
+    "Profiler",
+    "DEFAULT_PROFILE_HZ",
+    "PoolRelay",
+    "worker_session",
+    "merge_worker_spool",
     "Telemetry",
     "telemetry",
     "use_telemetry",
@@ -123,7 +130,10 @@ class Telemetry:
     ``alert`` events, counted under ``alerts.fired{severity=...}``, and
     raised as :class:`AlertError` when their severity is in the engine's
     ``raise_on`` set.  ``drift`` attaches a :class:`DriftMonitor` that the
-    instrumented predict paths feed automatically.
+    instrumented predict paths feed automatically.  ``profiler`` attaches
+    a :class:`Profiler` whose flushes stream ``profile`` events into the
+    run log; its start/stop lifecycle belongs to the caller
+    (:func:`telemetry` drives it when given ``profile_hz``).
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class Telemetry:
         run_logger: Optional[RunLogger] = None,
         alerts: Union[bool, AlertEngine, None] = None,
         drift: Optional[DriftMonitor] = None,
+        profiler: Optional[Profiler] = None,
     ):
         self.metrics = registry or MetricsRegistry()
         self.run_logger = run_logger
@@ -139,6 +150,9 @@ class Telemetry:
         if self.alerts is not None:
             self.alerts.bind(self.metrics)
         self.drift = drift
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.bind(self)
         self.tracer = Tracer(on_finish=self._on_span)
 
     def _on_span(self, span: Span) -> None:
@@ -179,6 +193,8 @@ class Telemetry:
         }
         if self.alerts is not None:
             summary["alerts"] = [a.to_fields() for a in self.alerts.alerts]
+        if self.profiler is not None:
+            summary["profile"] = self.profiler.summary()
         return summary
 
 
@@ -223,6 +239,8 @@ def telemetry(
     registry: Optional[MetricsRegistry] = None,
     alerts: Union[bool, AlertEngine, None] = None,
     drift: Optional[DriftMonitor] = None,
+    profile_hz: Optional[float] = None,
+    profiler: Optional[Profiler] = None,
 ) -> Iterator[Telemetry]:
     """Create and install a telemetry session for the duration of the block.
 
@@ -236,23 +254,38 @@ def telemetry(
     :class:`AlertEngine` for custom rules or ``raise_on`` severities.
     ``drift`` attaches a :class:`DriftMonitor` fed by the instrumented
     ``predict_batch`` paths.
+
+    ``profile_hz`` arms the continuous sampling profiler at that rate
+    (``profiler`` passes a pre-configured :class:`Profiler` instead); it
+    starts with the session, streams ``profile`` events into the run log,
+    and stops — flushing its final delta — before the closing metric
+    snapshot.  :mod:`repro.parallel` pools created inside the session
+    propagate the rate to their spawn workers and relay the worker
+    profiles back on join.
     """
     owns_logger = isinstance(run_log, str)
     logger = RunLogger(run_log, config=config, seeds=seeds) if owns_logger else run_log
+    if profiler is None and profile_hz:
+        profiler = Profiler(hz=profile_hz)
     session = Telemetry(
-        registry=registry, run_logger=logger, alerts=alerts, drift=drift
+        registry=registry, run_logger=logger, alerts=alerts, drift=drift,
+        profiler=profiler,
     )
     if owns_logger:
         logger.run_start()
     status = "ok"
     error: Optional[str] = None
     try:
+        if profiler is not None:
+            profiler.start()
         with use_telemetry(session):
             yield session
     except BaseException as exc:
         status, error = "error", type(exc).__name__
         raise
     finally:
+        if profiler is not None:
+            profiler.stop()
         if logger is not None:
             logger.metric_snapshot(session.metrics)
             if owns_logger:

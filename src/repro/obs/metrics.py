@@ -19,6 +19,7 @@ offline aggregation.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
@@ -246,6 +247,36 @@ class Histogram(_Metric):
             },
         }
 
+    def merge_value(self, value: Dict[str, object], **labels) -> None:
+        """Fold one snapshot series (another process's state) into this one.
+
+        The relay's histogram path: a child registry's snapshot carries
+        per-bucket counts, sum, min and max — adding them bucket-by-bucket
+        is exact as long as the boundaries match (checked; boundaries are
+        construction-fixed on both sides).
+        """
+        buckets = dict(value.get("buckets") or {})
+        expected = {str(b) for b in self.buckets} | {"+Inf"}
+        if set(buckets) != expected:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: snapshot buckets "
+                f"{sorted(buckets)} do not match {sorted(expected)}"
+            )
+        count = int(value.get("count", 0))
+        key = _label_key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = self._series[key] = _HistogramState(len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                state.counts[index] += int(buckets[str(bound)])
+            state.counts[-1] += int(buckets["+Inf"])
+            state.count += count
+            state.total += float(value.get("sum", 0.0))
+            if count:
+                state.minimum = min(state.minimum, float(value.get("min", 0.0)))
+                state.maximum = max(state.maximum, float(value.get("max", 0.0)))
+
 
 class Timer(Histogram):
     """A latency histogram with a ``time()`` context manager.
@@ -275,6 +306,38 @@ class _TimerContext:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._timer.observe(time.perf_counter() - self._started, **self._labels)
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitise a metric name for the Prometheus exposition grammar."""
+    sanitised = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _prometheus_labels(labels: Dict[str, str]) -> str:
+    """``{key="value",...}`` with sorted keys and escaped values."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = (
+            str(labels[key])
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{_prometheus_name(key)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_float(value: float) -> str:
+    """Float rendering for exposition samples (``repr``-exact, no padding)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return repr(value)
 
 
 class MetricsRegistry:
@@ -358,6 +421,99 @@ class MetricsRegistry:
         """Zero every series of every metric (names stay registered)."""
         for metric in self:
             metric.reset()
+
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, Dict[str, object]],
+        extra_labels: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The relay's fan-in primitive: a worker process snapshots its child
+        registry into its spool and the parent merges it here, usually
+        with ``extra_labels={"worker": "0"}`` so every relayed series is
+        distinguishable.  Counters add, gauges last-write-win, histograms
+        and timers merge bucket-exactly (matching boundaries required).
+        Returns the number of series merged.
+        """
+        extra = dict(extra_labels or {})
+        merged = 0
+        for name, dump in snapshot.items():
+            kind = dump.get("kind")
+            help_text = str(dump.get("help", ""))
+            for series in dump.get("series", []):
+                labels = dict(series.get("labels") or {})
+                labels.update(extra)
+                value = series.get("value")
+                if kind == "counter":
+                    self.counter(name, help_text).inc(float(value), **labels)
+                elif kind == "gauge":
+                    self.gauge(name, help_text).set(float(value), **labels)
+                elif kind in ("histogram", "timer"):
+                    bounds = sorted(
+                        float(b) for b in (value.get("buckets") or {})
+                        if b != "+Inf"
+                    )
+                    factory = self.timer if kind == "timer" else self.histogram
+                    factory(name, help_text, buckets=bounds).merge_value(
+                        value, **labels
+                    )
+                else:
+                    continue
+                merged += 1
+        return merged
+
+    def to_prometheus(self) -> str:
+        """Prometheus text-exposition dump of every series (version 0.0.4).
+
+        Stdlib-only so a serving tier's ``/metrics`` endpoint is a
+        one-liner.  Conventions: metric names sanitised to
+        ``[a-zA-Z0-9_:]`` (dots become underscores), counters gain the
+        ``_total`` suffix, timers export as histograms, histogram buckets
+        are *cumulative* with a closing ``+Inf``, label keys sorted, and
+        metrics emitted in name order — byte-stable output for a given
+        registry state (the golden-file test pins it).
+        """
+        lines: List[str] = []
+        for metric in sorted(self, key=lambda m: m.name):
+            dump = metric.snapshot()
+            kind = dump["kind"]
+            name = _prometheus_name(dump["name"])
+            prom_kind = "histogram" if kind == "timer" else kind
+            if dump["help"]:
+                lines.append(f"# HELP {name} {dump['help']}")
+            lines.append(f"# TYPE {name} {prom_kind}")
+            for series in dump["series"]:
+                labels = series["labels"]
+                value = series["value"]
+                if prom_kind == "histogram":
+                    cumulative = 0
+                    for bound in metric.buckets:
+                        cumulative += value["buckets"][str(bound)]
+                        bucket_labels = dict(labels, le=_format_float(bound))
+                        lines.append(
+                            f"{name}_bucket{_prometheus_labels(bucket_labels)}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{_prometheus_labels(dict(labels, le='+Inf'))}"
+                        f" {value['count']}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_prometheus_labels(labels)}"
+                        f" {_format_float(value['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prometheus_labels(labels)}"
+                        f" {value['count']}"
+                    )
+                else:
+                    sample = name + ("_total" if prom_kind == "counter" else "")
+                    lines.append(
+                        f"{sample}{_prometheus_labels(labels)}"
+                        f" {_format_float(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def to_jsonl(self, destination: Union[str, IO[str]]) -> int:
         """Write one JSON line per labeled series; returns lines written.

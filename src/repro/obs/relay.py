@@ -1,0 +1,184 @@
+"""Cross-process telemetry fan-in for :mod:`repro.parallel` workers.
+
+A spawn worker cannot write into the parent's telemetry session: the
+registry and run logger live in another process, and RN009 forbids
+shipping bulky payloads through the control queues.  The relay closes the
+gap with a **per-worker JSONL spool merged on join**:
+
+* :func:`worker_session` — opened inside ``_worker_main``: a lightweight
+  child :class:`~repro.obs.Telemetry` whose run logger streams to
+  ``<spool_dir>/worker<N>.jsonl`` (crash-safe, one flushed line per
+  event) and whose optional :class:`~repro.obs.profiler.Profiler` samples
+  the worker at the parent's rate.  Every instrumented call site inside
+  the worker (encode spans, cache counters, profiler flushes) lands in
+  the spool with *worker-local* timestamps.
+* :class:`PoolRelay` — created by :class:`~repro.parallel.pool.WorkerPool`
+  when a telemetry session is active at construction; hands each worker
+  its spool spec and, once the workers have joined, merges every spool
+  into the parent session: span/profile/step events are forwarded with a
+  ``worker=`` field and original timestamps, span ids are
+  process-qualified (``w0:17``) with root spans re-parented under the
+  pool's ``parallel.pool_start`` span, and the worker's final metric
+  snapshot folds into the parent registry with ``worker=`` labels.
+
+The result: one run log that tells the whole multi-process story, and a
+parent registry whose ``parallel.worker_step_seconds{worker=}`` series
+came from the workers' own clocks instead of post-hoc parent bookkeeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import tempfile
+from typing import Dict, Iterator, List, Optional
+
+from .profiler import Profiler
+from .runlog import RunLogger, read_run_log
+
+__all__ = ["PoolRelay", "worker_session", "merge_worker_spool"]
+
+#: Spool events consumed during the merge instead of forwarded verbatim.
+_CONSUMED_EVENTS = ("run_start", "run_end", "metric_snapshot")
+
+
+def _spool_path(spool_dir: str, worker_id: int) -> str:
+    return os.path.join(spool_dir, f"worker{worker_id}.jsonl")
+
+
+@contextlib.contextmanager
+def worker_session(spec: Dict[str, object], worker_id: int) -> Iterator:
+    """Child telemetry session of one pool worker (runs in the worker).
+
+    ``spec`` is :meth:`PoolRelay.worker_spec`'s payload: the spool
+    directory plus the parent's profiler rate (or None).  Yields the
+    installed session; on exit stops the profiler, writes the final
+    metric snapshot, and closes the spool.
+    """
+    from . import Telemetry, use_telemetry
+
+    logger = RunLogger(
+        _spool_path(str(spec["spool_dir"]), worker_id),
+        run_id=f"worker-{worker_id}",
+    )
+    profile_hz = spec.get("profile_hz")
+    profiler = Profiler(hz=float(profile_hz)) if profile_hz else None
+    session = Telemetry(run_logger=logger, profiler=profiler)
+    logger.run_start(worker=worker_id, pid=os.getpid())
+    try:
+        if profiler is not None:
+            profiler.start()
+        with use_telemetry(session):
+            yield session
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        logger.metric_snapshot(session.metrics)
+        logger.run_end()
+        logger.close()
+
+
+def _qualify(worker_id: int, span_id) -> Optional[str]:
+    """Process-qualified span id: worker-local ints collide across
+    processes (each worker counts from 1), ``w<N>:<id>`` never does."""
+    if span_id is None:
+        return None
+    return f"w{worker_id}:{span_id}"
+
+
+def merge_worker_spool(
+    path: str,
+    worker_id: int,
+    session,
+    pool_span_id: Optional[int] = None,
+) -> int:
+    """Merge one worker spool into ``session``; returns events forwarded.
+
+    Spans get process-qualified ids; a worker's *root* spans (no parent in
+    their own process) are parented under ``pool_span_id`` so the merged
+    trace hangs together.  The final ``metric_snapshot`` folds into the
+    parent registry under a ``worker=`` label; ``run_start``/``run_end``
+    are consumed (the parent run owns the lifecycle).  Every forwarded
+    record keeps its original worker timestamps via
+    :meth:`~repro.obs.runlog.RunLogger.relay`.
+    """
+    try:
+        events = read_run_log(path)
+    except OSError:
+        return 0
+    forwarded = 0
+    logger = session.run_logger
+    for record in events:
+        kind = record.get("event")
+        if kind == "metric_snapshot":
+            session.metrics.merge_snapshot(
+                record.get("metrics") or {},
+                extra_labels={"worker": str(worker_id)},
+            )
+            continue
+        if kind in _CONSUMED_EVENTS:
+            continue
+        record = dict(record)
+        record["worker"] = worker_id
+        if "span_id" in record:
+            record["span_id"] = _qualify(worker_id, record["span_id"])
+            parent = record.get("parent_id")
+            record["parent_id"] = (
+                _qualify(worker_id, parent) if parent is not None
+                else pool_span_id
+            )
+        if logger is not None:
+            logger.relay(record)
+            forwarded += 1
+    return forwarded
+
+
+class PoolRelay:
+    """Parent-side half of the fan-in: spool directory + merge-on-join.
+
+    Built by the pool *only* when a telemetry session is active at
+    construction; holds a reference to that session so the merge works
+    even if the pool is closed outside the installing context.
+    """
+
+    def __init__(self, num_workers: int, session):
+        self.num_workers = num_workers
+        self.session = session
+        self.spool_dir = tempfile.mkdtemp(prefix="repro-relay-")
+        self.pool_span_id: Optional[int] = None
+        self._merged = False
+
+    def worker_spec(self) -> Dict[str, object]:
+        """Picklable per-worker config (crosses the spawn boundary)."""
+        profiler = getattr(self.session, "profiler", None)
+        return {
+            "spool_dir": self.spool_dir,
+            "profile_hz": profiler.hz if profiler is not None else None,
+        }
+
+    def merge(self) -> List[int]:
+        """Merge every spool into the parent session (idempotent).
+
+        Call after the workers have joined — their spools are complete
+        (or, after a forced teardown, complete up to the crash; JSONL
+        flushes line-by-line so everything written survives).  Emits one
+        ``relay_merge`` event per worker and removes the spool directory.
+        """
+        if self._merged:
+            return []
+        self._merged = True
+        counts: List[int] = []
+        for worker_id in range(self.num_workers):
+            forwarded = merge_worker_spool(
+                _spool_path(self.spool_dir, worker_id),
+                worker_id,
+                self.session,
+                self.pool_span_id,
+            )
+            counts.append(forwarded)
+            self.session.event(
+                "relay_merge", worker=worker_id, forwarded=forwarded
+            )
+        shutil.rmtree(self.spool_dir, ignore_errors=True)
+        return counts

@@ -2,8 +2,9 @@
 
 Usage::
 
-    python -m repro.obs.report run.jsonl          # text
-    python -m repro.obs.report run.jsonl --json   # machine-readable
+    python -m repro.obs.report run.jsonl            # text
+    python -m repro.obs.report run.jsonl --json     # machine-readable
+    python -m repro.obs.report run.jsonl --profile  # + profiler section
 
 Sections: run header (id, status, wall time, config/seeds), step
 throughput, loss curves as text sparklines (one per loss series, grouped
@@ -32,7 +33,8 @@ from ._render import table as _table
 from .compare import _percentile, run_summary
 from .runlog import read_run_log
 
-__all__ = ["sparkline", "summarize", "summarize_json", "main"]
+__all__ = ["sparkline", "aggregate_profile", "summarize", "summarize_json",
+           "main"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -62,6 +64,177 @@ def sparkline(values: Sequence[float], width: int = 48) -> str:
     return "".join(_BLOCKS[int((v - low) * scale + 0.5)] for v in values)
 
 
+def _format_bytes(value: float) -> str:
+    value = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def aggregate_profile(events: List[Dict]) -> Optional[Dict[str, object]]:
+    """Fold every ``profile`` event back into one cumulative aggregate.
+
+    ``profile`` events are *deltas* (per flush, per process), so summation
+    is exact — including across a relay-merged log where worker events
+    carry a ``worker`` field.  Seconds are estimated per event from its
+    own ``hz`` (worker and parent rates may differ).  Memory watermarks
+    are maxed per process.
+    """
+    profiles = [e for e in events if e.get("event") == "profile"]
+    if not profiles:
+        return None
+    samples = 0
+    seconds = 0.0
+    functions: Dict[str, Dict[str, float]] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    stacks: Dict[Tuple[str, str, str], int] = {}
+    stacks_dropped = 0
+    memory: Dict[str, Dict[str, object]] = {}
+    processes = set()
+    for event in profiles:
+        hz = float(event.get("hz") or 0.0)
+        per_sample = 1.0 / hz if hz > 0 else 0.0
+        worker = event.get("worker")
+        process = "parent" if worker is None else f"worker{worker}"
+        processes.add(process)
+        delta = int(event.get("samples") or 0)
+        samples += delta
+        seconds += delta * per_sample
+        stacks_dropped += int(event.get("stacks_dropped") or 0)
+        for entry in event.get("functions") or ():
+            name = str(entry.get("function"))
+            count = int(entry.get("samples") or 0)
+            slot = functions.setdefault(name, {"samples": 0, "seconds": 0.0})
+            slot["samples"] += count
+            slot["seconds"] += count * per_sample
+        for entry in event.get("spans") or ():
+            name = str(entry.get("span"))
+            count = int(entry.get("samples") or 0)
+            slot = spans.setdefault(name, {"samples": 0, "seconds": 0.0})
+            slot["samples"] += count
+            slot["seconds"] += count * per_sample
+        for entry in event.get("stacks") or ():
+            key = (process, str(entry.get("thread")), str(entry.get("stack")))
+            stacks[key] = stacks.get(key, 0) + int(entry.get("count") or 0)
+        event_memory = event.get("memory") or {}
+        for kind in ("peak_rss_bytes", "tracemalloc_peak_bytes"):
+            if event_memory.get(kind) is not None:
+                per_process = memory.setdefault(kind, {})
+                per_process[process] = max(
+                    int(per_process.get(process, 0)), int(event_memory[kind])
+                )
+        for kind in ("span_peak_rss_bytes", "span_tracemalloc_peak_bytes"):
+            for span_name, peak in (event_memory.get(kind) or {}).items():
+                per_process = memory.setdefault(kind, {}).setdefault(process, {})
+                per_process[span_name] = max(
+                    int(per_process.get(span_name, 0)), int(peak)
+                )
+    return {
+        "samples": samples,
+        "estimated_seconds": seconds,
+        "flushes": len(profiles),
+        "processes": sorted(processes),
+        "stacks_dropped": stacks_dropped,
+        "hot_functions": [
+            {
+                "function": name,
+                "samples": int(slot["samples"]),
+                "seconds": slot["seconds"],
+                "share": slot["samples"] / samples if samples else 0.0,
+            }
+            for name, slot in sorted(
+                functions.items(), key=lambda item: (-item[1]["samples"], item[0])
+            )
+        ],
+        "span_self_time": {
+            name: {"samples": int(slot["samples"]), "seconds": slot["seconds"]}
+            for name, slot in sorted(
+                spans.items(), key=lambda item: (-item[1]["samples"], item[0])
+            )
+        },
+        "stacks": [
+            {"process": process, "thread": thread, "stack": stack,
+             "count": count}
+            for (process, thread, stack), count in sorted(
+                stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        ],
+        "memory": memory,
+    }
+
+
+def _profile_section(profile: Dict[str, object], top_n: int = 15) -> List[str]:
+    """Text lines of the ``--profile`` report section."""
+    lines: List[str] = ["", "profile:"]
+    lines.append(
+        f"  samples: {profile['samples']} across "
+        f"{len(profile['processes'])} process(es) "
+        f"({', '.join(profile['processes'])}), "
+        f"~{_format_seconds(float(profile['estimated_seconds']))} on-CPU"
+    )
+    if profile.get("stacks_dropped"):
+        lines.append(
+            f"  stacks dropped by per-flush cap: {profile['stacks_dropped']}"
+        )
+    hot = profile.get("hot_functions") or []
+    if hot:
+        rows = [
+            (
+                str(entry["function"]),
+                str(entry["samples"]),
+                _format_seconds(float(entry["seconds"])),
+                f"{100.0 * float(entry['share']):.1f}%",
+            )
+            for entry in hot[:top_n]
+        ]
+        lines.append("")
+        lines.append("  hot functions (leaf self-time):")
+        lines.extend(
+            "    " + line
+            for line in _table(rows, ("function", "samples", "est", "share"))
+        )
+    span_self = profile.get("span_self_time") or {}
+    if span_self:
+        rows = [
+            (name, str(slot["samples"]), _format_seconds(float(slot["seconds"])))
+            for name, slot in list(span_self.items())[:top_n]
+        ]
+        lines.append("")
+        lines.append("  span self-time (innermost open span per sample):")
+        lines.extend(
+            "    " + line
+            for line in _table(rows, ("span", "samples", "est"))
+        )
+    top_stacks = (profile.get("stacks") or [])[:5]
+    if top_stacks:
+        lines.append("")
+        lines.append("  top stacks (collapsed, root first):")
+        for entry in top_stacks:
+            lines.append(
+                f"    {entry['count']:>6}  [{entry['process']}/{entry['thread']}]"
+            )
+            lines.append(f"            {entry['stack']}")
+    memory = profile.get("memory") or {}
+    rss = memory.get("peak_rss_bytes")
+    if rss:
+        peaks = ", ".join(
+            f"{process}={_format_bytes(peak)}"
+            for process, peak in sorted(rss.items())
+        )
+        lines.append("")
+        lines.append(f"  peak RSS: {peaks}")
+    traced = memory.get("tracemalloc_peak_bytes")
+    if traced:
+        peaks = ", ".join(
+            f"{process}={_format_bytes(peak)}"
+            for process, peak in sorted(traced.items())
+        )
+        lines.append(f"  tracemalloc peak: {peaks}")
+    return lines
+
+
 def _loss_series(steps: List[Dict]) -> Dict[Tuple[str, str], List[float]]:
     """``{(phase, loss_name): [values in step order]}``."""
     series: Dict[Tuple[str, str], List[float]] = {}
@@ -73,8 +246,14 @@ def _loss_series(steps: List[Dict]) -> Dict[Tuple[str, str], List[float]]:
     return series
 
 
-def summarize(events: List[Dict], width: int = 48) -> str:
-    """Build the full multi-section text summary for a run's events."""
+def summarize(events: List[Dict], width: int = 48,
+              profile: bool = False) -> str:
+    """Build the full multi-section text summary for a run's events.
+
+    ``profile=True`` appends the sampling-profiler section (hot functions,
+    span self-time, top collapsed stacks, memory watermarks) aggregated
+    from the log's ``profile`` events.
+    """
     by_kind: Dict[str, List[Dict]] = {}
     for event in events:
         by_kind.setdefault(str(event.get("event", "?")), []).append(event)
@@ -263,6 +442,15 @@ def summarize(events: List[Dict], width: int = 48) -> str:
                 "  " + line for line in _table(rows, ("metric", "kind", "value"))
             )
 
+    if profile:
+        aggregated = aggregate_profile(events)
+        if aggregated is None:
+            lines.append("")
+            lines.append("profile: no profile events in this log "
+                         "(run with profile_hz set)")
+        else:
+            lines.extend(_profile_section(aggregated))
+
     lines.append("")
     lines.append(f"events: {len(events)} total "
                  + " ".join(f"{k}={len(v)}" for k, v in sorted(by_kind.items())))
@@ -288,6 +476,7 @@ def summarize_json(events: List[Dict]) -> Dict[str, object]:
         "summary": run_summary(events),
         "alerts": [e for e in events if e.get("event") == "alert"],
         "drift": [e for e in events if e.get("event") == "drift"],
+        "profile": aggregate_profile(events),
         "event_counts": counts,
     }
 
@@ -305,7 +494,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true",
         help="emit the flat series summary (the regression gate's shape) "
-        "plus alert/drift events as JSON",
+        "plus alert/drift events and the aggregated profile as JSON",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="append the sampling-profiler section (hot functions, span "
+        "self-time, collapsed stacks, memory watermarks)",
     )
     options = parser.parse_args(argv)
     try:
@@ -320,7 +514,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if options.json:
             print(json.dumps(summarize_json(events), indent=2, sort_keys=True))
         else:
-            print(summarize(events, width=options.width))
+            print(summarize(events, width=options.width,
+                            profile=options.profile))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe — not an error.
         sys.stderr.close()

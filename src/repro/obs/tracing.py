@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 from functools import wraps
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["Span", "Tracer", "current_span"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_span",
+    "enable_span_thread_tracking",
+    "disable_span_thread_tracking",
+    "span_stacks_snapshot",
+]
 
 #: Globally unique span ids — shared across tracers so parent links remain
 #: unambiguous even when a private tracer (e.g. a StageProfile shim) nests
@@ -35,6 +42,54 @@ _SPAN_IDS = itertools.count(1)
 _CURRENT_SPAN: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: Cross-thread span visibility for the sampling profiler.  A ContextVar
+#: is only readable from its own execution context, so when a profiler is
+#: active every span enter/exit *additionally* maintains this thread-id →
+#: open-span-stack map.  The feature is reference-counted and off by
+#: default: the disabled cost at every span boundary is a single module
+#: global truthiness check (``if _TRACKING:``), preserving the obs
+#: fast-path discipline.
+_THREAD_STACKS: Dict[int, List["Span"]] = {}
+_TRACKING = False
+_TRACKING_COUNT = 0
+_TRACKING_LOCK = threading.Lock()
+
+
+def enable_span_thread_tracking() -> None:
+    """Start mirroring every context's span stack into a thread-id map.
+
+    Reference-counted: each profiler (parent and nested) enables on start
+    and disables on stop; tracking stays on until the last one leaves.
+    """
+    global _TRACKING, _TRACKING_COUNT
+    with _TRACKING_LOCK:
+        _TRACKING_COUNT += 1
+        _TRACKING = True
+
+
+def disable_span_thread_tracking() -> None:
+    """Drop one tracking reference; clears the map when none remain."""
+    global _TRACKING, _TRACKING_COUNT
+    with _TRACKING_LOCK:
+        _TRACKING_COUNT = max(0, _TRACKING_COUNT - 1)
+        if _TRACKING_COUNT == 0:
+            _TRACKING = False
+            _THREAD_STACKS.clear()
+
+
+def span_stacks_snapshot() -> Dict[int, List["Span"]]:
+    """Copy of each thread's open span stack (outermost first).
+
+    Only meaningful while tracking is enabled; the copies are taken
+    per-thread-list (atomic under the GIL) so the sampler never observes
+    a half-mutated stack.
+    """
+    return {
+        ident: list(stack)
+        for ident, stack in list(_THREAD_STACKS.items())
+        if stack
+    }
 
 
 @dataclass
@@ -94,6 +149,8 @@ class _SpanContext:
         parent = _CURRENT_SPAN.get()
         span.parent_id = parent.span_id if parent is not None else None
         self._token = _CURRENT_SPAN.set(span)
+        if _TRACKING:
+            _THREAD_STACKS.setdefault(threading.get_ident(), []).append(span)
         span.started_at = time.time()
         span.started = time.perf_counter()
         return span
@@ -105,6 +162,19 @@ class _SpanContext:
             span.status = "error"
             span.error = exc_type.__name__
         _CURRENT_SPAN.reset(self._token)
+        if _TRACKING:
+            stack = _THREAD_STACKS.get(threading.get_ident())
+            if stack:
+                if stack[-1] is span:
+                    stack.pop()
+                else:
+                    # Tracking switched on mid-flight: this span was never
+                    # pushed (or an inner one outlived it) — remove by
+                    # identity so the stack never misattributes samples.
+                    for index in range(len(stack) - 1, -1, -1):
+                        if stack[index] is span:
+                            del stack[index]
+                            break
         self._tracer._record(span)
 
 

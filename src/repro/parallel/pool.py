@@ -14,6 +14,15 @@ picklable).  Two float64 regions live in one anonymous shared
 Queues carry only small control payloads (index lists, scalars, SCL row
 blocks); the big vectors never pass through pickle after startup.
 
+Telemetry fan-in: when a :mod:`repro.obs` session is active at pool
+construction, every worker opens a child telemetry session spooling to a
+per-worker JSONL file (see :mod:`repro.obs.relay`) — spans, metrics and
+profiler samples emitted *inside* the workers merge into the parent's
+run log on :meth:`WorkerPool.close` with ``worker=`` labels,
+process-qualified span ids, and original worker timestamps.  The spool
+honours the no-payloads-through-control-queues rule (RN009): telemetry
+never rides the task/result queues.
+
 BLAS discipline: the parent pins ``OMP_NUM_THREADS`` & friends to ``1``
 in the environment *while the workers boot* — under ``spawn`` the child
 inherits that environment before it first imports numpy, so no worker can
@@ -90,12 +99,14 @@ def _worker_main(
     num_workers: int,
     task_queue,
     result_queue,
+    telemetry_spec: Optional[dict] = None,
 ) -> None:
     """Entry point of one worker process (also run by spawn's bootstrap)."""
     # First statement on purpose: an explicit override so any BLAS loaded
     # by the context build below starts single-threaded even if the
     # parent's environment said otherwise.
     limit_blas_threads(1)
+    import contextlib
     import multiprocessing as mp
 
     parent = mp.parent_process()
@@ -106,22 +117,40 @@ def _worker_main(
         result_queue.put(("error", worker_id, "<init>", traceback.format_exc()))
         return
     result_queue.put(("ready", worker_id, {"blas": blas_thread_counts()}))
-    while True:
-        message = _next_task(
-            task_queue, lambda: parent is None or parent.is_alive()
-        )
-        if message is None:
-            break
-        task, payload = message
-        started = time.perf_counter()
-        try:
-            result = getattr(context, "task_" + task)(payload)
-        except BaseException:
-            result_queue.put(("error", worker_id, task, traceback.format_exc()))
-            break
-        result_queue.put(
-            ("ok", worker_id, result, time.perf_counter() - started)
-        )
+    # When the parent pool was built inside a telemetry session, every
+    # task runs under a child session spooling to per-worker JSONL (the
+    # relay merges it into the parent log on join; queues keep carrying
+    # only control payloads).
+    session_context = (
+        obs.worker_session(telemetry_spec, worker_id)
+        if telemetry_spec is not None
+        else contextlib.nullcontext(None)
+    )
+    with session_context as child_telemetry:
+        while True:
+            message = _next_task(
+                task_queue, lambda: parent is None or parent.is_alive()
+            )
+            if message is None:
+                break
+            task, payload = message
+            started = time.perf_counter()
+            try:
+                with obs.trace("parallel.worker_task", task=task):
+                    result = getattr(context, "task_" + task)(payload)
+            except BaseException:
+                result_queue.put(("error", worker_id, task, traceback.format_exc()))
+                break
+            seconds = time.perf_counter() - started
+            if child_telemetry is not None:
+                # Worker-side timing with the worker's own wall clock —
+                # the relayed `worker_step` event and timer series replace
+                # the parent's post-hoc observation (see _collect).
+                child_telemetry.metrics.timer(
+                    "parallel.worker_step_seconds"
+                ).observe(seconds)
+                child_telemetry.event("worker_step", task=task, seconds=seconds)
+            result_queue.put(("ok", worker_id, result, seconds))
 
 
 def _slab_views(raw, param_size: int, num_workers: int, worker_id: Optional[int]):
@@ -206,7 +235,22 @@ class WorkerPool(_RunnerBase):
         self._task_queues = [ctx.Queue() for _ in range(num_workers)]
         self._results = ctx.Queue()
         self.ready_info: List[dict] = [None] * num_workers
-        with obs.trace("parallel.pool_start", workers=num_workers):
+        # Cross-process telemetry fan-in: when a session is active at pool
+        # construction, each worker opens a child session spooling to
+        # per-worker JSONL, merged into *this* session on close (the
+        # session reference is captured now so the merge still lands if
+        # the pool outlives the installing context).
+        telemetry = obs.get_telemetry()
+        self._relay = (
+            obs.PoolRelay(num_workers, telemetry) if telemetry is not None
+            else None
+        )
+        worker_spec = (
+            self._relay.worker_spec() if self._relay is not None else None
+        )
+        with obs.trace("parallel.pool_start", workers=num_workers) as pool_span:
+            if self._relay is not None and pool_span is not None:
+                self._relay.pool_span_id = pool_span.span_id
             # Spawned children read the pinned environment before their
             # first numpy import — the only moment the cap is guaranteed
             # to bind; the parent's own policy is restored on exit.
@@ -224,6 +268,7 @@ class WorkerPool(_RunnerBase):
                             num_workers,
                             self._task_queues[worker_id],
                             self._results,
+                            worker_spec,
                         ),
                         daemon=True,
                         name=f"repro-parallel-{worker_id}",
@@ -300,7 +345,11 @@ class WorkerPool(_RunnerBase):
                 continue
             results[worker_id] = message[2]
             durations[worker_id] = message[3]
-        if not ready:
+        if not ready and self._relay is None:
+            # No relay (pool built outside any session, or a later session
+            # appeared): fall back to post-hoc parent-side observation.
+            # With a relay the workers time themselves and the merged
+            # snapshot carries worker-labeled series with true timestamps.
             telemetry = obs.get_telemetry()
             if telemetry is not None:
                 timer = telemetry.metrics.timer("parallel.worker_step_seconds")
@@ -335,6 +384,14 @@ class WorkerPool(_RunnerBase):
             queue.cancel_join_thread()
         self._results.close()
         self._results.cancel_join_thread()
+        if self._relay is not None:
+            # Merge after the join: the spools are complete (or, on a
+            # forced teardown, complete up to the crash — the partial
+            # telemetry is exactly the evidence a post-mortem wants).
+            try:
+                self._relay.merge()
+            except Exception:
+                pass
 
 
 class LocalRunner(_RunnerBase):

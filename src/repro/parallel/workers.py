@@ -472,6 +472,19 @@ class ProbeWorkerContext:
         self._grad_view[:] = payload["value"]
         return payload["value"]
 
+    def task_traced(self, payload: dict) -> float:
+        """Emit a span + counter under the worker's child telemetry session
+        (relay round-trip tests assert they surface in the parent log)."""
+        from .. import obs
+
+        repeats = int(payload.get("repeats", 2000))
+        with obs.trace("probe.work", repeats=repeats):
+            total = float(sum(i * i for i in range(repeats)))
+        telemetry = obs.get_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("probe.tasks").inc()
+        return total
+
     def task_fail(self, payload: dict):
         raise RuntimeError(payload.get("message", "probe failure"))
 

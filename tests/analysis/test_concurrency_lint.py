@@ -429,3 +429,88 @@ class TestRN012:
             "    gauge.set(1.0, doc=document.doc_id)\n"
         )
         assert lint_source(source, path=LIB_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# RN012 — stack identity in metric labels (profiler discipline)
+# ----------------------------------------------------------------------
+class TestRN012StackIdentity:
+    def test_stack_label_key_flagged(self):
+        source = (
+            "def publish(counter, collapsed):\n"
+            "    counter.inc(1, stack=collapsed)\n"
+        )
+        assert codes(lint_source(source, path=OBS_PATH)) == ["RN012"]
+
+    def test_function_label_key_flagged(self):
+        source = (
+            "def publish(counter, leaf):\n"
+            "    counter.inc(1, function=leaf)\n"
+        )
+        assert codes(lint_source(source, path=OBS_PATH)) == ["RN012"]
+
+    def test_frame_attribute_flagged(self):
+        source = (
+            "def publish(counter, frame):\n"
+            "    counter.inc(1, site=frame.f_code.co_name)\n"
+        )
+        assert codes(lint_source(source, path=OBS_PATH)) == ["RN012"]
+
+    def test_lineno_attribute_through_str_flagged(self):
+        source = (
+            "def publish(gauge, frame):\n"
+            "    gauge.set(1.0, at=str(frame.f_lineno))\n"
+        )
+        assert codes(lint_source(source, path=OBS_PATH)) == ["RN012"]
+
+    def test_thread_name_over_thread_dict_clean(self):
+        # The profiler's own idiom: one series per live thread, bounded
+        # by the process's thread count.
+        source = (
+            "def flush(counter, samples_by_thread):\n"
+            "    for thread_name, count in samples_by_thread.items():\n"
+            "        counter.inc(count, thread=thread_name)\n"
+        )
+        assert lint_source(source, path=OBS_PATH) == []
+
+    def test_stack_in_event_payload_out_of_scope(self):
+        # stacks belong in event payloads; session.event is not a metric
+        source = (
+            "def flush(session, collapsed):\n"
+            "    session.event('profile', stack=collapsed)\n"
+        )
+        assert lint_source(source, path=OBS_PATH) == []
+
+    def test_suppressed(self):
+        source = (
+            "def publish(counter, collapsed):\n"
+            "    # repro-lint: disable=RN012\n"
+            "    counter.inc(1, stack=collapsed)\n"
+        )
+        assert lint_source(source, path=OBS_PATH) == []
+
+
+class TestProfilerModuleDiscipline:
+    """The shipped profiler/relay modules must themselves lint clean."""
+
+    def test_profiler_source_lints_clean(self):
+        import pathlib
+
+        source = pathlib.Path("src/repro/obs/profiler.py").read_text()
+        assert lint_source(source, path="src/repro/obs/profiler.py") == []
+
+    def test_relay_source_lints_clean(self):
+        import pathlib
+
+        source = pathlib.Path("src/repro/obs/relay.py").read_text()
+        assert lint_source(source, path="src/repro/obs/relay.py") == []
+
+    def test_profiler_thread_is_sanctioned_but_copies_are_not(self):
+        # the same daemon-thread idiom outside profiler.py stays flagged
+        source = (
+            "import threading\n"
+            "def start(fn):\n"
+            "    threading.Thread(target=fn, daemon=True).start()\n"
+        )
+        assert lint_source(source, path="src/repro/obs/profiler.py") == []
+        assert codes(lint_source(source, path=OBS_PATH)) == ["RN011"]

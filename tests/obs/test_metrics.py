@@ -264,3 +264,133 @@ class TestThreadSafety:
         dump = hist.value()
         assert dump["count"] == threads * observations
         assert dump["buckets"]["0.5"] == threads * observations
+
+
+def _exposition_registry() -> MetricsRegistry:
+    """Deterministic registry the Prometheus golden file pins."""
+    registry = MetricsRegistry()
+    counter = registry.counter("cache.hits", help="feature cache hits")
+    counter.inc(3, stage="encode")
+    counter.inc(1, stage="decode")
+    registry.gauge("queue.depth").set(4)
+    hist = registry.histogram("batch.size", buckets=(1.0, 2.0, 5.0))
+    for value in (0.5, 1.5, 1.5, 4.0, 9.0):
+        hist.observe(value)
+    timer = registry.timer("step.seconds", buckets=(0.1, 1.0))
+    timer.observe(0.05, worker="0")
+    timer.observe(0.5, worker="0")
+    return registry
+
+
+class TestPrometheusExport:
+    GOLDEN = "tests/obs/data/prometheus_export.txt"
+
+    def test_matches_golden_file(self):
+        import pathlib
+
+        golden = pathlib.Path(self.GOLDEN)
+        assert golden.exists(), (
+            f"golden file missing; regenerate with:\n  PYTHONPATH=src python"
+            f" -c \"from tests.obs.test_metrics import _exposition_registry;"
+            f" print(_exposition_registry().to_prometheus(), end='')\""
+            f" > {self.GOLDEN}"
+        )
+        assert _exposition_registry().to_prometheus() == golden.read_text()
+
+    def test_counters_get_total_suffix_and_sorted_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2, zone="b", area="a")
+        text = registry.to_prometheus()
+        assert 'hits_total{area="a",zone="b"} 2.0' in text
+
+    def test_names_are_sanitised(self):
+        registry = MetricsRegistry()
+        registry.gauge("cache.hit-rate").set(0.5)
+        assert "cache_hit_rate 0.5" in registry.to_prometheus()
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(5.0)
+        text = registry.to_prometheus()
+        assert 'sizes_bucket{le="1.0"} 1' in text
+        assert 'sizes_bucket{le="2.0"} 2' in text
+        assert 'sizes_bucket{le="+Inf"} 3' in text
+        assert "sizes_count 3" in text
+
+    def test_timer_exports_as_histogram(self):
+        registry = MetricsRegistry()
+        registry.timer("lat", buckets=(0.1,)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd").inc(1, path='a"b\\c')
+        assert 'path="a\\"b\\\\c"' in registry.to_prometheus()
+
+    def test_empty_registry_is_empty_string(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_gain_extra_labels(self):
+        parent = MetricsRegistry()
+        parent.counter("hits").inc(5, worker="0")
+        child = MetricsRegistry()
+        child.counter("hits").inc(3)
+        merged = parent.merge_snapshot(
+            child.snapshot(), extra_labels={"worker": "1"}
+        )
+        assert merged == 1
+        assert parent.counter("hits").value(worker="0") == 5
+        assert parent.counter("hits").value(worker="1") == 3
+
+    def test_gauge_last_write_wins(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.gauge("depth").set(7)
+        parent.merge_snapshot(child.snapshot(), extra_labels={"worker": "2"})
+        assert parent.gauge("depth").value(worker="2") == 7
+
+    def test_histogram_merge_is_bucket_exact(self):
+        child = MetricsRegistry()
+        hist = child.histogram("sizes", buckets=(1.0, 5.0))
+        for value in (0.5, 3.0, 10.0):
+            hist.observe(value)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(child.snapshot(), extra_labels={"worker": "0"})
+        merged = parent.histogram("sizes", buckets=(1.0, 5.0)).value(worker="0")
+        assert merged["count"] == 3
+        assert merged["buckets"] == {"1.0": 1, "5.0": 1, "+Inf": 1}
+        assert merged["min"] == 0.5 and merged["max"] == 10.0
+
+    def test_timer_merges_as_timer_not_histogram(self):
+        child = MetricsRegistry()
+        child.timer("step.seconds").observe(0.2)
+        parent = MetricsRegistry()
+        parent.merge_snapshot(child.snapshot())
+        assert parent.timer("step.seconds").value()["count"] == 1
+        with pytest.raises(ValueError):
+            parent.histogram("step.seconds")
+
+    def test_bucket_boundary_mismatch_rejected(self):
+        target = Histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            target.merge_value(
+                {"count": 1, "sum": 0.5, "min": 0.5, "max": 0.5,
+                 "buckets": {"1.0": 1, "+Inf": 0}}
+            )
+
+    def test_merge_twice_accumulates(self):
+        child = MetricsRegistry()
+        child.counter("hits").inc(2)
+        parent = MetricsRegistry()
+        snapshot = child.snapshot()
+        parent.merge_snapshot(snapshot, extra_labels={"worker": "0"})
+        parent.merge_snapshot(snapshot, extra_labels={"worker": "1"})
+        assert parent.counter("hits").value(worker="0") == 2
+        assert parent.counter("hits").value(worker="1") == 2

@@ -1,0 +1,164 @@
+"""Cross-process telemetry fan-in: a real spawn pool, one merged run log.
+
+The contract under test: a :class:`WorkerPool` built inside an active
+telemetry session relays every worker's spans, ``worker_step`` timings
+and final metric snapshot into the *parent* session on ``close()`` —
+span ids process-qualified (``w0:<id>``), worker root spans parented
+under the pool's ``parallel.pool_start`` span, timestamps stamped by the
+worker's own clock, and ``parallel.worker_step_seconds`` labeled
+``worker=<id>`` with no parent-side double counting.
+"""
+
+import pytest
+
+from repro import obs
+from repro.parallel import WorkerPool, init_probe_worker
+
+
+@pytest.fixture()
+def relayed_run(tmp_path):
+    """One profiled 2-worker pool run; yields (session, events)."""
+    path = str(tmp_path / "run.jsonl")
+    with obs.telemetry(run_log=path, profile_hz=200) as session:
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=4)
+        try:
+            pool.run("traced", [{"repeats": 50_000}] * 2)
+            pool.run("traced", [{"repeats": 50_000}] * 2)
+        finally:
+            pool.close()
+    return session, obs.read_run_log(path)
+
+
+class TestRelayRoundTrip:
+    def test_worker_spans_arrive_qualified(self, relayed_run):
+        _, events = relayed_run
+        worker_spans = [
+            e for e in events if e["event"] == "span" and "worker" in e
+        ]
+        assert worker_spans, "no worker spans were relayed"
+        prefixes = {str(e["span_id"]).split(":")[0] for e in worker_spans}
+        assert prefixes == {"w0", "w1"}
+        for span in worker_spans:
+            assert span["worker"] in (0, 1)
+
+    def test_root_spans_parented_under_pool_span(self, relayed_run):
+        _, events = relayed_run
+        pool_spans = [
+            e for e in events
+            if e["event"] == "span" and e["name"] == "parallel.pool_start"
+        ]
+        assert len(pool_spans) == 1
+        pool_span_id = pool_spans[0]["span_id"]
+        worker_spans = [
+            e for e in events if e["event"] == "span" and "worker" in e
+        ]
+        roots = [s for s in worker_spans if s["parent_id"] == pool_span_id]
+        nested = [
+            s for s in worker_spans
+            if isinstance(s["parent_id"], str)
+            and s["parent_id"].startswith("w")
+        ]
+        assert roots, "no worker root spans hang off parallel.pool_start"
+        assert nested, "no nested worker spans kept their local parent"
+        # every nested parent resolves within the same worker's id space
+        for span in nested:
+            assert span["parent_id"].split(":")[0] == (
+                str(span["span_id"]).split(":")[0]
+            )
+
+    def test_worker_step_series_come_from_worker_clocks(self, relayed_run):
+        session, events = relayed_run
+        steps = [e for e in events if e["event"] == "worker_step"]
+        assert len(steps) == 4  # 2 dispatches x 2 workers
+        assert {e["worker"] for e in steps} == {0, 1}
+        for step in steps:
+            assert step["task"] == "traced"
+            assert step["seconds"] > 0
+        run_start = next(e for e in events if e["event"] == "run_start")
+        merges = [e for e in events if e["event"] == "relay_merge"]
+        assert {e["worker"] for e in merges} == {0, 1}
+        # worker events keep their original wall-clock stamps: they fall
+        # between the parent run opening and the merge event that
+        # forwarded them, not at the merge instant itself
+        for step in steps:
+            assert run_start["ts"] <= step["ts"] <= max(
+                m["ts"] for m in merges
+            )
+
+    def test_step_timer_labeled_per_worker_without_double_count(
+        self, relayed_run
+    ):
+        session, _ = relayed_run
+        timer = session.metrics.timer("parallel.worker_step_seconds")
+        for worker in ("0", "1"):
+            assert timer.value(worker=worker)["count"] == 2
+        # no unlabeled parent-side series: the relay replaces the parent's
+        # post-hoc bookkeeping instead of adding to it
+        assert timer.value()["count"] == 0
+
+    def test_worker_counters_merge_with_worker_labels(self, relayed_run):
+        session, _ = relayed_run
+        counter = session.metrics.counter("probe.tasks")
+        assert counter.value(worker="0") == 2
+        assert counter.value(worker="1") == 2
+
+    def test_profile_events_span_processes(self, relayed_run):
+        from repro.obs.report import aggregate_profile
+
+        _, events = relayed_run
+        profile = aggregate_profile(events)
+        assert profile is not None
+        assert "parent" in profile["processes"]
+        # worker profiles are best-effort (tiny tasks may yield zero
+        # samples) but the parent must always report
+        assert profile["samples"] > 0
+
+    def test_merged_log_renders(self, relayed_run):
+        from repro.obs.report import summarize
+
+        _, events = relayed_run
+        text = summarize(events, profile=True)
+        assert "parallel.worker_task" in text
+        assert "profile:" in text
+
+
+class TestRelayLifecycle:
+    def test_pool_without_session_has_no_relay(self):
+        assert obs.get_telemetry() is None
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=4)
+        try:
+            assert pool._relay is None
+            results = pool.run("echo", [{"tag": "a"}, {"tag": "b"}])
+            assert [r["worker"] for r in results] == [0, 1]
+        finally:
+            pool.close()
+
+    def test_parent_side_timer_still_works_without_relay(self):
+        with obs.telemetry() as session:
+            pool = WorkerPool(2, init_probe_worker, {}, param_size=4)
+            try:
+                assert pool._relay is not None
+            finally:
+                pool.close()
+        # with a relay the observations carry worker labels only
+        timer = session.metrics.timer("parallel.worker_step_seconds")
+        assert timer.value()["count"] == 0
+
+    def test_merge_is_idempotent(self, relayed_run):
+        session, _ = relayed_run
+        # close() already merged; a second close/merge must not re-fold
+        counter = session.metrics.counter("probe.tasks")
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == 4
+
+    def test_spool_directory_removed_after_merge(self, relayed_run):
+        import os
+
+        session, events = relayed_run
+        assert any(e["event"] == "relay_merge" for e in events)
+        # the PoolRelay cleans its mkdtemp spool on merge; nothing of the
+        # per-worker JSONL files survives
+        for event in events:
+            spool = event.get("spool_dir")
+            if spool:
+                assert not os.path.exists(spool)
