@@ -1,6 +1,6 @@
 # Common development targets.
 
-.PHONY: install test lint lock-audit gradcheck bench bench-perf bench-train bench-quant bench-parallel examples report compare baseline clean
+.PHONY: install test lint lock-audit gradcheck bench bench-perf bench-train bench-quant bench-parallel bench-history serve-obs examples report compare baseline clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +52,20 @@ bench-quant:
 # >= 4 cores.  BENCH_PARALLEL_SMOKE=1 shrinks it to a CI-sized smoke run.
 bench-parallel:
 	python -m pytest benchmarks/test_perf_parallel.py -q -s
+
+# Benchmark trajectory gate: render the committed perf history and exit 1
+# when any bench's latest full record regresses against the trailing
+# median (this is the CI obs-serve gate's second half).
+bench-history:
+	PYTHONPATH=src python -m repro.obs.bench_history
+	PYTHONPATH=src python -m repro.obs.bench_history --check
+
+# Live observability plane: train the tiny example model with alerts,
+# SLOs and the profiler armed, then serve /metrics /health /ready
+# /alerts /trace /profile on PORT (default 9099) until Ctrl-C.
+PORT ?= 9099
+serve-obs:
+	PYTHONPATH=src python examples/serve_obs.py --port $(PORT)
 
 examples:
 	python examples/quickstart.py

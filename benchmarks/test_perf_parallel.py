@@ -175,7 +175,7 @@ def test_parallel_training_scaling(monkeypatch):
         "telemetry": session.summary(),
         "profile": profiler.summary(),
     }
-    obs.write_json(REPORT_PATH, report)
+    obs.write_bench_report(REPORT_PATH, report)
     print(
         f"\nparallel pretraining on {cores} cores: "
         + " | ".join(

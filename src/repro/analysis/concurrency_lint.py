@@ -518,8 +518,11 @@ class UnsanctionedThreadCreation(Rule):
 
     #: Modules allowed to create execution lanes.  ``profiler.py`` owns the
     #: obs sampling daemon thread — it must observe every other lane, so it
-    #: cannot itself run inside the pool.
-    SANCTIONED_FILES = {"pool.py", "profiler.py"}
+    #: cannot itself run inside the pool.  ``server.py`` owns the telemetry
+    #: HTTP listener: its serve thread and semaphore-bounded handler
+    #: threads only *read* session state through the per-metric/engine
+    #: locks, so they cannot deadlock the lanes they observe.
+    SANCTIONED_FILES = {"pool.py", "profiler.py", "server.py"}
     SPAWN_CALLS = {
         "Thread",
         "Process",

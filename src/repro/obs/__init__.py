@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, Optional, Sequence, Union
 
 from .alerts import Alert, AlertEngine, AlertError, Rule, default_rules
 from .drift import (
@@ -62,7 +62,8 @@ from .metrics import (
 )
 from .profiler import DEFAULT_PROFILE_HZ, Profiler
 from .relay import PoolRelay, merge_worker_spool, worker_session
-from .runlog import RunLogger, read_run_log, write_json
+from .runlog import RunLogger, read_run_log, tail_events, write_json
+from .slo import Slo, SloTracker, default_slos
 from .tracing import Span, Tracer, current_span
 
 __all__ = [
@@ -77,7 +78,9 @@ __all__ = [
     "current_span",
     "RunLogger",
     "read_run_log",
+    "tail_events",
     "write_json",
+    "write_bench_report",
     "Alert",
     "AlertEngine",
     "AlertError",
@@ -93,6 +96,12 @@ __all__ = [
     "PoolRelay",
     "worker_session",
     "merge_worker_spool",
+    "TelemetryServer",
+    "ReadinessCheck",
+    "alert_readiness_check",
+    "Slo",
+    "SloTracker",
+    "default_slos",
     "Telemetry",
     "telemetry",
     "use_telemetry",
@@ -101,6 +110,31 @@ __all__ = [
     "traced",
     "emit",
 ]
+
+#: ``repro.obs.server`` is imported lazily (PEP 562) so that
+#: ``python -m repro.obs.server`` doesn't trip runpy's double-import
+#: warning; ``obs.TelemetryServer`` et al. still resolve normally.
+_SERVER_EXPORTS = ("TelemetryServer", "ReadinessCheck", "alert_readiness_check")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def write_bench_report(path, payload, history_dir=None) -> None:
+    """Write a ``BENCH_*.json`` report and append its trajectory record.
+
+    Thin lazy re-export of :func:`repro.obs.bench_history.write_bench_report`
+    (imported on first use so ``python -m repro.obs.bench_history`` never
+    double-imports the module).
+    """
+    from .bench_history import write_bench_report as _write
+
+    _write(path, payload, history_dir=history_dir)
 
 
 def _resolve_alerts(alerts) -> Optional[AlertEngine]:
@@ -143,6 +177,7 @@ class Telemetry:
         alerts: Union[bool, AlertEngine, None] = None,
         drift: Optional[DriftMonitor] = None,
         profiler: Optional[Profiler] = None,
+        slos: Union[bool, Sequence[Slo], None] = None,
     ):
         self.metrics = registry or MetricsRegistry()
         self.run_logger = run_logger
@@ -153,6 +188,13 @@ class Telemetry:
         self.profiler = profiler
         if profiler is not None:
             profiler.bind(self)
+        self.slo: Optional[SloTracker] = None
+        if slos:
+            declared = default_slos() if slos is True else list(slos)
+            self.slo = SloTracker(declared, self.metrics, self.alerts)
+        #: Set by :func:`telemetry` when ``serve_port=`` attaches a live
+        #: :class:`TelemetryServer`; None for in-memory-only sessions.
+        self.server: Optional[TelemetryServer] = None
         self.tracer = Tracer(on_finish=self._on_span)
 
     def _on_span(self, span: Span) -> None:
@@ -160,6 +202,8 @@ class Telemetry:
             self.run_logger.span(span)
         if self.alerts is not None:
             self._handle_alerts(self.alerts.observe_span(span))
+        if self.slo is not None:
+            self._handle_alerts(self.slo.observe_span(span))
 
     def event(self, kind: str, **fields) -> None:
         """Forward an event to the run logger and the alert engine."""
@@ -241,6 +285,9 @@ def telemetry(
     drift: Optional[DriftMonitor] = None,
     profile_hz: Optional[float] = None,
     profiler: Optional[Profiler] = None,
+    slos: Union[bool, Sequence[Slo], None] = None,
+    serve_port: Optional[int] = None,
+    readiness_checks: Optional[Sequence[ReadinessCheck]] = None,
 ) -> Iterator[Telemetry]:
     """Create and install a telemetry session for the duration of the block.
 
@@ -262,6 +309,14 @@ def telemetry(
     snapshot.  :mod:`repro.parallel` pools created inside the session
     propagate the rate to their spawn workers and relay the worker
     profiles back on join.
+
+    ``slos=True`` tracks :func:`default_slos` (pass a list of
+    :class:`Slo` for custom objectives); burn-rate breaches fire through
+    the session's alert engine.  ``serve_port`` attaches a
+    :class:`TelemetryServer` on that port (0 → ephemeral; the bound port
+    is ``tel.server.port``) for the duration of the block, serving
+    ``/metrics``, ``/health``, ``/ready``, ``/alerts``, ``/trace`` and
+    ``/profile``; ``readiness_checks`` adds probes to ``/ready``.
     """
     owns_logger = isinstance(run_log, str)
     logger = RunLogger(run_log, config=config, seeds=seeds) if owns_logger else run_log
@@ -269,7 +324,7 @@ def telemetry(
         profiler = Profiler(hz=profile_hz)
     session = Telemetry(
         registry=registry, run_logger=logger, alerts=alerts, drift=drift,
-        profiler=profiler,
+        profiler=profiler, slos=slos,
     )
     if owns_logger:
         logger.run_start()
@@ -278,12 +333,21 @@ def telemetry(
     try:
         if profiler is not None:
             profiler.start()
+        if serve_port is not None:
+            from .server import TelemetryServer
+
+            session.server = TelemetryServer(
+                session, port=serve_port, readiness_checks=readiness_checks
+            )
+            session.server.start()
         with use_telemetry(session):
             yield session
     except BaseException as exc:
         status, error = "error", type(exc).__name__
         raise
     finally:
+        if session.server is not None:
+            session.server.stop()
         if profiler is not None:
             profiler.stop()
         if logger is not None:

@@ -97,7 +97,14 @@ class AlertError(RuntimeError):
 
 @dataclass
 class Alert:
-    """One rule firing, ready to be logged as an ``alert`` event."""
+    """One rule firing, ready to be logged as an ``alert`` event.
+
+    ``created`` (wall-clock epoch seconds) is stamped at firing time so
+    consumers that reason about recency — the telemetry server's
+    readiness probe, the ``/alerts`` endpoint — never have to re-parse
+    the run log; it is *not* part of :meth:`to_fields` because the run
+    logger stamps its own ``ts`` on the alert event.
+    """
 
     rule: str
     severity: str
@@ -106,6 +113,7 @@ class Alert:
     value: float
     step: Optional[int] = None
     phase: Optional[str] = None
+    created: float = field(default_factory=time.time)
 
     def to_fields(self) -> Dict[str, object]:
         """Event payload (``None`` fields dropped)."""
@@ -439,6 +447,52 @@ class AlertEngine:
             return []
         with self._lock:
             return self._observe_unlocked(f"span.{span.name}", float(duration))
+
+    def observe_value(
+        self,
+        series: str,
+        value: float,
+        step: Optional[int] = None,
+        phase: Optional[str] = None,
+    ) -> List[Alert]:
+        """Feed one value of a caller-derived series; returns fired alerts.
+
+        The SLO engine's entry point: burn rates and budget balances are
+        computed outside the event stream but must still fire through the
+        same rule/window/cooldown machinery, so a sustained breach
+        heartbeats instead of spamming and ``raise_on`` escalation works
+        unchanged.
+        """
+        with self._lock:
+            return self._observe_unlocked(series, float(value), step, phase)
+
+    def add_rules(self, rules: Sequence[Rule]) -> None:
+        """Append rules (e.g. compiled from SLOs) to the engine.
+
+        The per-series rule cache is dropped so series observed before
+        the addition re-match against the extended rule list.
+        """
+        with self._lock:
+            self.rules.extend(rules)
+            self._rules_for.clear()
+            self._gauge_rules = [
+                rule for rule in self.rules if rule.metric.startswith("gauge:")
+            ]
+
+    def last_alert_age(
+        self, severity: Optional[str] = None, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Seconds since the most recent alert (of ``severity``), or None.
+
+        The readiness probe's primitive: ``/ready`` reports unready while
+        a critical alert is younger than its recovery window.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            for alert in reversed(self.alerts):
+                if severity is None or alert.severity == severity:
+                    return max(0.0, now - alert.created)
+        return None
 
     # -- internals ------------------------------------------------------
     def _matching_rules_unlocked(self, series: str) -> List[Rule]:

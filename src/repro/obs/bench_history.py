@@ -1,0 +1,375 @@
+"""Benchmark trajectory: committed per-bench history and a drift gate.
+
+``repro.obs.compare`` gates one run against one baseline; this module
+gates the *trajectory*.  Every time a perf suite writes its
+``BENCH_<name>.json`` report through :func:`write_bench_report`, a
+summarized record — the report's key latency / throughput / parity
+numbers, the git SHA, a telemetry digest, and the smoke flag — is also
+appended to ``benchmarks/history/<name>.jsonl``.  Those files are
+committed, so the repository carries its own perf history across PRs::
+
+    python -m repro.obs.bench_history              # render the trend
+    python -m repro.obs.bench_history --check      # exit 1 on regression
+
+The gate compares the **latest** full (non-smoke) record against the
+**per-key median of the trailing window** of full records before it,
+reusing :class:`repro.obs.compare.Gate` semantics: wall-clock keys fail
+beyond a 2.0x ratio (with the same micro-timing floor), throughput and
+speedup keys fail on a >50% relative drop.  Medians make the baseline
+robust to a single noisy historical run; smoke records (CI-sized shrunk
+benchmarks) are recorded for provenance but never gated, so a smoke run
+can't masquerade as a 10x regression.
+
+Like the rest of the offline tooling this module reads plain dicts and
+never imports the model stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ._render import table
+from .compare import Gate, _flatten, compare_summaries
+from .report import sparkline
+from .runlog import write_json
+
+__all__ = [
+    "BENCH_GATES",
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_TRAILING_WINDOW",
+    "append_record",
+    "check_history",
+    "load_history",
+    "main",
+    "summarize_report",
+    "write_bench_report",
+]
+
+#: History location relative to the repository root (the directory the
+#: ``BENCH_*.json`` reports land in).
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+
+#: Full records the trailing-median baseline draws from.
+DEFAULT_TRAILING_WINDOW = 5
+
+#: Flattened report keys worth tracking across PRs.  Everything else in
+#: a report (config echoes, per-variant raw samples, the full telemetry
+#: summary) stays in the one-shot ``BENCH_*.json``.
+KEY_PATTERNS: Tuple[str, ...] = (
+    "*seconds*",
+    "*per_second*",
+    "*per_document*",
+    "*per_resume*",
+    "*speedup*",
+    "*parity*",
+    "*throughput*",
+    "*waste*",
+)
+
+#: Subtrees excluded from trajectory records even when a key matches —
+#: telemetry summaries carry span timings that duplicate the headline
+#: numbers at much higher cardinality.
+EXCLUDE_PREFIXES: Tuple[str, ...] = ("telemetry.", "profile.")
+
+#: Trajectory gates: latency at most 2x the trailing median, throughput
+#: and speedups at most halved.  ``timing=True`` keys inherit compare's
+#: micro-timing floor, so sub-100µs baselines never gate on noise.
+BENCH_GATES: Tuple[Gate, ...] = (
+    Gate("*seconds*", 2.0, "ratio", timing=True),
+    Gate("*per_second*", 0.5, "rel_decrease"),
+    Gate("*throughput*", 0.5, "rel_decrease"),
+    Gate("*speedup*", 0.5, "rel_decrease"),
+)
+
+
+def _git_sha() -> Optional[str]:
+    """Short commit SHA of the working tree, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def bench_name(report_path: str) -> str:
+    """``.../BENCH_block_inference.json`` → ``block_inference``."""
+    stem = os.path.splitext(os.path.basename(report_path))[0]
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def summarize_report(report: Dict[str, object]) -> Dict[str, float]:
+    """The flattened numeric keys of a report worth tracking over time."""
+    flat = _flatten(report)
+    return {
+        key: value
+        for key, value in sorted(flat.items())
+        if not key.startswith(EXCLUDE_PREFIXES)
+        and any(fnmatchcase(key, pattern) for pattern in KEY_PATTERNS)
+    }
+
+
+def _telemetry_digest(report: Dict[str, object]) -> Dict[str, int]:
+    """Bounded shape summary of an embedded telemetry session."""
+    telemetry = report.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return {}
+    digest = {
+        "spans": len(telemetry.get("spans") or {}),
+        "metrics": len(telemetry.get("metrics") or {}),
+    }
+    if "alerts" in telemetry:
+        digest["alerts"] = len(telemetry.get("alerts") or ())
+    return digest
+
+
+def append_record(
+    report_path: str,
+    report: Dict[str, object],
+    history_dir: Optional[str] = None,
+) -> str:
+    """Append one trajectory record for ``report``; returns the file path.
+
+    ``history_dir`` defaults to ``benchmarks/history`` next to the
+    report (reports land in the repository root).
+    """
+    if history_dir is None:
+        history_dir = os.path.join(
+            os.path.dirname(os.path.abspath(report_path)), DEFAULT_HISTORY_DIR
+        )
+    os.makedirs(history_dir, exist_ok=True)
+    record = {
+        "bench": bench_name(report_path),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "smoke": bool(report.get("smoke", False)),
+        "summary": summarize_report(report),
+        "telemetry": _telemetry_digest(report),
+    }
+    path = os.path.join(history_dir, f"{record['bench']}.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        json.dump(record, handle, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_bench_report(
+    path: str,
+    payload: Dict[str, object],
+    history_dir: Optional[str] = None,
+) -> None:
+    """:func:`repro.obs.write_json` plus a trajectory record.
+
+    The perf suites' exporter: the full one-shot report goes to
+    ``BENCH_*.json`` and the summarized record appends to the committed
+    history, so every benchmark run extends the trajectory.
+    """
+    write_json(path, payload)
+    append_record(path, payload, history_dir=history_dir)
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Parse one ``benchmarks/history/<bench>.jsonl`` file."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def check_history(
+    path: str,
+    gates: Sequence[Gate] = BENCH_GATES,
+    trailing: int = DEFAULT_TRAILING_WINDOW,
+) -> Dict[str, object]:
+    """Gate the latest full record against the trailing-median baseline.
+
+    Returns a JSON-ready verdict: ``{"bench", "records", "gated",
+    "ok", "reason" | "comparison"}``.  Histories with fewer than two
+    full (non-smoke) records pass trivially — a gate needs a trajectory.
+    """
+    records = load_history(path)
+    full = [r for r in records if not r.get("smoke")]
+    result: Dict[str, object] = {
+        "bench": bench_name(path),
+        "records": len(records),
+        "full_records": len(full),
+    }
+    if len(full) < 2:
+        result.update(ok=True, gated=False,
+                      reason="fewer than 2 full records; nothing to gate")
+        return result
+    latest = full[-1]
+    window = full[max(0, len(full) - 1 - trailing):-1]
+    baseline: Dict[str, float] = {}
+    keys = set()
+    for record in window:
+        keys.update((record.get("summary") or {}).keys())
+    for key in keys:
+        values = [
+            float(record["summary"][key]) for record in window
+            if key in (record.get("summary") or {})
+        ]
+        if values:
+            baseline[key] = _median(values)
+    comparison = compare_summaries(
+        baseline,
+        dict(latest.get("summary") or {}),
+        gates=gates,
+        baseline_meta={
+            "path": path,
+            "records": len(window),
+            "kind": f"trailing median of {len(window)}",
+        },
+        candidate_meta={
+            "path": path,
+            "git_sha": latest.get("git_sha"),
+            "recorded_at": latest.get("recorded_at"),
+        },
+    )
+    result.update(ok=bool(comparison["ok"]), gated=True, comparison=comparison)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_trend(path: str, max_keys: int = 12) -> str:
+    """One bench's trajectory: a sparkline + latest value per key."""
+    records = load_history(path)
+    lines = [f"{bench_name(path)} — {len(records)} record(s)"]
+    if not records:
+        return lines[0]
+    latest_summary = records[-1].get("summary") or {}
+    keys = sorted(latest_summary)[:max_keys]
+    rows = []
+    for key in keys:
+        series = [
+            float(record["summary"][key]) for record in records
+            if key in (record.get("summary") or {})
+        ]
+        rows.append((
+            key,
+            sparkline(series, width=24),
+            f"{series[-1]:.6g}" if series else "-",
+            "smoke" if records[-1].get("smoke") else "full",
+        ))
+    lines.extend("  " + line for line in table(
+        rows, ("series", "trend", "latest", "latest kind")
+    ))
+    dropped = len(latest_summary) - len(keys)
+    if dropped > 0:
+        lines.append(f"  ... {dropped} more series (see the JSONL)")
+    return "\n".join(lines)
+
+
+def _history_files(history_dir: str, benches: Sequence[str]) -> List[str]:
+    if benches:
+        return [os.path.join(history_dir, f"{name}.jsonl") for name in benches]
+    if not os.path.isdir(history_dir):
+        return []
+    return sorted(
+        os.path.join(history_dir, entry)
+        for entry in os.listdir(history_dir)
+        if entry.endswith(".jsonl")
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: render benchmark trajectories, or ``--check`` gate them."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench_history",
+        description="Render committed benchmark trajectories and gate "
+        "sustained regressions (latest full record vs trailing median).",
+    )
+    parser.add_argument(
+        "benches", nargs="*",
+        help="bench names (default: every .jsonl under the history dir)",
+    )
+    parser.add_argument(
+        "--history-dir", default=DEFAULT_HISTORY_DIR,
+        help=f"history location (default: {DEFAULT_HISTORY_DIR})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any bench's latest full record regresses",
+    )
+    parser.add_argument(
+        "--trailing", type=int, default=DEFAULT_TRAILING_WINDOW,
+        help="full records in the median baseline window",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit verdicts as JSON"
+    )
+    options = parser.parse_args(argv)
+
+    files = _history_files(options.history_dir, options.benches)
+    if not files:
+        print(f"no history under {options.history_dir}", file=sys.stderr)
+        return 2
+
+    if not options.check:
+        blocks = []
+        for path in files:
+            try:
+                blocks.append(render_trend(path))
+            except (OSError, json.JSONDecodeError, ValueError) as error:
+                print(f"error reading {path}: {error}", file=sys.stderr)
+                return 2
+        try:
+            print("\n\n".join(blocks))
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe — not an error.
+            sys.stderr.close()
+        return 0
+
+    verdicts: List[Dict[str, object]] = []
+    for path in files:
+        try:
+            verdicts.append(check_history(path, trailing=options.trailing))
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error reading {path}: {error}", file=sys.stderr)
+            return 2
+    if options.json:
+        print(json.dumps(verdicts, indent=2, sort_keys=True))
+    else:
+        for verdict in verdicts:
+            status = "ok" if verdict["ok"] else "REGRESSED"
+            detail = verdict.get("reason") or (
+                f"latest vs trailing median over "
+                f"{verdict['full_records'] - 1} prior full record(s)"
+            )
+            print(f"{verdict['bench']}: {status} ({detail})")
+            if not verdict["ok"]:
+                for record in verdict["comparison"]["regressions"]:
+                    print(
+                        f"  {record['key']}: {record['baseline']:.6g} -> "
+                        f"{record['candidate']:.6g} "
+                        f"(gate {record['gate']}, {record['kind']} "
+                        f"tolerance {record['tolerance']})"
+                    )
+    return 0 if all(v["ok"] for v in verdicts) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ __all__ = [
     "Timer",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "validate_exposition",
 ]
 
 #: Fixed bucket boundaries for latency histograms (seconds) — roughly
@@ -316,19 +317,31 @@ def _prometheus_name(name: str) -> str:
     return sanitised
 
 
+def _escape_label_value(value: object) -> str:
+    """Label-value escaping per the exposition format: ``\\`` first (so
+    the escapes it introduces are never re-escaped), then ``"`` and
+    literal newlines."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping: only ``\\`` and newlines are special there
+    (quotes pass through verbatim, unlike label values)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prometheus_labels(labels: Dict[str, str]) -> str:
     """``{key="value",...}`` with sorted keys and escaped values."""
     if not labels:
         return ""
     parts = []
     for key in sorted(labels):
-        value = (
-            str(labels[key])
-            .replace("\\", "\\\\")
-            .replace('"', '\\"')
-            .replace("\n", "\\n")
-        )
-        parts.append(f'{_prometheus_name(key)}="{value}"')
+        parts.append(f'{_prometheus_name(key)}="{_escape_label_value(labels[key])}"')
     return "{" + ",".join(parts) + "}"
 
 
@@ -364,6 +377,11 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as {metric.kind}, "
                     f"not {cls.kind}"
                 )
+            elif help and not metric.help:
+                # Backfill: the first caller often creates the series on a
+                # hot path without docs; a later declaration site (an SLO,
+                # a server) may supply the # HELP text.
+                metric.help = help
             return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -481,7 +499,7 @@ class MetricsRegistry:
             name = _prometheus_name(dump["name"])
             prom_kind = "histogram" if kind == "timer" else kind
             if dump["help"]:
-                lines.append(f"# HELP {name} {dump['help']}")
+                lines.append(f"# HELP {name} {_escape_help(dump['help'])}")
             lines.append(f"# TYPE {name} {prom_kind}")
             for series in dump["series"]:
                 labels = series["labels"]
@@ -515,6 +533,10 @@ class MetricsRegistry:
                     )
         return "\n".join(lines) + ("\n" if lines else "")
 
+    def validate_exposition(self) -> List[str]:
+        """Format-check this registry's own exposition (empty = valid)."""
+        return validate_exposition(self.to_prometheus())
+
     def to_jsonl(self, destination: Union[str, IO[str]]) -> int:
         """Write one JSON line per labeled series; returns lines written.
 
@@ -540,3 +562,136 @@ class MetricsRegistry:
             if close:
                 handle.close()
         return lines
+
+
+# ----------------------------------------------------------------------
+# Exposition format checker
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*",?)*)\})?'
+    r' (?P<value>[^ ]+)(?: (?P<timestamp>-?[0-9]+))?$'
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+_TYPE_KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\n", "\n")
+        .replace("\x00", "\\")
+    )
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check a Prometheus text-exposition document; returns found errors.
+
+    A pure-stdlib subset of ``promtool check metrics`` covering what a
+    torn or malformed scrape would violate:
+
+    * every non-comment line parses as ``name{labels} value`` with legal
+      metric/label names, properly quoted+escaped label values, and a
+      float-parseable value;
+    * ``# TYPE`` lines name a known kind and appear at most once per
+      metric, before that metric's first sample;
+    * histogram ``_bucket`` series are cumulative — counts never decrease
+      as ``le`` grows, a ``+Inf`` bucket exists, and it equals the
+      family's ``_count`` sample for the same label set.
+
+    An empty list means the document is valid.  Concurrent-scrape tests
+    run every response through this, so a half-written series or an
+    unescaped label value fails loudly.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    sampled: set = set()
+    # (family, frozen non-le labels) -> [(le, value)]
+    buckets: Dict[Tuple[str, LabelKey], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, LabelKey], float] = {}
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    errors.append(f"line {number}: bare # {parts[1]} line")
+                    continue
+                name = parts[2]
+                if not re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name):
+                    errors.append(
+                        f"line {number}: invalid metric name {name!r}"
+                    )
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in _TYPE_KINDS:
+                        errors.append(
+                            f"line {number}: unknown TYPE {kind!r} for {name}"
+                        )
+                    if name in typed:
+                        errors.append(
+                            f"line {number}: duplicate TYPE for {name}"
+                        )
+                    if name in sampled:
+                        errors.append(
+                            f"line {number}: TYPE for {name} after its samples"
+                        )
+                    typed[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        sampled.add(name)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            if raw_value not in ("+Inf", "-Inf", "NaN"):
+                errors.append(
+                    f"line {number}: unparseable value {raw_value!r}"
+                )
+            value = float("nan")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = sum(
+                len(m.group(0)) for m in _LABEL_RE.finditer(raw_labels)
+            )
+            pairs = _LABEL_RE.findall(raw_labels)
+            if consumed + max(len(pairs) - 1, 0) < len(raw_labels.rstrip(",")):
+                errors.append(
+                    f"line {number}: malformed label block {{{raw_labels}}}"
+                )
+            labels = {
+                key: _unescape_label_value(val) for key, val in pairs
+            }
+        if name.endswith("_bucket") and "le" in labels:
+            family = name[: -len("_bucket")]
+            le_raw = labels.pop("le")
+            le = float("inf") if le_raw == "+Inf" else float(le_raw)
+            buckets.setdefault((family, _label_key(labels)), []).append(
+                (le, value)
+            )
+        elif name.endswith("_count"):
+            family = name[: -len("_count")]
+            counts[(family, _label_key(labels))] = value
+
+    for (family, key), series in buckets.items():
+        where = f"{family}{{{dict(key)}}}" if key else family
+        ordered = sorted(series)
+        values = [count for _, count in ordered]
+        if values != sorted(values):
+            errors.append(f"{where}: bucket counts not cumulative")
+        if not ordered or ordered[-1][0] != float("inf"):
+            errors.append(f"{where}: histogram lacks a +Inf bucket")
+        elif (family, key) in counts and ordered[-1][1] != counts[(family, key)]:
+            errors.append(
+                f"{where}: +Inf bucket {ordered[-1][1]} != _count "
+                f"{counts[(family, key)]}"
+            )
+    return errors

@@ -26,15 +26,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ._render import format_seconds as _format_seconds
 from ._render import table as _table
 from .compare import _percentile, run_summary
-from .runlog import read_run_log
+from .runlog import read_run_log, tail_events
 
-__all__ = ["sparkline", "aggregate_profile", "summarize", "summarize_json",
-           "main"]
+__all__ = ["sparkline", "aggregate_profile", "follow", "summarize",
+           "summarize_json", "main"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"
 
@@ -481,6 +482,54 @@ def summarize_json(events: List[Dict]) -> Dict[str, object]:
     }
 
 
+def follow(
+    path: str,
+    interval: float = 2.0,
+    width: int = 48,
+    profile: bool = False,
+    as_json: bool = False,
+    max_polls: Optional[int] = None,
+    stream=None,
+) -> int:
+    """Poll a live run-log JSONL and re-render on every batch of events.
+
+    Uses :func:`repro.obs.tail_events`, so a half-written trailing line
+    is left for the next poll and a not-yet-created log reads as "no
+    events yet" — start following before the run starts if you like.
+    Returns once ``run_end`` arrives (or after ``max_polls`` polls);
+    Ctrl-C also exits cleanly.
+    """
+    stream = stream or sys.stdout
+    events: List[Dict] = []
+    offset = 0
+    polls = 0
+    try:
+        while True:
+            fresh, offset = tail_events(path, offset)
+            if fresh:
+                events.extend(fresh)
+                if as_json:
+                    body = json.dumps(
+                        summarize_json(events), indent=2, sort_keys=True
+                    )
+                else:
+                    body = summarize(events, width=width, profile=profile)
+                print(body, file=stream)
+                print(
+                    f"--- following {path}: {len(events)} event(s), "
+                    f"polling every {interval:g}s (Ctrl-C to stop) ---",
+                    file=stream, flush=True,
+                )
+                if any(e.get("event") == "run_end" for e in fresh):
+                    return 0
+            polls += 1
+            if max_polls is not None and polls >= max_polls:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.obs.report run.jsonl``."""
     parser = argparse.ArgumentParser(
@@ -501,7 +550,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="append the sampling-profiler section (hot functions, span "
         "self-time, collapsed stacks, memory watermarks)",
     )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="poll a live log and re-render as events stream in; exits on "
+        "run_end or Ctrl-C (the log need not exist yet)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --follow polls (default: 2)",
+    )
     options = parser.parse_args(argv)
+    if options.follow:
+        return follow(
+            options.path,
+            interval=options.interval,
+            width=options.width,
+            profile=options.profile,
+            as_json=options.json,
+        )
     try:
         events = read_run_log(options.path)
     except OSError as error:

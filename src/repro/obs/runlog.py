@@ -35,9 +35,9 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, IO, List, Optional, Union
+from typing import Dict, IO, List, Optional, Tuple, Union
 
-__all__ = ["RunLogger", "read_run_log", "write_json"]
+__all__ = ["RunLogger", "read_run_log", "tail_events", "write_json"]
 
 
 def _json_default(value):
@@ -71,6 +71,35 @@ def read_run_log(path: str) -> List[Dict[str, object]]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def tail_events(
+    path: str, offset: int = 0
+) -> Tuple[List[Dict[str, object]], int]:
+    """Events appended past byte ``offset``; returns ``(events, offset')``.
+
+    The incremental half of :func:`read_run_log`, for polling a *live*
+    log (``repro.obs.report --follow``, like the relay's spool reader):
+    only byte ranges terminated by a newline are consumed, so a writer
+    caught mid-line keeps its partial record for the next poll instead
+    of poisoning this one.  A missing file reads as "no new events yet".
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except OSError:
+        return [], offset
+    end = data.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    chunk = data[: end + 1]
+    events: List[Dict[str, object]] = []
+    for line in chunk.splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line.decode("utf-8")))
+    return events, offset + len(chunk)
 
 
 class RunLogger:

@@ -1,0 +1,298 @@
+"""SLO engine: latency objectives, error budgets, and burn-rate alerts.
+
+An :class:`Slo` is a declarative latency objective — *"95% of
+``predict_batch`` calls finish within 250 ms"* — evaluated continuously
+over the bucket-interpolated percentile machinery of
+:class:`~repro.obs.metrics.Timer`:
+
+* every finished span named by an SLO feeds its duration into the
+  registry timer named by ``timer_series`` (so the latency distribution
+  is scrapeable at ``/metrics`` like any other histogram);
+* after each observation the tracker diffs cumulative bucket counts over
+  a trailing window, interpolating *good* events (those at or under the
+  objective) inside the straddling bucket exactly the way
+  :meth:`Histogram.percentile` interpolates ranks;
+* from the windowed good/total counts it derives **compliance**, the
+  **error budget** remaining, and **burn rates** over a fast and a slow
+  window — the multi-window burn is their minimum, so a breach must be
+  hot in *both* windows to alert (the standard guard against paging on a
+  single slow request or on ancient history);
+* results publish as ``slo.compliance`` / ``slo.burn_rate`` /
+  ``slo.budget_remaining`` gauges (one ``slo=<name>`` series each), and
+  the burn rate additionally streams into the
+  :class:`~repro.obs.alerts.AlertEngine` as series
+  ``slo.burn_rate.<name>``, matched by a rule each SLO compiles for
+  itself — so breaches fire through the existing alert / cooldown /
+  ``raise_on`` machinery and surface at ``/alerts`` and ``/ready``.
+
+Wired through a session::
+
+    with obs.telemetry(alerts=True, slos=True) as tel:   # default SLOs
+        model.predict_batch(documents)
+    tel.metrics.gauge("slo.budget_remaining").value(slo="predict_batch")
+
+or declaratively::
+
+    slos = [obs.Slo("encode", timer_series="latency.encode", span="encode",
+                    objective_ms=150.0, target_fraction=0.95)]
+    with obs.telemetry(alerts=True, slos=slos):
+        ...
+
+Lock discipline: evaluation writes gauges (registry locks) *before*
+feeding the alert engine (engine lock); no lock is ever held while
+taking the other, matching the audited engine→registry edge direction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .alerts import Alert, AlertEngine, Rule, above
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["Slo", "SloTracker", "default_slos", "DEFAULT_BURN_THRESHOLD"]
+
+#: Multi-window burn rate above which the compiled rule fires.  Burn 1.0
+#: means the budget drains exactly at the allowed pace; 2.0 means the
+#: window is spending budget twice as fast as the objective permits.
+DEFAULT_BURN_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One latency objective: *target_fraction of events ≤ objective_ms*.
+
+    ``timer_series`` names the registry :class:`Timer` holding the
+    latency distribution; ``span`` (optional) names the tracer span that
+    feeds it — when set, the tracker observes every finished span of
+    that name into the timer automatically.
+
+    ``window`` / ``fast_window`` are trailing *observation* counts (not
+    seconds): burn rates diff cumulative bucket counts between now and
+    that many events ago, so evaluation cadence tracks traffic instead
+    of wall time.
+    """
+
+    name: str
+    timer_series: str
+    objective_ms: float
+    target_fraction: float = 0.95
+    window: int = 64
+    fast_window: int = 16
+    span: Optional[str] = None
+    severity: str = "critical"
+    burn_threshold: float = DEFAULT_BURN_THRESHOLD
+
+    def __post_init__(self):
+        if self.objective_ms <= 0:
+            raise ValueError("objective_ms must be positive")
+        if not 0.0 < self.target_fraction < 1.0:
+            raise ValueError("target_fraction must be in (0, 1)")
+        if self.fast_window <= 0 or self.window < self.fast_window:
+            raise ValueError("need 0 < fast_window <= window")
+
+    @property
+    def objective_seconds(self) -> float:
+        return self.objective_ms / 1000.0
+
+    @property
+    def burn_series(self) -> str:
+        """The alert-engine series this SLO's burn rate streams into."""
+        return f"slo.burn_rate.{self.name}"
+
+    def rule(self) -> Rule:
+        """Compile the burn-rate breach into one alert-engine rule.
+
+        Cooldown spans the slow window, so a sustained breach heartbeats
+        once per window instead of alerting on every event.
+        """
+        return Rule(
+            name=f"slo_burn_{self.name}",
+            metric=self.burn_series,
+            condition=above(self.burn_threshold),
+            window=self.fast_window,
+            severity=self.severity,
+            cooldown=self.window,
+        )
+
+
+def default_slos() -> List[Slo]:
+    """Out-of-the-box objectives for the instrumented inference path.
+
+    Objectives are sized for the numpy substrate's tiny-config latencies
+    with generous headroom — a healthy run should never burn budget.
+    """
+    return [
+        Slo("predict_batch", timer_series="latency.predict_batch",
+            span="predict_batch", objective_ms=500.0, target_fraction=0.95),
+        Slo("encode", timer_series="latency.encode",
+            span="encode", objective_ms=300.0, target_fraction=0.95),
+        Slo("featurize", timer_series="latency.featurize",
+            span="featurize", objective_ms=150.0, target_fraction=0.95),
+    ]
+
+
+def _good_below(histogram: Histogram, snapshot: Dict[str, object],
+                objective_seconds: float) -> float:
+    """Interpolated count of observations at or under the objective.
+
+    Whole buckets under the objective count fully; the bucket straddling
+    it contributes linearly (the dual of the percentile interpolation —
+    there a rank maps to a value, here a value maps to a rank).
+    """
+    buckets: Dict[str, object] = snapshot["buckets"]  # type: ignore[assignment]
+    total = float(snapshot["count"])  # type: ignore[arg-type]
+    if total == 0:
+        return 0.0
+    good = 0.0
+    lower = float(snapshot["min"])  # type: ignore[arg-type]
+    for bound in histogram.buckets:
+        count = float(buckets[str(bound)])
+        if bound <= objective_seconds:
+            good += count
+        else:
+            if count and objective_seconds > lower:
+                good += count * (objective_seconds - lower) / (bound - lower)
+            return good
+        lower = bound
+    overflow = float(buckets["+Inf"])
+    maximum = float(snapshot["max"])  # type: ignore[arg-type]
+    if overflow and maximum > lower and objective_seconds > lower:
+        good += overflow * min(
+            1.0, (objective_seconds - lower) / (maximum - lower)
+        )
+    elif overflow and objective_seconds >= maximum:
+        good += overflow
+    return min(good, total)
+
+
+class SloTracker:
+    """Evaluates a set of SLOs against a registry, firing through alerts.
+
+    ``observe_span`` is the hot entry point (called by
+    :meth:`Telemetry._on_span` for every finished span); spans not named
+    by any SLO cost one dict lookup.  ``evaluate`` re-computes one SLO on
+    demand (e.g. for timers fed by code rather than spans).
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[Slo],
+        registry: MetricsRegistry,
+        engine: Optional[AlertEngine] = None,
+        min_events: int = 8,
+    ):
+        self.slos: List[Slo] = list(slos)
+        names = [slo.name for slo in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.registry = registry
+        self.engine = engine
+        self.min_events = int(min_events)
+        self._lock = threading.Lock()
+        # Cumulative (total, good) pairs per SLO; seeded with the zero
+        # point so the first window measures from the start of the run.
+        self._history: Dict[str, Deque[Tuple[float, float]]] = {
+            slo.name: deque([(0.0, 0.0)], maxlen=slo.window + 1)
+            for slo in self.slos
+        }
+        self._by_span: Dict[str, List[Slo]] = {}
+        for slo in self.slos:
+            if slo.span is not None:
+                self._by_span.setdefault(slo.span, []).append(slo)
+        if engine is not None:
+            engine.add_rules([slo.rule() for slo in self.slos])
+
+    # ------------------------------------------------------------------
+    def observe_span(self, span) -> List[Alert]:
+        """Feed one finished span; returns burn-rate alerts it fired."""
+        slos = self._by_span.get(span.name)
+        if not slos or span.duration is None:
+            return []
+        fired: List[Alert] = []
+        for slo in slos:
+            self.registry.timer(
+                slo.timer_series,
+                help=f"latency distribution behind SLO {slo.name!r}",
+            ).observe(span.duration)
+            fired.extend(self.evaluate(slo))
+        return fired
+
+    def evaluate(self, slo: Slo) -> List[Alert]:
+        """Re-compute one SLO from its timer; publish gauges, feed alerts."""
+        timer = self.registry.timer(slo.timer_series)
+        snapshot = timer.value()
+        good = _good_below(timer, snapshot, slo.objective_seconds)
+        with self._lock:
+            history = self._history[slo.name]
+            history.append((float(snapshot["count"]), good))
+            fast = self._burn_locked(history, slo, slo.fast_window)
+            slow = self._burn_locked(history, slo, slo.window)
+            budget = self._budget_locked(history, slo)
+        burn = min(fast, slow)
+        compliance = 1.0 - slow * (1.0 - slo.target_fraction)
+        # Gauges first (registry locks), engine after (engine lock):
+        # never hold one while taking the other.
+        self.registry.gauge(
+            "slo.compliance",
+            help="windowed fraction of events meeting their SLO objective",
+        ).set(compliance, slo=slo.name)
+        self.registry.gauge(
+            "slo.burn_rate",
+            help="multi-window error-budget burn rate (1.0 = exactly on budget)",
+        ).set(burn, slo=slo.name)
+        self.registry.gauge(
+            "slo.budget_remaining",
+            help="fraction of the windowed error budget left (negative = overdrawn)",
+        ).set(budget, slo=slo.name)
+        if self.engine is None:
+            return []
+        return self.engine.observe_value(slo.burn_series, burn)
+
+    def status(self) -> List[Dict[str, object]]:
+        """JSON-ready snapshot of every SLO's current budget state."""
+        rows: List[Dict[str, object]] = []
+        for slo in self.slos:
+            gauge = self.registry.gauge("slo.budget_remaining")
+            burn = self.registry.gauge("slo.burn_rate")
+            rows.append({
+                "slo": slo.name,
+                "timer_series": slo.timer_series,
+                "objective_ms": slo.objective_ms,
+                "target_fraction": slo.target_fraction,
+                "budget_remaining": gauge.value(slo=slo.name),
+                "burn_rate": burn.value(slo=slo.name),
+            })
+        return rows
+
+    # -- internals ------------------------------------------------------
+    def _window_diff(
+        self, history: Deque[Tuple[float, float]], span: int
+    ) -> Tuple[float, float]:
+        """(total, good) deltas between now and ``span`` events ago."""
+        now_total, now_good = history[-1]
+        then_index = max(0, len(history) - 1 - span)
+        then_total, then_good = history[then_index]
+        return now_total - then_total, now_good - then_good
+
+    def _burn_locked(
+        self, history: Deque[Tuple[float, float]], slo: Slo, span: int
+    ) -> float:
+        total, good = self._window_diff(history, span)
+        if total < self.min_events:
+            return 0.0
+        bad_fraction = max(0.0, 1.0 - good / total)
+        return bad_fraction / (1.0 - slo.target_fraction)
+
+    def _budget_locked(
+        self, history: Deque[Tuple[float, float]], slo: Slo
+    ) -> float:
+        total, good = self._window_diff(history, slo.window)
+        if total < self.min_events:
+            return 1.0
+        allowed = (1.0 - slo.target_fraction) * total
+        bad = max(0.0, total - good)
+        return 1.0 - bad / allowed

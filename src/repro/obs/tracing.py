@@ -20,6 +20,7 @@ import contextvars
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from functools import wraps
 from typing import Callable, Dict, List, Optional
@@ -31,6 +32,9 @@ __all__ = [
     "enable_span_thread_tracking",
     "disable_span_thread_tracking",
     "span_stacks_snapshot",
+    "enable_span_ring",
+    "disable_span_ring",
+    "span_ring_snapshot",
 ]
 
 #: Globally unique span ids — shared across tracers so parent links remain
@@ -76,6 +80,53 @@ def disable_span_thread_tracking() -> None:
         if _TRACKING_COUNT == 0:
             _TRACKING = False
             _THREAD_STACKS.clear()
+
+
+#: Bounded ring of recently *completed* spans, feeding the telemetry
+#: server's ``GET /trace`` endpoint.  Same discipline as the profiler's
+#: thread-stack map: off by default, reference-counted, and the disabled
+#: cost at every span finish is one module-global ``is None`` check.
+#: ``deque.append`` with a maxlen is atomic under the GIL, so writers
+#: never take a lock.
+_SPAN_RING: Optional["deque"] = None
+_RING_COUNT = 0
+_RING_LOCK = threading.Lock()
+
+
+def enable_span_ring(capacity: int = 256) -> None:
+    """Start retaining the last ``capacity`` finished spans in memory.
+
+    Reference-counted like the thread-stack tracking: each telemetry
+    server enables on start and disables on stop; the first enabler's
+    capacity wins while any reference remains.
+    """
+    global _SPAN_RING, _RING_COUNT
+    if capacity <= 0:
+        raise ValueError("span ring capacity must be positive")
+    with _RING_LOCK:
+        _RING_COUNT += 1
+        if _SPAN_RING is None:
+            _SPAN_RING = deque(maxlen=int(capacity))
+
+
+def disable_span_ring() -> None:
+    """Drop one ring reference; frees the buffer when none remain."""
+    global _SPAN_RING, _RING_COUNT
+    with _RING_LOCK:
+        _RING_COUNT = max(0, _RING_COUNT - 1)
+        if _RING_COUNT == 0:
+            _SPAN_RING = None
+
+
+def span_ring_snapshot(limit: Optional[int] = None) -> List["Span"]:
+    """The most recent completed spans, oldest first (empty when off)."""
+    ring = _SPAN_RING
+    if ring is None:
+        return []
+    spans = list(ring)
+    if limit is not None and limit >= 0:
+        spans = spans[-limit:]
+    return spans
 
 
 def span_stacks_snapshot() -> Dict[int, List["Span"]]:
@@ -225,6 +276,8 @@ class Tracer:
     def _record(self, span: Span) -> None:
         with self._lock:
             self._finished.append(span)
+        if _SPAN_RING is not None:
+            _SPAN_RING.append(span)
         if self.on_finish is not None:
             self.on_finish(span)
 

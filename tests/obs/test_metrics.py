@@ -279,6 +279,13 @@ def _exposition_registry() -> MetricsRegistry:
     timer = registry.timer("step.seconds", buckets=(0.1, 1.0))
     timer.observe(0.05, worker="0")
     timer.observe(0.5, worker="0")
+    # Adversarial values the exposition format must escape: backslashes,
+    # double quotes and newlines in label values; backslash/newline in
+    # help text.
+    hostile = registry.counter(
+        "hostile.labels", help="weird\\path help\nsecond line"
+    )
+    hostile.inc(2, path='C:\\dir\\"quoted"\nnext')
     return registry
 
 
@@ -332,8 +339,83 @@ class TestPrometheusExport:
         registry.counter("odd").inc(1, path='a"b\\c')
         assert 'path="a\\"b\\\\c"' in registry.to_prometheus()
 
+    def test_label_newlines_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd").inc(1, path="line1\nline2")
+        text = registry.to_prometheus()
+        assert 'path="line1\\nline2"' in text
+        # The exposition must stay one sample per physical line.
+        assert all(
+            line.startswith(("#", "odd_total")) for line in text.splitlines()
+        )
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("doc", help="has \\slash\nand newline").inc()
+        assert "# HELP doc has \\\\slash\\nand newline" in registry.to_prometheus()
+
+    def test_help_backfills_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c", help="added later").inc()
+        assert "# HELP c added later" in registry.to_prometheus()
+
     def test_empty_registry_is_empty_string(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestValidateExposition:
+    def test_own_exposition_is_valid(self):
+        assert _exposition_registry().validate_exposition() == []
+
+    def test_module_function_accepts_raw_text(self):
+        from repro.obs.metrics import validate_exposition
+
+        text = _exposition_registry().to_prometheus()
+        assert validate_exposition(text) == []
+
+    def test_catches_torn_sample_line(self):
+        from repro.obs.metrics import validate_exposition
+
+        errors = validate_exposition('x_total{label="v"} ')
+        assert errors and "unparseable" in errors[0]
+
+    def test_catches_unescaped_label_newline(self):
+        from repro.obs.metrics import validate_exposition
+
+        errors = validate_exposition('x_total{label="a\nb"} 1\n')
+        assert errors
+
+    def test_catches_unknown_type(self):
+        from repro.obs.metrics import validate_exposition
+
+        errors = validate_exposition("# TYPE x flamegraph\nx 1\n")
+        assert any("unknown TYPE" in error for error in errors)
+
+    def test_catches_non_cumulative_buckets(self):
+        from repro.obs.metrics import validate_exposition
+
+        text = (
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+        )
+        errors = validate_exposition(text)
+        assert any("not cumulative" in error for error in errors)
+
+    def test_catches_missing_inf_bucket(self):
+        from repro.obs.metrics import validate_exposition
+
+        errors = validate_exposition('h_bucket{le="1.0"} 2\nh_count 2\n')
+        assert any("+Inf" in error for error in errors)
+
+    def test_catches_count_mismatch(self):
+        from repro.obs.metrics import validate_exposition
+
+        text = 'h_bucket{le="+Inf"} 2\nh_count 5\n'
+        errors = validate_exposition(text)
+        assert any("_count" in error for error in errors)
 
 
 class TestMergeSnapshot:

@@ -1,0 +1,73 @@
+"""``repro.obs.report --follow``: live polling over a growing run log.
+
+Contract under test: follow() re-renders only when fresh events arrive,
+survives a log that doesn't exist yet, leaves torn trailing lines for
+the next poll (via tail_events), and returns the moment ``run_end``
+shows up — so a follower attached before the run starts detaches by
+itself when the run finishes.
+"""
+
+import io
+import threading
+import time
+
+from repro import obs
+from repro.obs.report import follow, main
+
+
+def _follow_output(path, **kwargs):
+    stream = io.StringIO()
+    code = follow(path, interval=0.01, stream=stream, **kwargs)
+    return code, stream.getvalue()
+
+
+class TestFollow:
+    def test_absent_log_polls_quietly_until_max_polls(self, tmp_path):
+        code, out = _follow_output(str(tmp_path / "later.jsonl"), max_polls=3)
+        assert code == 0 and out == ""
+
+    def test_renders_once_events_arrive_and_exits_on_run_end(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with obs.RunLogger(path, config={}) as log:
+            for step in (1, 2, 3):
+                log.step(step, losses={"total": 1.0 / step})
+        code, out = _follow_output(path)  # no max_polls: run_end ends it
+        assert code == 0
+        assert "loss curves:" in out
+        # run_start + 3 steps + run_end land in one poll
+        assert "--- following" in out and "5 event(s)" in out
+
+    def test_json_mode_emits_series_summaries(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with obs.RunLogger(path, config={}) as log:
+            log.step(1, losses={"total": 0.5})
+        code, out = _follow_output(path, as_json=True)
+        assert code == 0 and '"loss.run.total.final"' in out
+
+    def test_follows_a_concurrent_writer_to_completion(self, tmp_path):
+        """End-to-end shape of the real use: reader attached first, a
+        writer thread streams steps, the follower exits at run_end."""
+        path = str(tmp_path / "run.jsonl")
+
+        def write():
+            with obs.RunLogger(path, config={}) as log:
+                for step in range(1, 6):
+                    log.step(step, losses={"total": 1.0})
+                    time.sleep(0.005)
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            code, out = _follow_output(path)
+        finally:
+            writer.join(timeout=10.0)
+        assert code == 0
+        assert "loss curves:" in out
+
+    def test_cli_flag_dispatches_to_follow(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        with obs.RunLogger(path, config={}) as log:
+            log.step(1, losses={"total": 0.5})
+        code = main([str(path), "--follow", "--interval", "0.01"])
+        assert code == 0
+        assert "--- following" in capsys.readouterr().out

@@ -160,3 +160,40 @@ class TestTelemetrySession:
             assert work() == 42
         assert tel.tracer.calls_by_name() == {"unit.work": 1}
         assert calls[0] is None and calls[1] is tel
+
+
+class TestTailEvents:
+    def test_missing_file_reads_as_no_events(self, tmp_path):
+        events, offset = obs.tail_events(str(tmp_path / "nope.jsonl"))
+        assert events == [] and offset == 0
+
+    def test_incremental_reads_resume_from_offset(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"event": "a"}\n')
+        events, offset = obs.tail_events(path)
+        assert [e["event"] for e in events] == ["a"]
+        with open(path, "a") as handle:
+            handle.write('{"event": "b"}\n{"event": "c"}\n')
+        events, offset = obs.tail_events(path, offset)
+        assert [e["event"] for e in events] == ["b", "c"]
+        assert obs.tail_events(path, offset) == ([], offset)
+
+    def test_partial_trailing_line_waits_for_its_newline(self, tmp_path):
+        """A writer caught mid-record must not poison the poll: the torn
+        bytes stay unconsumed until the newline lands."""
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"event": "a"}\n{"event": "b", "x"')
+        events, offset = obs.tail_events(path)
+        assert [e["event"] for e in events] == ["a"]
+        with open(path, "a") as handle:
+            handle.write(': 1}\n')
+        events, offset = obs.tail_events(path, offset)
+        assert events == [{"event": "b", "x": 1}]
+
+    def test_matches_read_run_log_on_a_finished_log(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with obs.RunLogger(path, config={"k": 1}) as log:
+            log.step(1, losses={"total": 0.5})
+        assert obs.tail_events(path)[0] == read_run_log(path)

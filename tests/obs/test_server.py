@@ -1,0 +1,357 @@
+"""Telemetry HTTP server: endpoints, readiness, concurrency, overhead.
+
+The live-plane contract: every endpoint serves a consistent view of the
+session while trainer threads mutate it; ``/metrics`` output is never
+torn (the format checker validates every concurrent scrape); ``/ready``
+flips to 503 while a critical alert is fresh and recovers on its own;
+handler threads stay bounded under a scrape storm; and a session with a
+server attached but zero requests pays nothing on the instrumentation
+fast path.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import validate_exposition
+from repro.obs.server import (
+    DEFAULT_MAX_HANDLER_THREADS,
+    ReadinessCheck,
+    TelemetryServer,
+)
+from repro.obs.tracing import span_ring_snapshot
+
+
+def _get(url, timeout=10.0):
+    """(status, body) for a GET; HTTP errors return their status too."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+@pytest.fixture()
+def served_session():
+    """A live session with alerts + server on an ephemeral port."""
+    with obs.telemetry(alerts=True, serve_port=0) as session:
+        yield session, session.server.url
+
+
+class TestEndpoints:
+    def test_metrics_exposition_and_content_type(self, served_session):
+        session, base = served_session
+        session.metrics.counter("hits", help="scrape me").inc(2, kind="a")
+        with urllib.request.urlopen(base + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        assert 'hits_total{kind="a"} 2.0' in body
+        assert validate_exposition(body) == []
+
+    def test_health_reports_uptime_and_endpoints(self, served_session):
+        _, base = served_session
+        status, body = _get(base + "/health")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0.0
+        assert "/metrics" in payload["endpoints"]
+
+    def test_ready_lists_every_check(self, served_session):
+        _, base = served_session
+        status, body = _get(base + "/ready")
+        payload = json.loads(body)
+        assert status == 200 and payload["ready"] is True
+        assert [check["name"] for check in payload["checks"]] == ["alerts"]
+
+    def test_alerts_empty_then_carries_firings(self, served_session):
+        session, base = served_session
+        assert json.loads(_get(base + "/alerts")[1]) == {"alerts": []}
+        for value in (1.0, 1.0, float("nan")):
+            session.alerts.observe_value("losses.total", value)
+        payload = json.loads(_get(base + "/alerts")[1])
+        assert len(payload["alerts"]) == 1
+        alert = payload["alerts"][0]
+        assert alert["severity"] == "critical"
+        assert isinstance(alert["created"], float)
+
+    def test_trace_returns_recent_spans_oldest_first(self, served_session):
+        session, base = served_session
+        for name in ("first", "second"):
+            with session.tracer.span(name):
+                pass
+        spans = json.loads(_get(base + "/trace")[1])["spans"]
+        assert [span["name"] for span in spans][-2:] == ["first", "second"]
+        assert all(span["duration"] is not None for span in spans)
+
+    def test_profile_404_without_profiler(self, served_session):
+        _, base = served_session
+        status, body = _get(base + "/profile")
+        assert status == 404 and "profiler" in body
+
+    def test_profile_serves_collapsed_stacks_when_armed(self):
+        with obs.telemetry(profile_hz=200, serve_port=0) as session:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                sum(i * i for i in range(20_000))
+                if session.profiler.summary()["samples"]:
+                    break
+            status, body = _get(session.server.url + "/profile")
+        assert status == 200
+        line = body.strip().splitlines()[0]
+        stack, count = line.rsplit(" ", 1)
+        assert ";" in stack and int(count) >= 1
+
+    def test_unknown_path_is_404(self, served_session):
+        _, base = served_session
+        assert _get(base + "/nope")[0] == 404
+        assert _get(base + "/")[0] == 404
+
+
+class TestReadiness:
+    def test_critical_alert_flips_503_and_recovers(self):
+        with obs.telemetry(alerts=True) as session:
+            server = TelemetryServer(
+                session, port=0, alert_cooldown_seconds=0.4
+            )
+            server.start()
+            try:
+                assert _get(server.url + "/ready")[0] == 200
+                session.alerts.observe_value("losses.x", float("nan"))
+                status, body = _get(server.url + "/ready")
+                assert status == 503
+                assert json.loads(body)["ready"] is False
+                time.sleep(0.5)  # cooldown elapses, no re-fire
+                assert _get(server.url + "/ready")[0] == 200
+            finally:
+                server.stop()
+
+    def test_custom_checks_participate(self):
+        warm = {"value": False}
+        with obs.telemetry() as session:
+            server = TelemetryServer(
+                session, port=0,
+                readiness_checks=[
+                    ReadinessCheck("model", lambda: warm["value"]),
+                ],
+            )
+            server.start()
+            try:
+                status, body = _get(server.url + "/ready")
+                assert status == 503
+                assert json.loads(body)["checks"][0]["name"] == "model"
+                warm["value"] = True
+                assert _get(server.url + "/ready")[0] == 200
+            finally:
+                server.stop()
+
+    def test_crashing_check_reads_not_ready(self):
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        with obs.telemetry() as session:
+            server = TelemetryServer(
+                session, port=0,
+                readiness_checks=[ReadinessCheck("boom", boom)],
+            )
+            with server:
+                status, body = _get(server.url + "/ready")
+        assert status == 503
+        assert "probe exploded" in json.loads(body)["checks"][0]["detail"]
+
+
+class TestSpanRingLifecycle:
+    def test_ring_enabled_only_while_server_runs(self):
+        with obs.telemetry() as session:
+            with session.tracer.span("before"):
+                pass
+            assert span_ring_snapshot() == []
+            server = TelemetryServer(session, port=0)
+            server.start()
+            with session.tracer.span("during"):
+                pass
+            assert [s.name for s in span_ring_snapshot()] == ["during"]
+            server.stop()
+            assert span_ring_snapshot() == []
+
+    def test_ring_is_bounded(self):
+        with obs.telemetry() as session:
+            server = TelemetryServer(session, port=0, trace_capacity=4)
+            with server:
+                for index in range(10):
+                    with session.tracer.span(f"s{index}"):
+                        pass
+                names = [s.name for s in span_ring_snapshot()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_stop_is_idempotent(self):
+        with obs.telemetry() as session:
+            server = TelemetryServer(session, port=0)
+            server.start()
+            server.stop()
+            server.stop()  # second stop must not double-release the ring
+            assert span_ring_snapshot() == []
+
+
+class TestConcurrentScrapes:
+    def test_hammer_while_trainer_mutates_and_alerts_fire(self):
+        """N scraper threads against a mutating session: every response
+        parses clean (no torn exposition), nothing deadlocks, and the
+        process thread count stays bounded."""
+        scrapers = 6
+        duration = 1.2
+        errors = []
+        torn = []
+        stop = threading.Event()
+
+        with obs.telemetry(alerts=True, serve_port=0) as session:
+            base = session.server.url
+            baseline_threads = threading.active_count()
+            peak = {"threads": 0}
+
+            def scrape(endpoint):
+                while not stop.is_set():
+                    try:
+                        status, body = _get(base + endpoint, timeout=10.0)
+                    except Exception as error:  # noqa: BLE001 - collect all
+                        errors.append(repr(error))
+                        return
+                    if endpoint == "/metrics":
+                        if status != 200:
+                            errors.append(f"/metrics -> {status}")
+                        problems = validate_exposition(body)
+                        if problems:
+                            torn.append(problems)
+                    elif status not in (200, 503):
+                        errors.append(f"{endpoint} -> {status}")
+                    peak["threads"] = max(
+                        peak["threads"], threading.active_count()
+                    )
+
+            threads = [
+                threading.Thread(
+                    target=scrape,
+                    args=("/metrics" if i % 2 == 0 else "/ready",),
+                    daemon=True,
+                )
+                for i in range(scrapers)
+            ]
+            for thread in threads:
+                thread.start()
+
+            deadline = time.time() + duration
+            step = 0
+            while time.time() < deadline:
+                step += 1
+                session.metrics.counter("train.steps").inc(phase="pretrain")
+                session.metrics.timer("step.seconds").observe(
+                    0.001 * (step % 7), worker=str(step % 3)
+                )
+                session.metrics.gauge("queue.depth").set(step % 11)
+                with session.tracer.span("train.step", step=step):
+                    pass
+                if step % 50 == 0:  # periodic critical firings mid-scrape
+                    session.alerts.observe_value("losses.x", float("nan"))
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "scraper deadlocked"
+
+        assert not errors, errors[:5]
+        assert not torn, torn[:2]
+        # serve thread + bounded handlers + our scrapers; anything far
+        # beyond that means handler threads are leaking unbounded.
+        allowed = (
+            baseline_threads + scrapers + DEFAULT_MAX_HANDLER_THREADS + 2
+        )
+        assert peak["threads"] <= allowed, (
+            f"thread count peaked at {peak['threads']} (allowed {allowed})"
+        )
+
+    def test_scrape_sees_consistent_histogram_families(self, served_session):
+        """A scrape racing histogram writes still passes the cumulative
+        bucket check — per-metric locks make each family atomic."""
+        session, base = served_session
+        stop = threading.Event()
+
+        def writer():
+            value = 0
+            while not stop.is_set():
+                session.metrics.timer("lat").observe((value % 10) / 1000.0)
+                value += 1
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(30):
+                _, body = _get(base + "/metrics")
+                assert validate_exposition(body) == []
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+
+class TestZeroRequestOverhead:
+    def test_idle_server_adds_nothing_to_the_hot_path(self):
+        """serve_port= with zero requests must not slow instrumentation:
+        the span ring adds one module-global check per span *finish*,
+        and nothing else changes on the traced path."""
+        calls = 5_000
+
+        def timed_loop():
+            best = float("inf")
+            for _ in range(5):
+                started = time.perf_counter()
+                for _ in range(calls):
+                    with obs.trace("hot"):
+                        pass
+                best = min(best, time.perf_counter() - started)
+            return best / calls
+
+        with obs.telemetry() as session:  # noqa: F841 - session active
+            plain = timed_loop()
+        with obs.telemetry(serve_port=0):
+            served = timed_loop()
+        # Same order of magnitude: generous 3x + absolute floor to absorb
+        # scheduler jitter on CI, while still catching an accidental
+        # per-span lock or HTTP touch (10-100x).
+        assert served < plain * 3 + 5e-6, (
+            f"idle server inflates span cost {plain * 1e6:.2f}µs -> "
+            f"{served * 1e6:.2f}µs"
+        )
+
+    def test_disabled_ring_is_one_global_check(self):
+        assert span_ring_snapshot() == []  # off by default
+
+
+class TestValidateCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        from repro.obs.server import main
+
+        registry = obs.MetricsRegistry()
+        registry.counter("ok").inc()
+        path = tmp_path / "scrape.txt"
+        path.write_text(registry.to_prometheus())
+        assert main(["--validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        from repro.obs.server import main
+
+        path = tmp_path / "torn.txt"
+        path.write_text('x_bucket{le="1.0"} 5\nx_bucket{le="+Inf"} 3\nx_count 3\n')
+        assert main(["--validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_validates_a_live_url(self, served_session):
+        from repro.obs.server import main
+
+        session, base = served_session
+        session.metrics.counter("live").inc()
+        assert main(["--validate", base + "/metrics"]) == 0

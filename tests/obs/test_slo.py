@@ -1,0 +1,242 @@
+"""SLO engine: objective math, burn rates, budgets, alert wiring, e2e.
+
+Contract under test: span durations feed the named timer; windowed
+good/total counts derive from cumulative bucket diffs with linear
+interpolation inside the straddling bucket; burn is the min of the fast
+and slow windows; breaches fire as ``slo.burn_rate.<name>`` through the
+shared :class:`AlertEngine` (cooldown, severity, ``raise_on`` intact);
+and the gauges land under bounded ``slo=`` labels.  The e2e pair pins
+the acceptance behaviour: a destabilized-latency run exhausts its budget
+and fires, a healthy run fires nothing.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import AlertEngine, AlertError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import Slo, SloTracker, _good_below, default_slos
+
+
+def _slo(**overrides):
+    base = dict(
+        name="pb", timer_series="latency.pb", objective_ms=10.0,
+        target_fraction=0.9, window=32, fast_window=8, span="predict_batch",
+    )
+    base.update(overrides)
+    return Slo(**base)
+
+
+class TestSloDeclaration:
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError):
+            _slo(objective_ms=0.0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            _slo(target_fraction=1.0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError):
+            _slo(window=4, fast_window=8)
+
+    def test_compiles_to_alert_rule(self):
+        rule = _slo(severity="critical").rule()
+        assert rule.metric == "slo.burn_rate.pb"
+        assert rule.severity == "critical"
+        assert rule.cooldown == 32
+
+    def test_default_slos_cover_the_inference_path(self):
+        spans = {slo.span for slo in default_slos()}
+        assert spans == {"predict_batch", "encode", "featurize"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloTracker([_slo(), _slo()], MetricsRegistry())
+
+
+class TestGoodBelow:
+    def test_whole_buckets_count_fully(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t", buckets=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05):
+            timer.observe(value)
+        good = _good_below(timer, timer.value(), 0.01)
+        assert good == pytest.approx(2.0)
+
+    def test_straddling_bucket_interpolates(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t", buckets=(0.001, 0.01, 0.1))
+        for _ in range(10):
+            timer.observe(0.05)  # all in the (0.01, 0.1] bucket
+        # objective midway through the bucket -> linear share of its count
+        good = _good_below(timer, timer.value(), 0.055)
+        assert good == pytest.approx(10 * (0.055 - 0.01) / (0.1 - 0.01))
+
+    def test_empty_series_is_zero(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t", buckets=(0.001,))
+        assert _good_below(timer, timer.value(), 0.01) == 0.0
+
+    def test_objective_beyond_max_counts_overflow(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t", buckets=(0.001,))
+        timer.observe(0.5)
+        timer.observe(0.7)
+        assert _good_below(timer, timer.value(), 1.0) == pytest.approx(2.0)
+
+
+class TestTrackerMath:
+    def test_healthy_observations_keep_budget_full(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([_slo()], registry)
+        for _ in range(40):
+            registry.timer("latency.pb").observe(0.001)
+            tracker.evaluate(tracker.slos[0])
+        assert registry.gauge("slo.burn_rate").value(slo="pb") == 0.0
+        assert registry.gauge("slo.budget_remaining").value(slo="pb") == 1.0
+        assert registry.gauge("slo.compliance").value(slo="pb") == 1.0
+
+    def test_all_bad_burns_at_inverse_budget_rate(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([_slo()], registry)  # target 0.9 -> budget 10%
+        for _ in range(20):
+            registry.timer("latency.pb").observe(0.5)  # 50x the objective
+            tracker.evaluate(tracker.slos[0])
+        burn = registry.gauge("slo.burn_rate").value(slo="pb")
+        assert burn == pytest.approx(10.0, rel=1e-6)
+        assert registry.gauge("slo.budget_remaining").value(slo="pb") < 0.0
+
+    def test_below_min_events_never_burns(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([_slo()], registry, min_events=8)
+        for _ in range(5):
+            registry.timer("latency.pb").observe(0.5)
+            tracker.evaluate(tracker.slos[0])
+        assert registry.gauge("slo.burn_rate").value(slo="pb") == 0.0
+        assert registry.gauge("slo.budget_remaining").value(slo="pb") == 1.0
+
+    def test_burn_is_min_of_fast_and_slow_windows(self):
+        """Old badness outside the fast window must not alert: the fast
+        window recovers first and the min() masks the stale slow burn."""
+        registry = MetricsRegistry()
+        slo = _slo(window=16, fast_window=4)
+        tracker = SloTracker([slo], registry, min_events=4)
+        for _ in range(10):  # bad burst...
+            registry.timer("latency.pb").observe(0.5)
+            tracker.evaluate(slo)
+        burning = registry.gauge("slo.burn_rate").value(slo="pb")
+        for _ in range(8):  # ...then recovery
+            registry.timer("latency.pb").observe(0.0005)
+            tracker.evaluate(slo)
+        recovered = registry.gauge("slo.burn_rate").value(slo="pb")
+        assert burning > 1.0
+        assert recovered == 0.0  # fast window is clean again
+
+    def test_status_rows_are_json_ready(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([_slo()], registry)
+        rows = tracker.status()
+        assert rows[0]["slo"] == "pb"
+        assert rows[0]["objective_ms"] == 10.0
+
+
+class TestAlertWiring:
+    def test_burn_breach_fires_through_engine(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(rules=[])
+        tracker = SloTracker([_slo()], registry, engine)
+        fired = []
+        for _ in range(20):
+            registry.timer("latency.pb").observe(0.5)
+            fired.extend(tracker.evaluate(tracker.slos[0]))
+        assert fired, "sustained breach never fired"
+        assert fired[0].rule == "slo_burn_pb"
+        assert fired[0].severity == "critical"
+        assert fired[0].series == "slo.burn_rate.pb"
+        # cooldown = slow window: one firing, not one per evaluation
+        assert len(fired) < 3
+
+    def test_raise_on_escalation_works_unchanged(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine(rules=[], raise_on={"critical"})
+        tracker = SloTracker([_slo()], registry, engine)
+        with pytest.raises(AlertError):
+            for _ in range(20):
+                registry.timer("latency.pb").observe(0.5)
+                for alert in tracker.evaluate(tracker.slos[0]):
+                    if alert.severity in engine.raise_on:
+                        raise AlertError(alert)
+
+    def test_tracker_without_engine_only_publishes_gauges(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker([_slo()], registry, engine=None)
+        for _ in range(20):
+            registry.timer("latency.pb").observe(0.5)
+            assert tracker.evaluate(tracker.slos[0]) == []
+        assert registry.gauge("slo.burn_rate").value(slo="pb") > 1.0
+
+
+class TestEndToEnd:
+    def test_destabilized_latency_exhausts_budget_and_fires(self):
+        """Injected slow predict_batch spans must drain the error budget
+        and fire a burn-rate alert through the session's AlertEngine."""
+        slos = [Slo("predict", timer_series="latency.predict",
+                    span="predict_batch", objective_ms=1.0,
+                    target_fraction=0.95, window=32, fast_window=8)]
+        with obs.telemetry(alerts=True, slos=slos) as session:
+            for _ in range(12):
+                with obs.trace("predict_batch"):
+                    time.sleep(0.003)  # 3x the objective, every call
+        fired = [a for a in session.alerts.alerts
+                 if a.rule == "slo_burn_predict"]
+        assert fired, "destabilized run never fired the SLO alert"
+        assert session.metrics.gauge("slo.budget_remaining").value(
+            slo="predict"
+        ) < 0.0
+        assert session.metrics.counter("alerts.fired").value(
+            severity="critical"
+        ) >= 1.0
+
+    def test_healthy_run_fires_zero_slo_alerts(self):
+        slos = [Slo("predict", timer_series="latency.predict",
+                    span="predict_batch", objective_ms=250.0,
+                    target_fraction=0.95, window=32, fast_window=8)]
+        with obs.telemetry(alerts=True, slos=slos) as session:
+            for _ in range(40):
+                with obs.trace("predict_batch"):
+                    pass
+        assert [a for a in session.alerts.alerts
+                if a.rule.startswith("slo_burn")] == []
+        assert session.metrics.gauge("slo.budget_remaining").value(
+            slo="predict"
+        ) == 1.0
+
+    def test_slo_gauges_visible_on_metrics_endpoint(self):
+        import urllib.request
+
+        with obs.telemetry(alerts=True, slos=True, serve_port=0) as session:
+            for _ in range(10):
+                with obs.trace("predict_batch"):
+                    pass
+            with urllib.request.urlopen(
+                session.server.url + "/metrics"
+            ) as response:
+                body = response.read().decode("utf-8")
+        assert 'slo_budget_remaining{slo="predict_batch"}' in body
+        assert 'slo_burn_rate{slo="predict_batch"}' in body
+
+    def test_alert_event_lands_in_run_log(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        slos = [Slo("predict", timer_series="latency.predict",
+                    span="predict_batch", objective_ms=1.0,
+                    target_fraction=0.95, window=32, fast_window=8)]
+        with obs.telemetry(run_log=path, alerts=True, slos=slos):
+            for _ in range(12):
+                with obs.trace("predict_batch"):
+                    time.sleep(0.003)
+        events = obs.read_run_log(path)
+        alerts = [e for e in events if e.get("event") == "alert"]
+        assert any(e.get("rule") == "slo_burn_predict" for e in alerts)

@@ -1,0 +1,80 @@
+"""Scraping /metrics during and after a live 2-worker pool run.
+
+The acceptance shape for the observability plane: a telemetry server
+attached to the *parent* session stays scrapeable while a spawn pool
+executes, every concurrent scrape passes the exposition format checker,
+and after ``close()`` relays the workers' spools the scrape carries the
+``worker=``-labeled series merged from the child processes.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import validate_exposition
+from repro.parallel import WorkerPool, init_probe_worker
+
+
+def _scrape(url):
+    with urllib.request.urlopen(url + "/metrics", timeout=10.0) as response:
+        return response.read().decode("utf-8")
+
+
+@pytest.fixture()
+def scraped_pool_run():
+    """2-worker run with a live server; yields (session, mid, final)."""
+    mid_scrapes = []
+    with obs.telemetry(serve_port=0) as session:
+        url = session.server.url
+        stop = threading.Event()
+
+        def scraper():
+            while not stop.is_set():
+                mid_scrapes.append(_scrape(url))
+
+        thread = threading.Thread(target=scraper, daemon=True)
+        pool = WorkerPool(2, init_probe_worker, {}, param_size=4)
+        thread.start()
+        try:
+            session.metrics.counter("driver.dispatches").inc(task="traced")
+            pool.run("traced", [{"repeats": 50_000}] * 2)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+            pool.close()  # relays worker spools into the parent
+        final = _scrape(url)
+    return session, mid_scrapes, final
+
+
+class TestLivePoolScrape:
+    def test_mid_run_scrapes_are_valid_expositions(self, scraped_pool_run):
+        _, mid_scrapes, _ = scraped_pool_run
+        assert mid_scrapes, "scraper thread never completed a scrape"
+        for body in mid_scrapes:
+            assert validate_exposition(body) == []
+
+    def test_final_scrape_carries_worker_labeled_series(
+        self, scraped_pool_run
+    ):
+        _, _, final = scraped_pool_run
+        assert validate_exposition(final) == []
+        for worker in ("0", "1"):
+            assert (
+                f'parallel_worker_step_seconds_count{{worker="{worker}"}} 1'
+                in final
+            )
+            assert f'probe_tasks_total{{worker="{worker}"}} 1.0' in final
+
+    def test_mid_run_scrapes_see_parent_series(self, scraped_pool_run):
+        _, mid_scrapes, _ = scraped_pool_run
+        assert 'driver_dispatches_total{task="traced"} 1.0' in mid_scrapes[-1]
+
+    def test_pool_span_lands_in_parent_tracer(self, scraped_pool_run):
+        session, _, _ = scraped_pool_run
+        assert "parallel.pool_start" in session.tracer.calls_by_name()
+        # per-worker step timings merged from the children's clocks
+        timer = session.metrics.timer("parallel.worker_step_seconds")
+        for worker in ("0", "1"):
+            assert timer.value(worker=worker)["count"] == 1
